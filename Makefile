@@ -1,0 +1,45 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test race bench verify examples figures clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/transport ./internal/core ./internal/stream
+
+# Full benchmark sweep (several minutes). Writes bench_output.txt.
+bench:
+	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+# Cross-check every engine against every oracle.
+verify:
+	$(GO) run ./cmd/dsud-verify -n 2000 -values anticorrelated
+	$(GO) run ./cmd/dsud-verify -n 2000 -values independent -q 0.5
+
+# Run every example end to end.
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/hotels
+	$(GO) run ./examples/stockmarket
+	$(GO) run ./examples/updates
+	$(GO) run ./examples/vertical
+	$(GO) run ./examples/sensors
+	$(GO) run ./examples/federation
+	$(GO) run ./examples/distributed-stream
+
+# Regenerate every paper figure at laptop scale (see EXPERIMENTS.md).
+figures:
+	$(GO) run ./cmd/dsud-bench -exp all
+
+clean:
+	rm -f bench_output.txt test_output.txt experiments_output.txt
+	rm -rf bin

@@ -1,0 +1,77 @@
+// Command dsud-bench regenerates the paper's evaluation figures. Each
+// experiment prints one aligned text table per sub-figure, with the same
+// series the paper plots.
+//
+// Usage:
+//
+//	dsud-bench -exp fig8 [-n 60000] [-queries 2] [-sites 60] [-seed 1]
+//	dsud-bench -exp all -paper       # full 2M-tuple paper scale (slow)
+//
+// Experiments: fig8 fig9 fig10 fig11 fig12 fig13 fig14 eq6, or "all".
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment id ("+strings.Join(experiments.IDs(), ", ")+", or all)")
+		n       = flag.Int("n", experiments.DefaultScale.N, "global cardinality N")
+		queries = flag.Int("queries", experiments.DefaultScale.Queries, "repetitions to average")
+		sites   = flag.Int("sites", 0, "override default site count (0 = paper default 60)")
+		seed    = flag.Int64("seed", 1, "generation seed")
+		paper   = flag.Bool("paper", false, "use the paper's full Table 3 scale (N=2,000,000, 10 queries)")
+		format  = flag.String("format", "table", "output format: table|csv")
+	)
+	flag.Parse()
+	if *exp == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	scale := experiments.Scale{N: *n, Queries: *queries, Seed: *seed, Sites: *sites}
+	if *paper {
+		scale = experiments.PaperScale
+		scale.Sites = *sites
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		figs, err := experiments.Run(ctx, id, scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dsud-bench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		for _, fig := range figs {
+			var err error
+			if *format == "csv" {
+				err = fig.RenderCSV(os.Stdout)
+			} else {
+				err = fig.Render(os.Stdout)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dsud-bench: render: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if *format != "csv" {
+			fmt.Printf("(%s completed in %v at N=%d, %d repetition(s))\n\n", id, time.Since(start).Round(time.Millisecond), scale.N, scale.Queries)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+// Command dsud-gen generates a synthetic uncertain database, partitions it
+// over m sites, and writes one dataset file per site for dsud-site to
+// serve.
+//
+// Usage:
+//
+//	dsud-gen -n 100000 -d 3 -m 4 -values anticorrelated -out /tmp/parts
+//
+// produces /tmp/parts/site-0.dsud … /tmp/parts/site-3.dsud.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/dataset"
+	"repro/internal/gen"
+)
+
+func main() {
+	var (
+		n      = flag.Int("n", 100_000, "global cardinality")
+		d      = flag.Int("d", 3, "dimensionality (ignored for -values nyse)")
+		m      = flag.Int("m", 4, "number of site partitions")
+		values = flag.String("values", "independent", "value distribution: independent|anticorrelated|correlated|nyse")
+		probs  = flag.String("probs", "uniform", "probability distribution: uniform|gaussian")
+		mu     = flag.Float64("mu", 0.5, "gaussian probability mean")
+		sigma  = flag.Float64("sigma", 0.2, "gaussian probability stddev")
+		seed   = flag.Int64("seed", 1, "generation seed")
+		out    = flag.String("out", ".", "output directory")
+	)
+	flag.Parse()
+
+	cfg := gen.Config{N: *n, Dims: *d, Seed: *seed, Mu: *mu, Sigma: *sigma}
+	switch *values {
+	case "independent":
+		cfg.Values = gen.Independent
+	case "anticorrelated":
+		cfg.Values = gen.Anticorrelated
+	case "correlated":
+		cfg.Values = gen.Correlated
+	case "nyse":
+		cfg.Values = gen.NYSE
+		cfg.Dims = 0
+	default:
+		fatalf("unknown value distribution %q", *values)
+	}
+	switch *probs {
+	case "uniform":
+		cfg.Probs = gen.UniformProb
+	case "gaussian":
+		cfg.Probs = gen.GaussianProb
+	default:
+		fatalf("unknown probability distribution %q", *probs)
+	}
+
+	db, err := gen.Generate(cfg)
+	if err != nil {
+		fatalf("generate: %v", err)
+	}
+	parts, err := gen.Partition(db, *m, *seed+1)
+	if err != nil {
+		fatalf("partition: %v", err)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatalf("mkdir: %v", err)
+	}
+	dims := db.Dims()
+	for i, part := range parts {
+		path := filepath.Join(*out, fmt.Sprintf("site-%d.dsud", i))
+		if err := dataset.Save(path, dims, part); err != nil {
+			fatalf("save: %v", err)
+		}
+		fmt.Printf("wrote %s (%d tuples, %d dims)\n", path, len(part), dims)
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "dsud-gen: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,95 @@
+// Command dsud-query runs a distributed skyline query as the coordinator
+// H against running dsud-site daemons, printing qualified tuples as they
+// are discovered (progressively) and the communication statistics at the
+// end.
+//
+// Usage:
+//
+//	dsud-query -addrs 127.0.0.1:7101,127.0.0.1:7102 -dims 3 -q 0.3 -algo edsud
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+
+	"repro/dsq"
+)
+
+func main() {
+	var (
+		addrs = flag.String("addrs", "", "comma-separated site addresses (required)")
+		dims  = flag.Int("dims", 0, "data dimensionality (required)")
+		q     = flag.Float64("q", 0.3, "probability threshold in (0,1]")
+		algo  = flag.String("algo", "edsud", "algorithm: baseline|dsud|edsud")
+		sub   = flag.String("subspace", "", "comma-separated dimension indices (empty = full space)")
+		quiet = flag.Bool("quiet", false, "suppress per-tuple output")
+		topk  = flag.Int("topk", 0, "return only the K most probable answers (0 = all)")
+		trace = flag.Bool("trace", false, "print every protocol step")
+	)
+	flag.Parse()
+	if *addrs == "" || *dims <= 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var algorithm dsq.Algorithm
+	switch *algo {
+	case "baseline":
+		algorithm = dsq.Baseline
+	case "dsud":
+		algorithm = dsq.DSUD
+	case "edsud":
+		algorithm = dsq.EDSUD
+	default:
+		fatalf("unknown algorithm %q", *algo)
+	}
+
+	var subspace []int
+	if *sub != "" {
+		for _, part := range strings.Split(*sub, ",") {
+			var j int
+			if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &j); err != nil {
+				fatalf("bad subspace index %q", part)
+			}
+			subspace = append(subspace, j)
+		}
+	}
+
+	cluster, err := dsq.NewRemoteCluster(strings.Split(*addrs, ","), *dims)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer cluster.Close()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	opts := dsq.Options{Threshold: *q, Dims: subspace, Algorithm: algorithm, TopK: *topk}
+	if *trace {
+		opts.OnEvent = func(e dsq.Event) { fmt.Println(e) }
+	}
+	if !*quiet {
+		opts.OnResult = func(res dsq.Result) {
+			fmt.Printf("skyline %s  P=%.4f  (site %d)\n", res.Tuple.Point, res.GlobalProb, res.Site)
+		}
+	}
+	report, err := dsq.Query(ctx, cluster, opts)
+	if err != nil {
+		fatalf("query: %v", err)
+	}
+	bw := report.Bandwidth
+	fmt.Printf("\n%d skyline tuple(s) in %v via %v\n", len(report.Skyline), report.Elapsed.Round(1e6), algorithm)
+	fmt.Printf("bandwidth: %d tuples (%d up, %d down), %d messages, %d wire bytes\n",
+		bw.Tuples(), bw.TuplesUp, bw.TuplesDown, bw.Messages, bw.Bytes)
+	fmt.Printf("iterations: %d, broadcasts: %d, expunged: %d, locally pruned: %d\n",
+		report.Iterations, report.Broadcasts, report.Expunged, report.PrunedLocal)
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "dsud-query: "+format+"\n", args...)
+	os.Exit(1)
+}

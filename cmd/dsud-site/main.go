@@ -1,0 +1,80 @@
+// Command dsud-site runs one local site of the distributed skyline system
+// as a TCP daemon: it loads a partition produced by dsud-gen, indexes it in
+// a PR-tree, and serves the DSUD wire protocol until interrupted.
+//
+// Usage:
+//
+//	dsud-site -data /tmp/parts/site-0.dsud -addr 127.0.0.1:7101 -id 0
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+
+	"repro/internal/dataset"
+	"repro/internal/site"
+	"repro/internal/transport"
+)
+
+func main() {
+	var (
+		data     = flag.String("data", "", "partition file written by dsud-gen (required)")
+		addr     = flag.String("addr", "127.0.0.1:0", "listen address")
+		httpAddr = flag.String("http", "", "optional ops address serving GET /status as JSON")
+		id       = flag.Int("id", 0, "site index (diagnostics only)")
+	)
+	flag.Parse()
+	if *data == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	part, dims, err := dataset.Load(*data)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	eng := site.New(*id, part, dims, 0)
+
+	lis, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatalf("listen: %v", err)
+	}
+	srv := transport.NewServer(eng, nil)
+	fmt.Printf("dsud-site %d serving %d tuples (%d dims) on %s\n", *id, len(part), dims, lis.Addr())
+
+	if *httpAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/status", eng.StatusHandler())
+		opsLis, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			fatalf("ops listen: %v", err)
+		}
+		fmt.Printf("dsud-site %d ops endpoint on http://%s/status\n", *id, opsLis.Addr())
+		go http.Serve(opsLis, mux)
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(lis) }()
+
+	interrupt := make(chan os.Signal, 1)
+	signal.Notify(interrupt, os.Interrupt)
+	select {
+	case <-interrupt:
+		fmt.Println("dsud-site: shutting down")
+		srv.Close()
+		<-done
+	case err := <-done:
+		if err != nil {
+			fatalf("serve: %v", err)
+		}
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "dsud-site: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,96 @@
+// Command dsud-stream runs the continuous sliding-window skyline operator
+// over a dataset file (or a generated stream), printing the answer
+// whenever it changes size — a terminal demo of the §2.2 streaming
+// setting.
+//
+// Usage:
+//
+//	dsud-stream -n 50000 -window 5000 -q 0.3 -values nyse
+//	dsud-stream -data /tmp/parts/site-0.dsud -window 1000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/dataset"
+	"repro/internal/gen"
+	"repro/internal/stream"
+	"repro/internal/uncertain"
+)
+
+func main() {
+	var (
+		data   = flag.String("data", "", "dataset file (optional; otherwise generate)")
+		n      = flag.Int("n", 50_000, "stream length when generating")
+		d      = flag.Int("d", 2, "dimensionality when generating")
+		values = flag.String("values", "independent", "value distribution: independent|anticorrelated|correlated|nyse")
+		window = flag.Int("window", 5_000, "sliding window capacity")
+		q      = flag.Float64("q", 0.3, "probability threshold")
+		every  = flag.Int("every", 0, "print a status line every K arrivals (0 = only on size changes)")
+		seed   = flag.Int64("seed", 1, "generation seed")
+	)
+	flag.Parse()
+
+	var db uncertain.DB
+	if *data != "" {
+		loaded, _, err := dataset.Load(*data)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		db = loaded
+	} else {
+		cfg := gen.Config{N: *n, Dims: *d, Probs: gen.UniformProb, Seed: *seed}
+		switch *values {
+		case "independent":
+			cfg.Values = gen.Independent
+		case "anticorrelated":
+			cfg.Values = gen.Anticorrelated
+		case "correlated":
+			cfg.Values = gen.Correlated
+		case "nyse":
+			cfg.Values = gen.NYSE
+			cfg.Dims = 0
+		default:
+			fatalf("unknown value distribution %q", *values)
+		}
+		generated, err := gen.Generate(cfg)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		db = generated
+	}
+
+	w, err := stream.New(*window, *q, nil)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	lastSize := -1
+	for i, tu := range db {
+		if _, err := w.Append(tu); err != nil {
+			fatalf("append %d: %v", i, err)
+		}
+		size := len(w.Skyline())
+		changed := size != lastSize
+		periodic := *every > 0 && (i+1)%*every == 0
+		if changed || periodic {
+			fmt.Printf("arrival %7d: skyline %3d, candidates %4d, window %5d, dropped %7d\n",
+				i+1, size, w.Candidates(), w.Len(), w.Drops())
+			lastSize = size
+		}
+	}
+	fmt.Printf("\nfinal skyline (%d tuples):\n", len(w.Skyline()))
+	for i, m := range w.Skyline() {
+		if i == 10 {
+			fmt.Printf("  ...\n")
+			break
+		}
+		fmt.Printf("  %s  P=%.4f\n", m.Tuple.Point, m.Prob)
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "dsud-stream: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,258 @@
+// Package dsq is the public API for distributed skyline queries over
+// uncertain data, implementing the DSUD and e-DSUD algorithms of Ding & Jin
+// (ICDCS 2010 / TKDE 2011).
+//
+// # Model
+//
+// An uncertain database is a set of tuples; each Tuple carries a point in
+// d-dimensional space (smaller is better on every attribute) and an
+// existential probability in (0,1]. The database is horizontally
+// partitioned over m sites. A query with threshold q reports every tuple
+// whose global skyline probability — the probability the tuple exists and
+// no existing tuple dominates it — is at least q, while transmitting as few
+// tuples as possible between the sites and the coordinator.
+//
+// # Quick start
+//
+//	parts := []dsq.DB{site0Tuples, site1Tuples, site2Tuples}
+//	cluster, err := dsq.NewLocalCluster(parts, 2)
+//	if err != nil { ... }
+//	defer cluster.Close()
+//	report, err := dsq.Query(ctx, cluster, dsq.Options{Threshold: 0.3})
+//	for _, m := range report.Skyline {
+//		fmt.Println(m.Tuple, m.Prob)
+//	}
+//
+// Results stream progressively through Options.OnResult, and
+// Report.Bandwidth exposes the communication cost in tuples, messages and
+// (over TCP) bytes. Sites may run in-process (NewLocalCluster) or as
+// remote TCP daemons (NewRemoteCluster with cmd/dsud-site).
+package dsq
+
+import (
+	"context"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/geom"
+	"repro/internal/stream"
+	"repro/internal/transport"
+	"repro/internal/uncertain"
+	"repro/internal/vertical"
+)
+
+// Core data model. These alias the engine's own types, so values flow
+// through the API without conversion.
+type (
+	// Point is a location in d-dimensional attribute space; lower values
+	// are preferred on every dimension.
+	Point = geom.Point
+	// TupleID uniquely identifies a tuple across all sites.
+	TupleID = uncertain.TupleID
+	// Tuple is one uncertain record: a point plus the probability that
+	// the record truly exists.
+	Tuple = uncertain.Tuple
+	// DB is an uncertain database (one site's partition, or a union).
+	DB = uncertain.DB
+	// SkylineMember is one answer entry: a tuple and its exact global
+	// skyline probability.
+	SkylineMember = uncertain.SkylineMember
+)
+
+// Query configuration and results.
+type (
+	// Algorithm selects Baseline, DSUD or EDSUD.
+	Algorithm = core.Algorithm
+	// Options configures a query: threshold, optional subspace, algorithm
+	// and the progressive-result callback.
+	Options = core.Options
+	// Result is one progressively delivered skyline tuple.
+	Result = core.Result
+	// Report summarises a completed query: the answer, bandwidth,
+	// iteration counters and the per-result progress trace.
+	Report = core.Report
+	// ProgressPoint is one step of the progressiveness trace.
+	ProgressPoint = core.ProgressPoint
+	// BandwidthSnapshot holds tuple/message/byte counters.
+	BandwidthSnapshot = transport.Snapshot
+	// Cluster is a handle to a set of sites (in-process or remote).
+	Cluster = core.Cluster
+	// Maintainer keeps a query answer current under inserts and deletes.
+	Maintainer = core.Maintainer
+)
+
+// Algorithms.
+const (
+	// Baseline ships every partition to the coordinator (§3.2 of the
+	// paper) — the correctness reference and cost ceiling.
+	Baseline = core.Baseline
+	// DSUD is the iterative representative-streaming protocol (§5.1).
+	DSUD = core.DSUD
+	// EDSUD adds the approximate-bound feedback mechanism (§5.2); it is
+	// the default and the recommended algorithm.
+	EDSUD = core.EDSUD
+	// SDSUD is the data-synopsis alternative the paper rejects,
+	// implemented so the claim is measurable (see EXPERIMENTS.md). Exact,
+	// but strictly more expensive than EDSUD in every measurement.
+	SDSUD = core.SDSUD
+)
+
+// NewLocalCluster runs one in-process site per partition. dims is the data
+// dimensionality. Partitions must have unique tuple IDs across all sites.
+func NewLocalCluster(parts []DB, dims int) (*Cluster, error) {
+	return core.NewLocalCluster(parts, dims, 0)
+}
+
+// NewRemoteCluster connects to TCP site daemons (see cmd/dsud-site).
+func NewRemoteCluster(addrs []string, dims int) (*Cluster, error) {
+	return core.NewRemoteCluster(addrs, dims)
+}
+
+// Query executes one distributed skyline query. It blocks until the answer
+// is complete; qualified tuples additionally stream through
+// opts.OnResult as they are found.
+func Query(ctx context.Context, cluster *Cluster, opts Options) (*Report, error) {
+	return core.Run(ctx, cluster, opts)
+}
+
+// QueryPartitions is a convenience one-shot: build an in-process cluster
+// over parts, run the query, and tear the cluster down.
+func QueryPartitions(ctx context.Context, parts []DB, dims int, opts Options) (*Report, error) {
+	cluster, err := NewLocalCluster(parts, dims)
+	if err != nil {
+		return nil, err
+	}
+	defer cluster.Close()
+	return Query(ctx, cluster, opts)
+}
+
+// NewMaintainer runs the initial query and returns a maintainer that keeps
+// the answer current while tuples are inserted and deleted (§5.4).
+func NewMaintainer(ctx context.Context, cluster *Cluster, opts Options) (*Maintainer, error) {
+	return core.NewMaintainer(ctx, cluster, opts)
+}
+
+// SkylineProbability computes the exact skyline probability of tuple t
+// against db (eq. 3 of the paper) — a convenience for small, centralised
+// checks and tests.
+func SkylineProbability(t Tuple, db DB, dims []int) float64 {
+	return db.SkyProb(t, dims)
+}
+
+// CentralSkyline computes the probabilistic skyline of a single database
+// by brute force — the centralised special case of the query.
+func CentralSkyline(db DB, threshold float64, dims []int) []SkylineMember {
+	return db.Skyline(threshold, dims)
+}
+
+// Workload generation (the paper's §7 evaluation data).
+type (
+	// WorkloadConfig parameterises synthetic data generation.
+	WorkloadConfig = gen.Config
+	// ValueDist selects the spatial distribution of attribute values.
+	ValueDist = gen.ValueDist
+	// ProbDist selects the existential-probability distribution.
+	ProbDist = gen.ProbDist
+)
+
+// Workload distributions.
+const (
+	// Independent draws every attribute uniformly at random.
+	Independent = gen.Independent
+	// Anticorrelated concentrates points near an anti-diagonal
+	// hyperplane, the hardest skyline regime.
+	Anticorrelated = gen.Anticorrelated
+	// Correlated hugs the main diagonal, the easiest regime.
+	Correlated = gen.Correlated
+	// NYSE synthesises a stock-trade stream (price, volume-complement).
+	NYSE = gen.NYSE
+	// UniformProb draws existential probabilities uniformly on (0,1].
+	UniformProb = gen.UniformProb
+	// GaussianProb draws probabilities from a clamped Gaussian.
+	GaussianProb = gen.GaussianProb
+)
+
+// GenerateWorkload materialises a synthetic uncertain database.
+func GenerateWorkload(cfg WorkloadConfig) (DB, error) {
+	return gen.Generate(cfg)
+}
+
+// PartitionWorkload splits db uniformly over m sites with equal local
+// cardinality (±1), deterministically for a given seed.
+func PartitionWorkload(db DB, m int, seed int64) ([]DB, error) {
+	return gen.Partition(db, m, seed)
+}
+
+// Vertical partitioning (the paper's §8 future work, implemented here as
+// the VDSUD algorithm — see internal/vertical for the design).
+type (
+	// VerticalSite holds one attribute list of a vertically partitioned
+	// relation, sorted ascending by value.
+	VerticalSite = vertical.ListSite
+	// VerticalStats is the entry-level access accounting of one vertical
+	// query.
+	VerticalStats = vertical.Stats
+)
+
+// SplitVertical projects db into one attribute-list site per dimension.
+func SplitVertical(db DB) ([]*VerticalSite, error) {
+	return vertical.Split(db)
+}
+
+// QueryVertical runs the probabilistic skyline query over a vertically
+// partitioned relation with a Threshold-Algorithm-style bounded scan,
+// returning the exact answer and the access statistics.
+func QueryVertical(sites []*VerticalSite, threshold float64) ([]SkylineMember, VerticalStats, error) {
+	return vertical.Query(sites, threshold)
+}
+
+// Continuous queries over uncertain streams (the §2.2 streaming setting).
+
+// SlidingWindow maintains the probabilistic skyline over the most recent
+// W tuples of an uncertain stream with a minimal candidate set.
+type SlidingWindow = stream.Window
+
+// NewSlidingWindow builds a continuous skyline operator over a window of
+// the given capacity with threshold q and optional subspace dims.
+func NewSlidingWindow(capacity int, threshold float64, dims []int) (*SlidingWindow, error) {
+	return stream.New(capacity, threshold, dims)
+}
+
+// NewRemoteClusterRetry connects to TCP site daemons with fault tolerance:
+// broken connections are redialled and in-flight requests are retried with
+// exactly-once execution at the sites (sequence-number dedup). attempts is
+// the per-request retry budget.
+func NewRemoteClusterRetry(addrs []string, dims, attempts int) (*Cluster, error) {
+	return core.NewRemoteClusterRetry(addrs, dims, attempts)
+}
+
+// Protocol observability.
+type (
+	// Event is one traced protocol step (see Options.OnEvent).
+	Event = core.Event
+	// EventKind labels protocol steps.
+	EventKind = core.EventKind
+)
+
+// Protocol event kinds.
+const (
+	// EventToServer: a site shipped a representative to the coordinator.
+	EventToServer = core.EventToServer
+	// EventExpunge: e-DSUD dropped a queued tuple without broadcast.
+	EventExpunge = core.EventExpunge
+	// EventBroadcast: a feedback tuple went out to the other sites.
+	EventBroadcast = core.EventBroadcast
+	// EventPrune: sites discarded local skyline tuples.
+	EventPrune = core.EventPrune
+	// EventReport: a tuple qualified and joined the answer.
+	EventReport = core.EventReport
+	// EventReject: a broadcast tuple fell short of the threshold.
+	EventReject = core.EventReject
+)
+
+// PartitionWorkloadAngular splits db over m sites by angular sectors
+// (the paper's reference [21]); compared with the random split it trims
+// query bandwidth measurably (see EXPERIMENTS.md). Needs d >= 2.
+func PartitionWorkloadAngular(db DB, m int) ([]DB, error) {
+	return gen.PartitionAngular(db, m)
+}

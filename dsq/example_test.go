@@ -1,0 +1,97 @@
+package dsq_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"repro/dsq"
+)
+
+// The minimal end-to-end query: three sites, one uncertain tuple each.
+func ExampleQuery() {
+	parts := []dsq.DB{
+		{{ID: 1, Point: dsq.Point{6.0, 6.0}, Prob: 0.7}},
+		{{ID: 2, Point: dsq.Point{6.5, 7.0}, Prob: 0.8}},
+		{{ID: 3, Point: dsq.Point{6.4, 7.5}, Prob: 0.9}},
+	}
+	cluster, err := dsq.NewLocalCluster(parts, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	report, err := dsq.Query(context.Background(), cluster, dsq.Options{Threshold: 0.3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Only (6,6) reaches the 0.3 threshold: it dominates both other
+	// tuples, capping them at 0.8×0.3 = 0.24 and 0.9×0.3×0.2 = 0.054.
+	for _, m := range report.Skyline {
+		fmt.Printf("%s P=%.3f\n", m.Tuple.Point, m.Prob)
+	}
+	// Output:
+	// (6, 6) P=0.700
+}
+
+// Progressive delivery: results stream through the callback the moment
+// their exact global probability is confirmed.
+func ExampleOptions_onResult() {
+	parts := []dsq.DB{
+		{{ID: 1, Point: dsq.Point{1, 9}, Prob: 0.9}},
+		{{ID: 2, Point: dsq.Point{9, 1}, Prob: 0.8}},
+	}
+	report, err := dsq.QueryPartitions(context.Background(), parts, 2, dsq.Options{
+		Threshold: 0.5,
+		OnResult: func(r dsq.Result) {
+			fmt.Printf("found %s from site %d\n", r.Tuple.Point, r.Site)
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d tuples over the wire\n", report.Bandwidth.Tuples())
+	// Output:
+	// found (1, 9) from site 0
+	// found (9, 1) from site 1
+	// 4 tuples over the wire
+}
+
+// SkylineProbability evaluates the paper's eq. 3 directly.
+func ExampleSkylineProbability() {
+	db := dsq.DB{
+		{ID: 1, Point: dsq.Point{1, 1}, Prob: 0.5}, // dominates tuple 2
+		{ID: 2, Point: dsq.Point{2, 2}, Prob: 0.8},
+	}
+	fmt.Printf("%.2f\n", dsq.SkylineProbability(db[1], db, nil))
+	// Output:
+	// 0.40
+}
+
+// A sliding window keeps the answer current as the stream moves.
+func ExampleNewSlidingWindow() {
+	w, err := dsq.NewSlidingWindow(2, 0.3, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// A strong tuple, then a dominated one, then the window slides.
+	for _, tu := range []dsq.Tuple{
+		{ID: 1, Point: dsq.Point{1, 1}, Prob: 0.9},
+		{ID: 2, Point: dsq.Point{5, 5}, Prob: 0.8},
+		{ID: 3, Point: dsq.Point{9, 9}, Prob: 0.7},
+	} {
+		if _, err := w.Append(tu); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// Tuple 1 has slid out; tuple 3 is suppressed by tuple 2 (its current
+	// probability 0.7 × 0.2 = 0.14 is below the 0.3 threshold), but it
+	// stays a candidate in case tuple 2 expires first.
+	for _, m := range w.Skyline() {
+		fmt.Printf("%s P=%.2f\n", m.Tuple.Point, m.Prob)
+	}
+	fmt.Println("candidates:", w.Candidates())
+	// Output:
+	// (5, 5) P=0.80
+	// candidates: 2
+}

@@ -1,0 +1,65 @@
+// Quickstart: the smallest end-to-end use of the dsq API.
+//
+// Three sites each hold a handful of uncertain 2-d tuples (price,
+// distance; lower is better, each record exists with some probability).
+// We ask for every tuple whose global skyline probability is at least 0.3
+// and print the answer as it streams in.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"repro/dsq"
+)
+
+func main() {
+	// One partition per site. IDs must be unique across all sites.
+	parts := []dsq.DB{
+		{
+			{ID: 1, Point: dsq.Point{6.0, 6.0}, Prob: 0.7},
+			{ID: 2, Point: dsq.Point{8.0, 4.0}, Prob: 0.8},
+			{ID: 3, Point: dsq.Point{3.0, 8.0}, Prob: 0.8},
+		},
+		{
+			{ID: 4, Point: dsq.Point{6.5, 7.0}, Prob: 0.8},
+			{ID: 5, Point: dsq.Point{4.0, 9.0}, Prob: 0.6},
+			{ID: 6, Point: dsq.Point{9.0, 5.0}, Prob: 0.7},
+		},
+		{
+			{ID: 7, Point: dsq.Point{6.4, 7.5}, Prob: 0.9},
+			{ID: 8, Point: dsq.Point{3.5, 11.0}, Prob: 0.7},
+			{ID: 9, Point: dsq.Point{10.0, 4.5}, Prob: 0.7},
+		},
+	}
+
+	cluster, err := dsq.NewLocalCluster(parts, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	fmt.Println("progressive results:")
+	report, err := dsq.Query(context.Background(), cluster, dsq.Options{
+		Threshold: 0.3,
+		OnResult: func(res dsq.Result) {
+			fmt.Printf("  found %s with P(skyline) = %.3f (site %d)\n",
+				res.Tuple.Point, res.GlobalProb, res.Site)
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nfinal answer (%d tuples):\n", len(report.Skyline))
+	for _, m := range report.Skyline {
+		fmt.Printf("  %s  P=%.3f\n", m.Tuple.Point, m.Prob)
+	}
+	fmt.Printf("\ncost: %d tuples over the network in %d messages (baseline would ship all %d)\n",
+		report.Bandwidth.Tuples(), report.Bandwidth.Messages, 9)
+}

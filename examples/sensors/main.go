@@ -1,0 +1,73 @@
+// Sensors: a continuous probabilistic skyline over a sliding window —
+// the streaming companion to the distributed engine, matching the
+// paper's sensor-network motivation (§1) and the §2.2 streaming setting.
+//
+// An environmental monitor receives readings (pollutant level, power
+// draw) from wireless sensors; transmission glitches give each reading a
+// confidence probability, and only the most recent 5,000 readings are
+// relevant. The operator keeps the threshold skyline current after every
+// arrival with a minimal candidate set.
+//
+// Run with:
+//
+//	go run ./examples/sensors
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/dsq"
+)
+
+func main() {
+	const (
+		windowSize = 5_000
+		streamLen  = 50_000
+		threshold  = 0.3
+	)
+
+	window, err := dsq.NewSlidingWindow(windowSize, threshold, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	r := rand.New(rand.NewSource(99))
+	var answerSizes []int
+	for step := 1; step <= streamLen; step++ {
+		// Readings drift through the day: pollution climbs, power falls.
+		phase := float64(step) / streamLen
+		reading := dsq.Tuple{
+			ID: dsq.TupleID(step),
+			Point: dsq.Point{
+				0.2 + 0.6*phase + 0.2*r.Float64(), // pollutant
+				0.9 - 0.7*phase + 0.1*r.Float64(), // power draw
+			},
+			Prob: 0.4 + 0.6*r.Float64(), // link quality
+		}
+		if _, err := window.Append(reading); err != nil {
+			log.Fatal(err)
+		}
+		if step%10_000 == 0 {
+			sky := window.Skyline()
+			answerSizes = append(answerSizes, len(sky))
+			fmt.Printf("after %6d readings: %2d skyline sensors, %4d candidates tracked (of %d live), %6d permanently dropped\n",
+				step, len(sky), window.Candidates(), window.Len(), window.Drops())
+		}
+	}
+
+	final := window.Skyline()
+	fmt.Printf("\ncurrent best readings:\n")
+	for i, m := range final {
+		if i == 5 {
+			fmt.Printf("  ... and %d more\n", len(final)-5)
+			break
+		}
+		fmt.Printf("  reading %-6d pollutant %.3f  power %.3f  P = %.3f\n",
+			m.Tuple.ID, m.Tuple.Point[0], m.Tuple.Point[1], m.Prob)
+	}
+	fmt.Printf("\nthe candidate set stayed at ~%d entries for a %d-tuple window — the\n",
+		window.Candidates(), windowSize)
+	fmt.Println("state a naive recompute-per-arrival operator would scan on every tick.")
+}

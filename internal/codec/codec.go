@@ -1,0 +1,191 @@
+// Package codec provides a compact, versioned binary encoding for
+// uncertain databases — the storage format for large partition files
+// where gob's self-describing overhead (type metadata, field names,
+// per-value tags) costs real space and time. The layout is:
+//
+//	magic "DSQB" | version u8 | dims uvarint | count uvarint
+//	count × ( id uvarint-delta | dims × float64 | prob float64 )
+//	crc32(payload) u32
+//
+// IDs are delta-encoded in ascending order when possible (the generators
+// emit sequential IDs, so deltas are almost always 1 byte); out-of-order
+// IDs fall back to absolute encoding with a flag. A CRC-32 trailer
+// detects truncation and corruption.
+package codec
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/uncertain"
+)
+
+var magic = [4]byte{'D', 'S', 'Q', 'B'}
+
+const version = 1
+
+// ErrCorrupt reports a failed checksum or malformed structure.
+var ErrCorrupt = errors.New("codec: corrupt stream")
+
+// EncodeDB writes db (dimensionality dims) to w in the binary format.
+func EncodeDB(w io.Writer, dims int, db uncertain.DB) error {
+	if err := db.Validate(dims); err != nil {
+		return fmt.Errorf("codec: %w", err)
+	}
+	crc := crc32.NewIEEE()
+	bw := bufio.NewWriter(io.MultiWriter(w, crc))
+
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(version); err != nil {
+		return err
+	}
+	var scratch [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) error {
+		n := binary.PutUvarint(scratch[:], v)
+		_, err := bw.Write(scratch[:n])
+		return err
+	}
+	if err := writeUvarint(uint64(dims)); err != nil {
+		return err
+	}
+	if err := writeUvarint(uint64(len(db))); err != nil {
+		return err
+	}
+
+	var prev uint64
+	var buf [8]byte
+	for _, tu := range db {
+		id := uint64(tu.ID)
+		// Flagged delta: even = delta from previous (ascending), odd =
+		// absolute. Sequential IDs encode as the single byte 2.
+		if id > prev {
+			if err := writeUvarint((id - prev) << 1); err != nil {
+				return err
+			}
+		} else {
+			if err := writeUvarint(id<<1 | 1); err != nil {
+				return err
+			}
+		}
+		prev = id
+		for _, v := range tu.Point {
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+			if _, err := bw.Write(buf[:]); err != nil {
+				return err
+			}
+		}
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(tu.Prob))
+		if _, err := bw.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	// Trailer: CRC of everything written so far, outside the checksummed
+	// region itself.
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], crc.Sum32())
+	_, err := w.Write(tail[:])
+	return err
+}
+
+// DecodeDB reads a database written by EncodeDB, verifying the checksum.
+// The stream is buffered fully in memory first (partitions are in-memory
+// objects anyway), which keeps checksum verification exact and simple.
+func DecodeDB(r io.Reader) (uncertain.DB, int, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, 0, fmt.Errorf("codec: read: %w", err)
+	}
+	if len(raw) < 4 {
+		return nil, 0, fmt.Errorf("%w: truncated", ErrCorrupt)
+	}
+	payload, tail := raw[:len(raw)-4], raw[len(raw)-4:]
+	if binary.LittleEndian.Uint32(tail) != crc32.ChecksumIEEE(payload) {
+		return nil, 0, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	br := bytes.NewReader(payload)
+
+	var head [5]byte
+	if _, err := io.ReadFull(br, head[:]); err != nil {
+		return nil, 0, fmt.Errorf("codec: header: %w", err)
+	}
+	if [4]byte(head[:4]) != magic {
+		return nil, 0, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if head[4] != version {
+		return nil, 0, fmt.Errorf("codec: unsupported version %d", head[4])
+	}
+	dims64, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, 0, fmt.Errorf("codec: dims: %w", err)
+	}
+	count64, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, 0, fmt.Errorf("codec: count: %w", err)
+	}
+	dims := int(dims64)
+	count := int(count64)
+	if dims < 0 || dims > 1<<10 || count < 0 || count > 1<<31 {
+		return nil, 0, fmt.Errorf("%w: implausible header (dims=%d count=%d)", ErrCorrupt, dims, count)
+	}
+
+	// Cap the preallocation: a hostile (but correctly checksummed) header
+	// must not force a giant allocation before the body proves its length.
+	prealloc := count
+	if prealloc > 1<<16 {
+		prealloc = 1 << 16
+	}
+	db := make(uncertain.DB, 0, prealloc)
+	var prev uint64
+	var buf [8]byte
+	readFloat := func() (float64, error) {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return 0, err
+		}
+		return math.Float64frombits(binary.LittleEndian.Uint64(buf[:])), nil
+	}
+	for i := 0; i < count; i++ {
+		flagged, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, 0, fmt.Errorf("%w: tuple %d id: %v", ErrCorrupt, i, err)
+		}
+		var id uint64
+		if flagged&1 == 0 {
+			id = prev + flagged>>1
+		} else {
+			id = flagged >> 1
+		}
+		prev = id
+		point := make(geom.Point, dims)
+		for j := 0; j < dims; j++ {
+			v, err := readFloat()
+			if err != nil {
+				return nil, 0, fmt.Errorf("%w: tuple %d coord %d: %v", ErrCorrupt, i, j, err)
+			}
+			point[j] = v
+		}
+		prob, err := readFloat()
+		if err != nil {
+			return nil, 0, fmt.Errorf("%w: tuple %d prob: %v", ErrCorrupt, i, err)
+		}
+		db = append(db, uncertain.Tuple{ID: uncertain.TupleID(id), Point: point, Prob: prob})
+	}
+	if br.Len() != 0 {
+		return nil, 0, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, br.Len())
+	}
+	if err := db.Validate(dims); err != nil {
+		return nil, 0, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return db, dims, nil
+}

@@ -1,0 +1,200 @@
+package codec
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/geom"
+	"repro/internal/uncertain"
+)
+
+func randomDB(r *rand.Rand, n, d int) uncertain.DB {
+	db := make(uncertain.DB, n)
+	for i := range db {
+		p := make(geom.Point, d)
+		for j := range p {
+			p[j] = r.Float64()
+		}
+		db[i] = uncertain.Tuple{ID: uncertain.TupleID(i + 1), Point: p, Prob: 0.05 + 0.95*r.Float64()}
+	}
+	return db
+}
+
+func TestRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(201))
+	for trial := 0; trial < 20; trial++ {
+		d := 1 + r.Intn(5)
+		db := randomDB(r, r.Intn(500), d)
+		var buf bytes.Buffer
+		if err := EncodeDB(&buf, d, db); err != nil {
+			t.Fatal(err)
+		}
+		got, dims, err := DecodeDB(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dims != d || len(got) != len(db) {
+			t.Fatalf("trial %d: dims=%d len=%d, want %d/%d", trial, dims, len(got), d, len(db))
+		}
+		for i := range db {
+			if got[i].ID != db[i].ID || !got[i].Point.Equal(db[i].Point) || got[i].Prob != db[i].Prob {
+				t.Fatalf("trial %d tuple %d mangled: %v vs %v", trial, i, got[i], db[i])
+			}
+		}
+	}
+}
+
+func TestNonSequentialIDs(t *testing.T) {
+	db := uncertain.DB{
+		{ID: 100, Point: geom.Point{1}, Prob: 0.5},
+		{ID: 7, Point: geom.Point{2}, Prob: 0.5}, // descending: absolute fallback
+		{ID: 8, Point: geom.Point{3}, Prob: 0.5},
+		{ID: 1 << 62, Point: geom.Point{4}, Prob: 0.5},
+	}
+	var buf bytes.Buffer
+	if err := EncodeDB(&buf, 1, db); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := DecodeDB(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range db {
+		if got[i].ID != db[i].ID {
+			t.Fatalf("tuple %d ID %d, want %d", i, got[i].ID, db[i].ID)
+		}
+	}
+}
+
+func TestEmptyDB(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeDB(&buf, 3, uncertain.DB{}); err != nil {
+		t.Fatal(err)
+	}
+	got, dims, err := DecodeDB(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 || dims != 3 {
+		t.Fatalf("got %d tuples, dims %d", len(got), dims)
+	}
+}
+
+func TestEncodeRejectsInvalid(t *testing.T) {
+	bad := uncertain.DB{{ID: 1, Point: geom.Point{1}, Prob: 7}}
+	if err := EncodeDB(&bytes.Buffer{}, 1, bad); err == nil {
+		t.Fatal("invalid db must be rejected")
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	db := randomDB(rand.New(rand.NewSource(202)), 50, 2)
+	var buf bytes.Buffer
+	if err := EncodeDB(&buf, 2, db); err != nil {
+		t.Fatal(err)
+	}
+	clean := buf.Bytes()
+
+	// Truncation at every prefix must fail, never panic.
+	for cut := 0; cut < len(clean); cut += 7 {
+		if _, _, err := DecodeDB(bytes.NewReader(clean[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	// Flip one byte everywhere: either corrupt error or (for the header
+	// version byte) an unsupported-version error.
+	for pos := 0; pos < len(clean); pos += 11 {
+		bad := append([]byte(nil), clean...)
+		bad[pos] ^= 0x5A
+		if _, _, err := DecodeDB(bytes.NewReader(bad)); err == nil {
+			t.Fatalf("bit flip at %d accepted", pos)
+		}
+	}
+	// And the clean stream still decodes.
+	if _, _, err := DecodeDB(bytes.NewReader(clean)); err != nil {
+		t.Fatalf("clean stream rejected: %v", err)
+	}
+}
+
+func TestErrCorruptClassification(t *testing.T) {
+	if _, _, err := DecodeDB(bytes.NewReader([]byte("xx"))); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+// The point of the format: meaningfully smaller and faster than gob.
+func TestSmallerThanGob(t *testing.T) {
+	db, err := gen.Generate(gen.Config{
+		N: 10_000, Dims: 3, Values: gen.Independent, Probs: gen.UniformProb, Seed: 203,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bin bytes.Buffer
+	if err := EncodeDB(&bin, 3, db); err != nil {
+		t.Fatal(err)
+	}
+	var g bytes.Buffer
+	if err := gob.NewEncoder(&g).Encode(db); err != nil {
+		t.Fatal(err)
+	}
+	if bin.Len() >= g.Len() {
+		t.Errorf("binary %d bytes, gob %d — expected a size win", bin.Len(), g.Len())
+	}
+	t.Logf("10k tuples: binary %d bytes vs gob %d bytes (%.1f%%)",
+		bin.Len(), g.Len(), 100*float64(bin.Len())/float64(g.Len()))
+}
+
+func BenchmarkCodec(b *testing.B) {
+	db, err := gen.Generate(gen.Config{
+		N: 100_000, Dims: 3, Values: gen.Independent, Probs: gen.UniformProb, Seed: 204,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("binary-encode", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var buf bytes.Buffer
+			if err := EncodeDB(&buf, 3, db); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(buf.Len()), "bytes")
+		}
+	})
+	b.Run("gob-encode", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var buf bytes.Buffer
+			if err := gob.NewEncoder(&buf).Encode(db); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(buf.Len()), "bytes")
+		}
+	})
+	var bin bytes.Buffer
+	if err := EncodeDB(&bin, 3, db); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("binary-decode", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := DecodeDB(bytes.NewReader(bin.Bytes())); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	var g bytes.Buffer
+	if err := gob.NewEncoder(&g).Encode(db); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("gob-decode", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var out uncertain.DB
+			if err := gob.NewDecoder(bytes.NewReader(g.Bytes())).Decode(&out); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,44 @@
+package codec
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/uncertain"
+)
+
+// FuzzDecodeDB feeds arbitrary bytes to the decoder: it must never panic
+// or allocate absurdly, only return data or an error. Valid round-trips
+// are seeded so the fuzzer explores the real format too.
+func FuzzDecodeDB(f *testing.F) {
+	var seed bytes.Buffer
+	db := uncertain.DB{
+		{ID: 1, Point: geom.Point{1, 2}, Prob: 0.5},
+		{ID: 2, Point: geom.Point{3, 4}, Prob: 0.9},
+	}
+	if err := EncodeDB(&seed, 2, db); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte("DSQB"))
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		got, dims, err := DecodeDB(bytes.NewReader(raw))
+		if err != nil {
+			return
+		}
+		// Anything accepted must round-trip to identical bytes' content.
+		var buf bytes.Buffer
+		if err := EncodeDB(&buf, dims, got); err != nil {
+			t.Fatalf("accepted data failed to re-encode: %v", err)
+		}
+		again, dims2, err := DecodeDB(bytes.NewReader(buf.Bytes()))
+		if err != nil || dims2 != dims || len(again) != len(got) {
+			t.Fatalf("re-decode mismatch: %v dims %d/%d len %d/%d",
+				err, dims, dims2, len(got), len(again))
+		}
+	})
+}

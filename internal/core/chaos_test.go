@@ -1,0 +1,179 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/site"
+	"repro/internal/transport"
+	"repro/internal/uncertain"
+)
+
+// chaosClient forwards calls to a site engine but, with probability p,
+// pretends the connection died *after* the engine processed the request —
+// the lost-response failure that corrupts non-idempotent protocols unless
+// sequence-number dedup works.
+type chaosClient struct {
+	eng  *site.Engine
+	r    *rand.Rand
+	mu   sync.Mutex
+	p    float64
+	dead bool
+}
+
+var errChaos = errors.New("chaos: connection dropped")
+
+func (c *chaosClient) Call(ctx context.Context, req *transport.Request) (*transport.Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dead {
+		return nil, errChaos
+	}
+	resp, err := c.eng.Handle(ctx, req)
+	if c.r.Float64() < c.p {
+		c.dead = true
+		return nil, errChaos
+	}
+	return resp, err
+}
+
+func (c *chaosClient) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.dead = true
+	return nil
+}
+
+// TestQuerySurvivesLostResponses runs the full protocol while every
+// site's connection drops ~10% of responses after execution. With Retry +
+// sequence dedup the answer must still be exactly the oracle's.
+func TestQuerySurvivesLostResponses(t *testing.T) {
+	for trial := 0; trial < 5; trial++ {
+		parts, union := makeWorkload(t, 400, 3, 5, gen.Anticorrelated, int64(130+trial))
+		engines := make([]*site.Engine, len(parts))
+		for i, part := range parts {
+			engines[i] = site.New(i, part, 3, 0)
+		}
+		clients := make([]transport.Client, len(parts))
+		for i := range clients {
+			eng := engines[i]
+			r := rand.New(rand.NewSource(int64(trial*100 + i)))
+			dial := func() (transport.Client, error) {
+				return &chaosClient{eng: eng, r: r, p: 0.1}, nil
+			}
+			clients[i] = transport.Retry(dial, 50)
+		}
+		cluster, err := NewClusterFromClients(clients, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, algo := range []Algorithm{DSUD, EDSUD} {
+			rep, err := Run(context.Background(), cluster, Options{Threshold: 0.3, Algorithm: algo})
+			if err != nil {
+				t.Fatalf("trial %d %v: %v", trial, algo, err)
+			}
+			want := union.Skyline(0.3, nil)
+			if !uncertain.MembersEqual(rep.Skyline, want, 1e-9) {
+				t.Fatalf("trial %d %v: chaos corrupted the answer (%d vs %d)",
+					trial, algo, len(rep.Skyline), len(want))
+			}
+		}
+		cluster.Close()
+	}
+}
+
+// Without dedup (no Retry wrapper assigning sequence numbers), a replayed
+// Next would double-pop — this guard test documents why Seq exists: the
+// engine must replay, not re-execute, an identical sequence number.
+func TestSequenceDedupAtEngine(t *testing.T) {
+	parts, _ := makeWorkload(t, 100, 2, 1, gen.Independent, 140)
+	eng := site.New(0, parts[0], 2, 0)
+	ctx := context.Background()
+	if _, err := eng.Handle(ctx, &transport.Request{
+		Seq: 1, Kind: transport.KindInit,
+		Query: transport.Query{Threshold: 0.1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	first, err := eng.Handle(ctx, &transport.Request{Seq: 2, Kind: transport.KindNext})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay, err := eng.Handle(ctx, &transport.Request{Seq: 2, Kind: transport.KindNext})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replay.Rep.Tuple.ID != first.Rep.Tuple.ID {
+		t.Fatalf("replayed Seq returned a different tuple: %v vs %v", replay.Rep, first.Rep)
+	}
+	fresh, err := eng.Handle(ctx, &transport.Request{Seq: 3, Kind: transport.KindNext})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Rep.Tuple.ID == first.Rep.Tuple.ID {
+		t.Fatal("a fresh sequence number must advance the stream")
+	}
+	if _, err := eng.Handle(ctx, &transport.Request{Seq: 1, Kind: transport.KindNext}); err == nil {
+		t.Fatal("stale sequence numbers must be rejected")
+	}
+}
+
+// Two independent retrying coordinators must be able to share one site:
+// their sequence spaces are client-scoped, so neither sees the other's
+// numbers as stale.
+func TestTwoCoordinatorsShareSites(t *testing.T) {
+	parts, union := makeWorkload(t, 300, 2, 3, gen.Independent, 141)
+	engines := make([]*site.Engine, len(parts))
+	for i, part := range parts {
+		engines[i] = site.New(i, part, 2, 0)
+	}
+	mkCluster := func() *Cluster {
+		clients := make([]transport.Client, len(engines))
+		for i := range clients {
+			eng := engines[i]
+			clients[i] = transport.Retry(func() (transport.Client, error) {
+				return transport.Local(eng), nil
+			}, 3)
+		}
+		cluster, err := NewClusterFromClients(clients, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cluster
+	}
+	a, b := mkCluster(), mkCluster()
+	defer a.Close()
+	defer b.Close()
+	want := union.Skyline(0.3, nil)
+
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cl := a
+			if i%2 == 1 {
+				cl = b
+			}
+			rep, err := Run(context.Background(), cl, Options{Threshold: 0.3})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if !uncertain.MembersEqual(rep.Skyline, want, 1e-9) {
+				errs[i] = errChaos
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("coordinator run %d: %v", i, err)
+		}
+	}
+}

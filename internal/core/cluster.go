@@ -1,0 +1,226 @@
+package core
+
+import (
+	"context"
+	cryptorand "crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/site"
+	"repro/internal/transport"
+	"repro/internal/uncertain"
+)
+
+// Cluster is the coordinator's view of the distributed system: one metered
+// client per site plus the shared bandwidth meter. Queries may run
+// concurrently against one Cluster: each Run gets its own site sessions
+// and its own bandwidth meter (the Cluster meter keeps the combined
+// totals).
+type Cluster struct {
+	clients []transport.Client
+	meter   *transport.Meter
+	dims    int
+	// sessionBase is a random 64-bit nonce so session IDs from different
+	// coordinator processes sharing the same site daemons never collide;
+	// sessions counts queries within this cluster.
+	sessionBase uint64
+	sessions    atomic.Uint64
+}
+
+// view is one query's (or one maintainer's) handle on the cluster: the
+// same connections, wrapped with a private meter so per-query bandwidth
+// stays exact even when queries overlap.
+type view struct {
+	clients []transport.Client
+	meter   *transport.Meter
+	dims    int
+}
+
+// newView stacks a fresh meter over the shared clients.
+func (c *Cluster) newView() *view {
+	qm := &transport.Meter{}
+	clients := make([]transport.Client, len(c.clients))
+	for i, cl := range c.clients {
+		clients[i] = transport.Metered(cl, qm)
+	}
+	return &view{clients: clients, meter: qm, dims: c.dims}
+}
+
+// nextSession allocates a globally unique session ID (never zero): a
+// random per-cluster base plus a local counter.
+func (c *Cluster) nextSession() uint64 {
+	id := c.sessionBase + c.sessions.Add(1)
+	if id == 0 {
+		id = c.sessions.Add(1)
+	}
+	return id
+}
+
+// newSessionBase draws the random nonce behind nextSession.
+func newSessionBase() uint64 {
+	var buf [8]byte
+	if _, err := cryptorand.Read(buf[:]); err != nil {
+		return 0 // degraded: single-coordinator deployments still work
+	}
+	return binary.LittleEndian.Uint64(buf[:])
+}
+
+// NewLocalCluster builds an in-process cluster: one site.Engine per
+// partition served over the local transport. dims is the data
+// dimensionality; capacity tunes the PR-tree fan-out (<4 = default).
+func NewLocalCluster(parts []uncertain.DB, dims, capacity int) (*Cluster, error) {
+	return NewLocalClusterLatency(parts, dims, capacity, 0)
+}
+
+// NewLocalClusterLatency is NewLocalCluster with a simulated per-message
+// network round-trip latency, for studying progressiveness in the time
+// domain on one machine.
+func NewLocalClusterLatency(parts []uncertain.DB, dims, capacity int, latency time.Duration) (*Cluster, error) {
+	if len(parts) == 0 {
+		return nil, ErrNoSites
+	}
+	meter := &transport.Meter{}
+	clients := make([]transport.Client, len(parts))
+	for i, part := range parts {
+		if err := part.Validate(dims); err != nil {
+			return nil, fmt.Errorf("core: partition %d: %w", i, err)
+		}
+		eng := site.New(i, part, dims, capacity)
+		clients[i] = transport.Metered(transport.Delayed(transport.Local(eng), latency), meter)
+	}
+	return &Cluster{clients: clients, meter: meter, dims: dims, sessionBase: newSessionBase()}, nil
+}
+
+// NewRemoteCluster connects to already-running TCP site daemons. dims must
+// match the dimensionality the daemons were loaded with.
+func NewRemoteCluster(addrs []string, dims int) (*Cluster, error) {
+	if len(addrs) == 0 {
+		return nil, ErrNoSites
+	}
+	meter := &transport.Meter{}
+	clients := make([]transport.Client, 0, len(addrs))
+	for _, addr := range addrs {
+		c, err := transport.Dial(addr, meter)
+		if err != nil {
+			for _, open := range clients {
+				open.Close()
+			}
+			return nil, err
+		}
+		clients = append(clients, transport.Metered(c, meter))
+	}
+	return &Cluster{clients: clients, meter: meter, dims: dims, sessionBase: newSessionBase()}, nil
+}
+
+// NewRemoteClusterRetry is NewRemoteCluster with fault tolerance: each
+// site connection redials and retries up to attempts times per request,
+// and requests carry sequence numbers so sites execute them exactly once
+// even when a connection dies after processing (lost response). Use it
+// when sites live across a real, unreliable network.
+func NewRemoteClusterRetry(addrs []string, dims, attempts int) (*Cluster, error) {
+	if len(addrs) == 0 {
+		return nil, ErrNoSites
+	}
+	meter := &transport.Meter{}
+	clients := make([]transport.Client, len(addrs))
+	for i, addr := range addrs {
+		addr := addr
+		clients[i] = transport.Metered(transport.Retry(func() (transport.Client, error) {
+			return transport.Dial(addr, meter)
+		}, attempts), meter)
+	}
+	return &Cluster{clients: clients, meter: meter, dims: dims, sessionBase: newSessionBase()}, nil
+}
+
+// NewClusterFromClients wires arbitrary pre-built clients (tests, custom
+// transports). The clients are metered against a fresh meter.
+func NewClusterFromClients(clients []transport.Client, dims int) (*Cluster, error) {
+	if len(clients) == 0 {
+		return nil, ErrNoSites
+	}
+	meter := &transport.Meter{}
+	metered := make([]transport.Client, len(clients))
+	for i, c := range clients {
+		metered[i] = transport.Metered(c, meter)
+	}
+	return &Cluster{clients: metered, meter: meter, dims: dims, sessionBase: newSessionBase()}, nil
+}
+
+// Sites returns the number of sites.
+func (c *Cluster) Sites() int { return len(c.clients) }
+
+// Dims returns the data dimensionality.
+func (c *Cluster) Dims() int { return c.dims }
+
+// Meter exposes the cluster's bandwidth meter.
+func (c *Cluster) Meter() *transport.Meter { return c.meter }
+
+// Close releases every site connection, returning the first error.
+func (c *Cluster) Close() error {
+	var first error
+	for _, client := range c.clients {
+		if err := client.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// call performs one request against site i.
+func (c *view) call(ctx context.Context, i int, req *transport.Request) (*transport.Response, error) {
+	resp, err := c.clients[i].Call(ctx, req)
+	if err != nil {
+		return nil, fmt.Errorf("core: site %d %v: %w", i, req.Kind, err)
+	}
+	return resp, nil
+}
+
+// broadcast sends req to every site except skip (skip < 0 sends to all) in
+// parallel and returns the responses indexed by site (nil at skip). The
+// first error cancels the rest.
+func (c *view) broadcast(ctx context.Context, skip int, req *transport.Request) ([]*transport.Response, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	resps := make([]*transport.Response, len(c.clients))
+	errs := make([]error, len(c.clients))
+	var wg sync.WaitGroup
+	for i := range c.clients {
+		if i == skip {
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := c.call(ctx, i, req)
+			if err != nil {
+				errs[i] = err
+				cancel()
+				return
+			}
+			resps[i] = resp
+		}(i)
+	}
+	wg.Wait()
+	var firstErr error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+		// Prefer a root-cause failure over cancellations it triggered.
+		if !errors.Is(err, context.Canceled) {
+			return nil, err
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return resps, nil
+}

@@ -1,0 +1,227 @@
+// Package core implements the paper's contribution: the coordinator-side
+// distributed skyline algorithms over uncertain data — the shipping
+// Baseline (§3.2), DSUD (§5.1) and e-DSUD (§5.2) — together with the
+// progressive result stream, the §5.4 update maintenance (incremental and
+// naive), and the cluster plumbing that binds site engines to transports.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/synopsis"
+	"repro/internal/transport"
+	"repro/internal/uncertain"
+)
+
+// Algorithm selects the query strategy.
+type Algorithm int
+
+// Supported algorithms.
+const (
+	// Baseline ships every partition to the coordinator and solves the
+	// query centrally — correct, maximally expensive (§3.2).
+	Baseline Algorithm = iota + 1
+	// DSUD streams per-site representatives in descending local skyline
+	// probability order and broadcasts each for exact evaluation (§5.1).
+	DSUD
+	// EDSUD adds the Corollary-2 feedback mechanism: approximate global
+	// bounds choose the most dominant feedback and expunge hopeless
+	// candidates without broadcasting them (§5.2).
+	EDSUD
+	// SDSUD is the data-synopsis alternative the paper's §5.2 discusses
+	// and rejects: every site ships a grid histogram up front, and the
+	// coordinator combines the histogram dominance bounds with the
+	// Corollary-2 bounds for selection and expunging. Exact like the
+	// others; exists to measure the paper's claim that synopses cost more
+	// than they save. Full-space queries only.
+	SDSUD
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case Baseline:
+		return "baseline"
+	case DSUD:
+		return "dsud"
+	case EDSUD:
+		return "e-dsud"
+	case SDSUD:
+		return "s-dsud"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Options configures one query execution.
+type Options struct {
+	// Threshold is the paper's q in (0,1]: report tuples whose global
+	// skyline probability is at least q.
+	Threshold float64
+	// Dims optionally restricts dominance to a subspace (nil = full
+	// space).
+	Dims []int
+	// Algorithm defaults to EDSUD when zero.
+	Algorithm Algorithm
+	// OnResult, when non-nil, is invoked synchronously as each qualified
+	// skyline tuple is discovered — the paper's progressiveness hook.
+	OnResult func(Result)
+	// OnEvent, when non-nil, receives every protocol step (to-server,
+	// expunge, broadcast, prune, report, reject) for tracing and
+	// debugging. Purely observational.
+	OnEvent func(Event)
+	// MaxResults, when positive, stops the query as soon as that many
+	// qualified tuples have been reported. The tuples delivered are the
+	// first confirmed (not necessarily the k most probable); combined
+	// with the progressive stream this gives cheap "give me some good
+	// answers now" semantics.
+	MaxResults int
+	// TopK, when positive, changes the query semantics to "the K tuples
+	// with the highest global skyline probability among those reaching
+	// Threshold". The coordinator raises its working threshold to the
+	// current K-th best confirmed probability, which expunges and
+	// terminates far earlier than the full enumeration; the answer is
+	// exact. DSUD-family algorithms only (the Baseline simply truncates
+	// its sorted answer).
+	TopK int
+
+	// Ablation switches. These exist to measure where e-DSUD's advantage
+	// comes from (see BenchmarkAblation); production callers should leave
+	// them zero.
+
+	// Policy overrides the feedback-selection rule (default: the
+	// algorithm's own rule — Corollary 2 bounds for e-DSUD, local
+	// probability for DSUD).
+	Policy FeedbackPolicy
+	// DisableExpunge keeps e-DSUD from dropping queued tuples whose
+	// Corollary-2 bound falls below q; every candidate is broadcast, as
+	// in plain DSUD.
+	DisableExpunge bool
+	// DisableSitePruning turns off the Observation-2 local pruning at the
+	// sites, so feedback tuples only contribute their eq. 9 factors.
+	DisableSitePruning bool
+	// SynopsisGrid is the histogram resolution per dimension for SDSUD
+	// (default 8). Ignored by the other algorithms.
+	SynopsisGrid int
+}
+
+// FeedbackPolicy selects which queued tuple the coordinator broadcasts
+// next. The choice never affects correctness — only bandwidth and
+// progressiveness.
+type FeedbackPolicy int
+
+// Feedback policies.
+const (
+	// PolicyAlgorithm uses the algorithm's own rule (the default).
+	PolicyAlgorithm FeedbackPolicy = iota
+	// PolicyMaxBound always picks the largest Corollary-2 bound (e-DSUD's
+	// rule, applied even under DSUD).
+	PolicyMaxBound
+	// PolicyMaxLocal always picks the largest local skyline probability
+	// (DSUD's rule, applied even under e-DSUD).
+	PolicyMaxLocal
+	// PolicyRoundRobin cycles through the sites regardless of bounds — a
+	// deliberately weak control for the ablation study.
+	PolicyRoundRobin
+)
+
+func (p FeedbackPolicy) String() string {
+	switch p {
+	case PolicyAlgorithm:
+		return "algorithm"
+	case PolicyMaxBound:
+		return "max-bound"
+	case PolicyMaxLocal:
+		return "max-local"
+	case PolicyRoundRobin:
+		return "round-robin"
+	default:
+		return fmt.Sprintf("FeedbackPolicy(%d)", int(p))
+	}
+}
+
+func (o Options) validate(dims int) error {
+	if !(o.Threshold > 0 && o.Threshold <= 1) {
+		return fmt.Errorf("core: threshold %v outside (0,1]", o.Threshold)
+	}
+	if !geom.ValidDims(o.Dims, dims) {
+		return fmt.Errorf("core: invalid subspace %v for dimensionality %d", o.Dims, dims)
+	}
+	switch o.Algorithm {
+	case 0, Baseline, DSUD, EDSUD:
+	case SDSUD:
+		if o.Dims != nil {
+			return errors.New("core: SDSUD supports full-space queries only (grid synopses have no subspace marginals)")
+		}
+		if o.SynopsisGrid < 0 || o.SynopsisGrid > synopsis.MaxGrid {
+			return fmt.Errorf("core: synopsis grid %d outside [0, %d]", o.SynopsisGrid, synopsis.MaxGrid)
+		}
+	default:
+		return fmt.Errorf("core: unknown algorithm %d", int(o.Algorithm))
+	}
+	switch o.Policy {
+	case PolicyAlgorithm, PolicyMaxBound, PolicyMaxLocal, PolicyRoundRobin:
+	default:
+		return fmt.Errorf("core: unknown feedback policy %d", int(o.Policy))
+	}
+	if o.MaxResults < 0 {
+		return fmt.Errorf("core: negative MaxResults %d", o.MaxResults)
+	}
+	if o.TopK < 0 {
+		return fmt.Errorf("core: negative TopK %d", o.TopK)
+	}
+	if o.TopK > 0 && o.MaxResults > 0 {
+		return errors.New("core: TopK and MaxResults are mutually exclusive")
+	}
+	return nil
+}
+
+// Result is one progressively reported skyline tuple.
+type Result struct {
+	Tuple uncertain.Tuple
+	// GlobalProb is the exact global skyline probability (eq. 4/5).
+	GlobalProb float64
+	// Site is the index of the tuple's home site.
+	Site int
+}
+
+// ProgressPoint records the cumulative cost at the moment one more skyline
+// tuple was reported — the raw series behind the paper's Fig. 12/13.
+type ProgressPoint struct {
+	// Reported is the number of skyline tuples delivered so far.
+	Reported int
+	// Tuples is the cumulative bandwidth (tuples transmitted).
+	Tuples int64
+	// Elapsed is the CPU/wall time since the query started.
+	Elapsed time.Duration
+}
+
+// Report summarises one completed query.
+type Report struct {
+	// Skyline holds the qualified tuples with their exact global skyline
+	// probabilities, sorted by descending probability.
+	Skyline []uncertain.SkylineMember
+	// Sites maps each skyline tuple ID to its home site index.
+	Sites map[uncertain.TupleID]int
+	// Bandwidth is the transport meter delta for this query.
+	Bandwidth transport.Snapshot
+	// Iterations counts coordinator loop iterations (feedback rounds).
+	Iterations int
+	// Broadcasts counts feedback tuples broadcast (each costs m−1 tuples).
+	Broadcasts int
+	// Expunged counts candidates e-DSUD discarded by the Corollary-2
+	// bound without broadcasting (always 0 for DSUD/Baseline).
+	Expunged int
+	// PrunedLocal sums local skyline tuples discarded by feedback pruning
+	// across all sites.
+	PrunedLocal int
+	// Elapsed is the total query duration.
+	Elapsed time.Duration
+	// Progress traces cumulative cost per reported tuple.
+	Progress []ProgressPoint
+}
+
+// ErrNoSites reports a query against an empty cluster.
+var ErrNoSites = errors.New("core: cluster has no sites")

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/montecarlo"
+	"repro/internal/uncertain"
+)
+
+// Cross-validate the distributed engine against the Monte Carlo world
+// sampler — a fully independent implementation of the possible-world
+// semantics — at a size where exhaustive enumeration is impossible.
+func TestDistributedAnswerMatchesMonteCarlo(t *testing.T) {
+	parts, union := makeWorkload(t, 300, 2, 4, gen.Independent, 161)
+	rep := runAlgo(t, parts, 2, Options{Threshold: 0.3, Algorithm: EDSUD})
+
+	const samples = 30_000
+	ests, err := montecarlo.SkyProbs(union, nil, samples, 162)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampled := make(map[uncertain.TupleID]float64, len(ests))
+	for _, e := range ests {
+		sampled[e.Tuple.ID] = e.Prob
+	}
+
+	// Every reported probability must sit within sampling noise of the
+	// Monte Carlo estimate.
+	for _, m := range rep.Skyline {
+		got, ok := sampled[m.Tuple.ID]
+		if !ok {
+			t.Fatalf("tuple %d missing from Monte Carlo estimates", m.Tuple.ID)
+		}
+		tol := 5*math.Sqrt(m.Prob*(1-m.Prob)/samples) + 0.005
+		if math.Abs(got-m.Prob) > tol {
+			t.Errorf("tuple %d: engine %v vs sampler %v (tol %v)", m.Tuple.ID, m.Prob, got, tol)
+		}
+	}
+
+	// Membership agreement away from the decision boundary.
+	members := make(map[uncertain.TupleID]bool, len(rep.Skyline))
+	for _, m := range rep.Skyline {
+		members[m.Tuple.ID] = true
+	}
+	margin := 5 * math.Sqrt(0.25/samples)
+	for _, e := range ests {
+		if math.Abs(e.Prob-0.3) < margin {
+			continue
+		}
+		if want := e.Prob >= 0.3; members[e.Tuple.ID] != want {
+			t.Errorf("tuple %d: engine membership %v, sampler suggests %v (p≈%v)",
+				e.Tuple.ID, members[e.Tuple.ID], want, e.Prob)
+		}
+	}
+}

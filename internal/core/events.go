@@ -1,0 +1,88 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/uncertain"
+)
+
+// EventKind labels one step of the DSUD/e-DSUD protocol.
+type EventKind int
+
+// Protocol events, in the vocabulary of the paper's §4 phase names.
+const (
+	// EventToServer: a site shipped a representative to the coordinator.
+	EventToServer EventKind = iota + 1
+	// EventExpunge: e-DSUD discarded a queued tuple whose Corollary-2
+	// bound fell below the threshold, without broadcasting it.
+	EventExpunge
+	// EventBroadcast: the coordinator broadcast a feedback tuple to the
+	// other sites (Server-Delivery phase).
+	EventBroadcast
+	// EventPrune: sites discarded local skyline tuples in response to a
+	// feedback broadcast (Local-Pruning phase); Count carries the total.
+	EventPrune
+	// EventReport: a tuple's exact global probability qualified and it
+	// joined SKY(H).
+	EventReport
+	// EventReject: a broadcast tuple's exact global probability fell
+	// short of the threshold.
+	EventReject
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventToServer:
+		return "to-server"
+	case EventExpunge:
+		return "expunge"
+	case EventBroadcast:
+		return "broadcast"
+	case EventPrune:
+		return "prune"
+	case EventReport:
+		return "report"
+	case EventReject:
+		return "reject"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one protocol step, delivered synchronously to Options.OnEvent.
+// Events exist for observability — logging, tracing, teaching — and have
+// no effect on the computation.
+type Event struct {
+	Kind EventKind
+	// Iteration is the coordinator loop iteration (1-based; 0 for the
+	// initial To-Server phase).
+	Iteration int
+	// Site is the home site of the tuple involved (-1 when not
+	// applicable).
+	Site int
+	// Tuple is the tuple involved, when the event concerns one.
+	Tuple uncertain.Tuple
+	// Prob is the probability attached to the event: the local skyline
+	// probability for to-server, the Corollary-2 bound for expunge, and
+	// the exact global probability for report/reject.
+	Prob float64
+	// Count carries the pruned-tuple total for EventPrune.
+	Count int
+}
+
+// String renders the event as one trace line.
+func (e Event) String() string {
+	switch e.Kind {
+	case EventPrune:
+		return fmt.Sprintf("[%03d] prune: %d local skyline tuples dropped", e.Iteration, e.Count)
+	default:
+		return fmt.Sprintf("[%03d] %s site=%d %s p=%.4g", e.Iteration, e.Kind, e.Site, e.Tuple, e.Prob)
+	}
+}
+
+// emit delivers an event if a listener is attached.
+func (o *Options) emit(e Event) {
+	if o.OnEvent != nil {
+		o.OnEvent(e)
+	}
+}

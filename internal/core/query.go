@@ -1,0 +1,408 @@
+package core
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/prtree"
+	"repro/internal/synopsis"
+	"repro/internal/transport"
+	"repro/internal/uncertain"
+)
+
+// Run executes one distributed skyline query against the cluster and
+// returns the full report. Qualified tuples are additionally delivered
+// through opts.OnResult as they are discovered (progressiveness).
+func Run(ctx context.Context, c *Cluster, opts Options) (*Report, error) {
+	if c.Sites() == 0 {
+		return nil, ErrNoSites
+	}
+	if err := opts.validate(c.dims); err != nil {
+		return nil, err
+	}
+	if opts.Algorithm == 0 {
+		opts.Algorithm = EDSUD
+	}
+	start := time.Now()
+	v := c.newView()
+	bytesBefore := c.meter.Snapshot().Bytes
+
+	var (
+		rep *Report
+		err error
+	)
+	switch opts.Algorithm {
+	case Baseline:
+		rep, err = runBaseline(ctx, v, opts, start)
+	case DSUD:
+		rep, err = runDSUD(ctx, v, opts, false, start, c.nextSession())
+	default: // EDSUD, SDSUD
+		rep, err = runDSUD(ctx, v, opts, true, start, c.nextSession())
+	}
+	if err != nil {
+		return nil, err
+	}
+	uncertain.SortMembers(rep.Skyline)
+	if opts.TopK > 0 && len(rep.Skyline) > opts.TopK {
+		rep.Skyline = rep.Skyline[:opts.TopK]
+	}
+	rep.Bandwidth = v.meter.Snapshot()
+	// Tuple and message counts above are exactly this query's. Wire bytes
+	// are observed at the TCP layer against the whole cluster, so the
+	// delta is exact for sequential queries and an upper bound when
+	// queries overlap.
+	rep.Bandwidth.Bytes = c.meter.Snapshot().Bytes - bytesBefore
+	rep.Elapsed = time.Since(start)
+	return rep, nil
+}
+
+// runBaseline ships every partition to the coordinator and solves eq. 5
+// centrally over a bulk-loaded PR-tree.
+func runBaseline(ctx context.Context, c *view, opts Options, start time.Time) (*Report, error) {
+	resps, err := c.broadcast(ctx, -1, &transport.Request{Kind: transport.KindShipAll})
+	if err != nil {
+		return nil, err
+	}
+	var union uncertain.DB
+	sites := make(map[uncertain.TupleID]int)
+	for i, resp := range resps {
+		for _, rep := range resp.Tuples {
+			union = append(union, rep.Tuple)
+			sites[rep.Tuple.ID] = i
+		}
+	}
+	index := prtree.Bulk(union, c.dims, 0)
+	rep := &Report{Sites: make(map[uncertain.TupleID]int)}
+	index.LocalSkylineFunc(opts.Threshold, opts.Dims, func(m uncertain.SkylineMember) bool {
+		rep.Skyline = append(rep.Skyline, m)
+		rep.Sites[m.Tuple.ID] = sites[m.Tuple.ID]
+		rep.Progress = append(rep.Progress, ProgressPoint{
+			Reported: len(rep.Skyline),
+			Tuples:   c.meter.Snapshot().Tuples(),
+			Elapsed:  time.Since(start),
+		})
+		if opts.OnResult != nil {
+			opts.OnResult(Result{Tuple: m.Tuple, GlobalProb: m.Prob, Site: sites[m.Tuple.ID]})
+		}
+		if opts.MaxResults > 0 && len(rep.Skyline) >= opts.MaxResults {
+			return false
+		}
+		return ctx.Err() == nil
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// queued is one coordinator-side candidate: a site's current
+// representative, annotated with the Corollary-2 upper bound on its global
+// skyline probability (for DSUD the bound simply mirrors the local
+// probability, so both algorithms share one selection loop).
+type queued struct {
+	site  int
+	rep   transport.Representative
+	bound float64
+}
+
+// runDSUD executes the iterative protocol of §5. With enhanced=false the
+// feedback is the queue head by local skyline probability (DSUD); with
+// enhanced=true the Corollary-2 approximate bounds drive both the feedback
+// selection and the expunge-without-broadcast rule (e-DSUD).
+func runDSUD(ctx context.Context, c *view, opts Options, enhanced bool, start time.Time, sid uint64) (*Report, error) {
+	rep := &Report{Sites: make(map[uncertain.TupleID]int)}
+	query := transport.Query{
+		Threshold: opts.Threshold,
+		Dims:      opts.Dims,
+		NoPrune:   opts.DisableSitePruning,
+	}
+	// Release the per-site session state when the query ends, whatever
+	// the path out; a lost end-query only costs site memory until the
+	// session cap evicts it, so failures are ignored.
+	defer func() {
+		cleanup, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		c.broadcast(cleanup, -1, &transport.Request{Kind: transport.KindEndQuery, Session: sid})
+	}()
+
+	// SDSUD phase 0: collect per-site synopses; their dominance bounds
+	// sharpen the queue bounds below. The histogram traffic is charged to
+	// the meter (one tuple-equivalent per occupied bucket).
+	var synopses []*synopsis.Histogram
+	if opts.Algorithm == SDSUD {
+		grid := opts.SynopsisGrid
+		if grid == 0 {
+			grid = 8
+		}
+		resps, err := c.broadcast(ctx, -1, &transport.Request{Kind: transport.KindSynopsis, Grid: grid, Session: sid})
+		if err != nil {
+			return nil, err
+		}
+		synopses = make([]*synopsis.Histogram, len(resps))
+		for i, resp := range resps {
+			synopses[i] = resp.Synopsis
+		}
+	}
+
+	// To-Server phase, first iteration: every site initialises and ships
+	// its first representative (§4 step 1).
+	resps, err := c.broadcast(ctx, -1, &transport.Request{Kind: transport.KindInit, Query: query, Session: sid})
+	if err != nil {
+		return nil, err
+	}
+	var queue []queued
+	for i, resp := range resps {
+		if !resp.Exhausted {
+			// bound starts at the Corollary-1 value (the local skyline
+			// probability); recomputeBounds tightens it for e-DSUD.
+			queue = append(queue, queued{site: i, rep: resp.Rep, bound: resp.Rep.LocalProb})
+			opts.emit(Event{Kind: EventToServer, Site: i, Tuple: resp.Rep.Tuple, Prob: resp.Rep.LocalProb})
+		}
+	}
+
+	// refill asks site i for its next representative and enqueues it.
+	refill := func(i int) error {
+		resp, err := c.call(ctx, i, &transport.Request{Kind: transport.KindNext, Session: sid})
+		if err != nil {
+			return err
+		}
+		if !resp.Exhausted {
+			queue = append(queue, queued{site: i, rep: resp.Rep, bound: resp.Rep.LocalProb})
+			opts.emit(Event{
+				Kind: EventToServer, Iteration: rep.Iterations,
+				Site: i, Tuple: resp.Rep.Tuple, Prob: resp.Rep.LocalProb,
+			})
+		}
+		return nil
+	}
+
+	// Top-k mode keeps the K best confirmed answers; the working
+	// threshold rises to the K-th best probability, which both tightens
+	// the expunge rule and triggers early termination.
+	working := opts.Threshold
+	kthBest := func() float64 {
+		if opts.TopK <= 0 || len(rep.Skyline) < opts.TopK {
+			return opts.Threshold
+		}
+		uncertain.SortMembers(rep.Skyline)
+		kth := rep.Skyline[opts.TopK-1].Prob
+		if kth < opts.Threshold {
+			return opts.Threshold
+		}
+		return kth
+	}
+
+	lastSite := -1
+	for len(queue) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		rep.Iterations++
+		useBounds := enhanced || opts.Policy == PolicyMaxBound
+		recomputeBounds(queue, useBounds, opts.Dims)
+		applySynopsisBounds(queue, synopses)
+		working = kthBest()
+
+		if enhanced && !opts.DisableExpunge {
+			// Expunge phase: candidates whose global upper bound cannot
+			// reach q are dropped without any broadcast; their home sites
+			// immediately refill (§5.2).
+			for {
+				dropped := false
+				for k := 0; k < len(queue); {
+					if queue[k].bound < working {
+						victim := queue[k]
+						queue = append(queue[:k], queue[k+1:]...)
+						rep.Expunged++
+						opts.emit(Event{
+							Kind: EventExpunge, Iteration: rep.Iterations,
+							Site: victim.site, Tuple: victim.rep.Tuple, Prob: victim.bound,
+						})
+						if err := refill(victim.site); err != nil {
+							return nil, err
+						}
+						dropped = true
+					} else {
+						k++
+					}
+				}
+				if !dropped {
+					break
+				}
+				recomputeBounds(queue, useBounds, opts.Dims)
+				applySynopsisBounds(queue, synopses)
+			}
+			if len(queue) == 0 {
+				break
+			}
+		}
+
+		// Select the feedback. By default the queue maximum by bound (for
+		// DSUD the bound is the local skyline probability, exactly §5.1's
+		// rule); the ablation policies override the criterion.
+		best := selectFeedback(queue, opts.Policy, lastSite)
+		head := queue[best]
+		lastSite = head.site
+		queue = append(queue[:best], queue[best+1:]...)
+
+		// Corollary 1 termination for DSUD: every unseen tuple's global
+		// probability is bounded by the head's local probability.
+		if !enhanced && head.rep.LocalProb < working {
+			break
+		}
+		// Top-k early termination: when even the best remaining bound
+		// cannot displace the current K-th answer, the top-k is final.
+		if opts.TopK > 0 && len(rep.Skyline) >= opts.TopK && head.bound < working {
+			break
+		}
+
+		// Server-Delivery phase: broadcast the feedback to the other
+		// sites, collect eq. 9 factors (Lemma 1) and prune remotely.
+		feed := transport.Feedback{Tuple: head.rep.Tuple, HomeLocalProb: head.rep.LocalProb}
+		evals, err := c.broadcast(ctx, head.site, &transport.Request{
+			Kind: transport.KindEvaluate, Feed: feed, Session: sid,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rep.Broadcasts++
+		opts.emit(Event{
+			Kind: EventBroadcast, Iteration: rep.Iterations,
+			Site: head.site, Tuple: head.rep.Tuple, Prob: head.rep.LocalProb,
+		})
+		global := head.rep.LocalProb
+		prunedNow := 0
+		for i, resp := range evals {
+			if i == head.site || resp == nil {
+				continue
+			}
+			global *= resp.CrossProb
+			prunedNow += resp.Pruned
+		}
+		rep.PrunedLocal += prunedNow
+		if prunedNow > 0 {
+			opts.emit(Event{Kind: EventPrune, Iteration: rep.Iterations, Site: -1, Count: prunedNow})
+		}
+		if global >= opts.Threshold {
+			opts.emit(Event{
+				Kind: EventReport, Iteration: rep.Iterations,
+				Site: head.site, Tuple: head.rep.Tuple, Prob: global,
+			})
+			rep.Skyline = append(rep.Skyline, uncertain.SkylineMember{Tuple: head.rep.Tuple, Prob: global})
+			rep.Sites[head.rep.Tuple.ID] = head.site
+			rep.Progress = append(rep.Progress, ProgressPoint{
+				Reported: len(rep.Skyline),
+				Tuples:   c.meter.Snapshot().Tuples(),
+				Elapsed:  time.Since(start),
+			})
+			if opts.OnResult != nil {
+				opts.OnResult(Result{Tuple: head.rep.Tuple, GlobalProb: global, Site: head.site})
+			}
+			if opts.MaxResults > 0 && len(rep.Skyline) >= opts.MaxResults {
+				return rep, nil
+			}
+		} else {
+			opts.emit(Event{
+				Kind: EventReject, Iteration: rep.Iterations,
+				Site: head.site, Tuple: head.rep.Tuple, Prob: global,
+			})
+		}
+		// The home site ships its next representative (To-Server phase of
+		// the following iteration).
+		if err := refill(head.site); err != nil {
+			return nil, err
+		}
+	}
+	return rep, nil
+}
+
+// recomputeBounds refreshes each queued candidate's upper bound. For DSUD
+// the bound is Corollary 1 (the local skyline probability). For e-DSUD it
+// is Corollary 2: the local probability multiplied, for every *other* site
+// whose queued representative dominates the candidate, by that
+// representative's Observation-2 factor P_sky(t, D_x)/P(t) × (1 − P(t)).
+func recomputeBounds(queue []queued, enhanced bool, dims []int) {
+	for k := range queue {
+		queue[k].bound = queue[k].rep.LocalProb
+	}
+	if !enhanced {
+		return
+	}
+	for k := range queue {
+		s := &queue[k]
+		for j := range queue {
+			t := &queue[j]
+			if t.site == s.site {
+				continue
+			}
+			if t.rep.Tuple.Dominates(s.rep.Tuple, dims) {
+				s.bound *= t.rep.LocalProb / t.rep.Tuple.Prob * (1 - t.rep.Tuple.Prob)
+			}
+		}
+	}
+}
+
+// selectFeedback returns the queue index to broadcast next under the
+// given policy. lastSite is the previously selected site (for the
+// round-robin control).
+func selectFeedback(queue []queued, policy FeedbackPolicy, lastSite int) int {
+	switch policy {
+	case PolicyMaxLocal:
+		best := 0
+		for k := 1; k < len(queue); k++ {
+			if queue[k].rep.LocalProb > queue[best].rep.LocalProb {
+				best = k
+			}
+		}
+		return best
+	case PolicyRoundRobin:
+		// The smallest site index strictly greater than lastSite, cycling.
+		best := -1
+		for k := range queue {
+			if queue[k].site > lastSite && (best == -1 || queue[k].site < queue[best].site) {
+				best = k
+			}
+		}
+		if best >= 0 {
+			return best
+		}
+		best = 0
+		for k := 1; k < len(queue); k++ {
+			if queue[k].site < queue[best].site {
+				best = k
+			}
+		}
+		return best
+	default: // PolicyAlgorithm, PolicyMaxBound: the largest bound wins
+		best := 0
+		for k := 1; k < len(queue); k++ {
+			if queue[k].bound > queue[best].bound {
+				best = k
+			}
+		}
+		return best
+	}
+}
+
+// applySynopsisBounds tightens each queued candidate's bound with the
+// per-site histogram dominance bounds (SDSUD). The Corollary-2 bound and
+// the synopsis bound both cap the same product of remote factors, so the
+// smaller of the two is kept per candidate.
+func applySynopsisBounds(queue []queued, synopses []*synopsis.Histogram) {
+	if synopses == nil {
+		return
+	}
+	for k := range queue {
+		s := &queue[k]
+		bound := s.rep.LocalProb
+		for x, h := range synopses {
+			if x == s.site || h == nil {
+				continue
+			}
+			bound *= h.CrossBound(s.rep.Tuple.Point)
+		}
+		if bound < s.bound {
+			s.bound = bound
+		}
+	}
+}

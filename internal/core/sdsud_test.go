@@ -1,0 +1,78 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/uncertain"
+)
+
+// SDSUD must be exact, like every other algorithm.
+func TestSDSUDAgreesWithOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(181))
+	for trial := 0; trial < 8; trial++ {
+		n := 100 + r.Intn(400)
+		d := 2 + r.Intn(2)
+		m := 2 + r.Intn(6)
+		q := []float64{0.1, 0.3, 0.5}[r.Intn(3)]
+		grid := []int{0, 4, 16}[r.Intn(3)] // 0 = default
+		parts, union := makeWorkload(t, n, d, m, gen.Independent, r.Int63())
+		want := union.Skyline(q, nil)
+		got := runAlgo(t, parts, d, Options{Threshold: q, Algorithm: SDSUD, SynopsisGrid: grid})
+		if !uncertain.MembersEqual(got.Skyline, want, 1e-9) {
+			t.Fatalf("trial %d (n=%d d=%d m=%d q=%v grid=%d): %d members, oracle %d",
+				trial, n, d, m, q, grid, len(got.Skyline), len(want))
+		}
+	}
+}
+
+func TestSDSUDValidation(t *testing.T) {
+	parts, _ := makeWorkload(t, 40, 3, 2, gen.Independent, 182)
+	cluster, err := NewLocalCluster(parts, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	if _, err := Run(context.Background(), cluster, Options{
+		Threshold: 0.3, Algorithm: SDSUD, Dims: []int{0, 1},
+	}); err == nil {
+		t.Error("SDSUD with a subspace must be rejected")
+	}
+	if _, err := Run(context.Background(), cluster, Options{
+		Threshold: 0.3, Algorithm: SDSUD, SynopsisGrid: 1000,
+	}); err == nil {
+		t.Error("oversized grid must be rejected")
+	}
+}
+
+// The trade-off the paper asserts: the synopsis traffic is charged, and
+// the bounds it buys must at least not break the accounting.
+func TestSDSUDBandwidthAccounting(t *testing.T) {
+	parts, _ := makeWorkload(t, 2000, 3, 8, gen.Independent, 183)
+	edsud := runAlgo(t, parts, 3, Options{Threshold: 0.3, Algorithm: EDSUD})
+	sdsud := runAlgo(t, parts, 3, Options{Threshold: 0.3, Algorithm: SDSUD, SynopsisGrid: 8})
+
+	if len(sdsud.Skyline) != len(edsud.Skyline) {
+		t.Fatalf("answers differ: %d vs %d", len(sdsud.Skyline), len(edsud.Skyline))
+	}
+	// SDSUD's bounds subsume e-DSUD's, so it can only expunge more — its
+	// non-synopsis traffic (broadcast+representative) cannot exceed
+	// e-DSUD's. The histogram shipping may or may not pay for itself;
+	// both totals must at least stay below DSUD-with-nothing.
+	if sdsud.Expunged < edsud.Expunged {
+		t.Errorf("SDSUD expunged %d, e-DSUD %d — tighter bounds should not expunge less",
+			sdsud.Expunged, edsud.Expunged)
+	}
+	if sdsud.Broadcasts > edsud.Broadcasts {
+		t.Errorf("SDSUD broadcast %d, e-DSUD %d — tighter bounds should not broadcast more",
+			sdsud.Broadcasts, edsud.Broadcasts)
+	}
+	if sdsud.Bandwidth.Tuples() <= 0 {
+		t.Error("synopsis traffic must be accounted")
+	}
+	t.Logf("bandwidth: e-DSUD %d vs s-DSUD %d (broadcasts %d vs %d, expunged %d vs %d)",
+		edsud.Bandwidth.Tuples(), sdsud.Bandwidth.Tuples(),
+		edsud.Broadcasts, sdsud.Broadcasts, edsud.Expunged, sdsud.Expunged)
+}

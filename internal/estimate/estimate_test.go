@@ -1,0 +1,158 @@
+package estimate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func TestSkylineCardinalityBasics(t *testing.T) {
+	if _, err := SkylineCardinality(0, 10); err == nil {
+		t.Error("d=0 must be rejected")
+	}
+	if _, err := SkylineCardinality(2, -1); err == nil {
+		t.Error("negative N must be rejected")
+	}
+	if h, err := SkylineCardinality(3, 0); err != nil || h != 0 {
+		t.Errorf("H(3,0) = %v, %v; want 0", h, err)
+	}
+	h, err := SkylineCardinality(1, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h-1) > 1e-9 {
+		t.Errorf("H(1,N) = %v, want 1 (the unique minimum)", h)
+	}
+}
+
+func TestSkylineCardinalityMonotoneInDims(t *testing.T) {
+	prev := 0.0
+	for d := 1; d <= 5; d++ {
+		h, err := SkylineCardinality(d, 100000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h < prev {
+			t.Errorf("H(%d, 1e5) = %v < H(%d) = %v; expected growth with d", d, h, d-1, prev)
+		}
+		prev = h
+	}
+}
+
+func TestSkylineCardinalityMonotoneInN(t *testing.T) {
+	for d := 2; d <= 4; d++ {
+		prev := 0.0
+		for _, n := range []int{10, 100, 1000, 10000, 100000} {
+			h, err := SkylineCardinality(d, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if h < prev {
+				t.Errorf("H(%d, %d) = %v decreased from %v", d, n, h, prev)
+			}
+			prev = h
+		}
+	}
+}
+
+// The estimate should land within a small factor of the empirical expected
+// probabilistic-skyline size on uniform-independent data with uniform
+// probabilities (counting, as the model does, tuples that would be skyline
+// among the instantiated subset).
+func TestSkylineCardinalityMatchesSimulation(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	for _, tc := range []struct{ d, n int }{{2, 2000}, {3, 2000}, {4, 1000}} {
+		const trials = 8
+		var total float64
+		for trial := 0; trial < trials; trial++ {
+			db, err := gen.Generate(gen.Config{
+				N: tc.n, Dims: tc.d, Values: gen.Independent,
+				Probs: gen.UniformProb, Seed: r.Int63(),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Instantiate one possible world and count its certain skyline:
+			// E[|sky(world)|] = Σ_n E[ln^{d−1}n/(d−1)!] P(n), the quantity
+			// eq. 6 models.
+			var pts [][]float64
+			for _, tu := range db {
+				if r.Float64() < tu.Prob {
+					pts = append(pts, tu.Point)
+				}
+			}
+			count := 0
+			for i := range pts {
+				dominated := false
+				for j := range pts {
+					if i == j {
+						continue
+					}
+					le, lt := true, false
+					for k := range pts[i] {
+						le = le && pts[j][k] <= pts[i][k]
+						lt = lt || pts[j][k] < pts[i][k]
+					}
+					if le && lt {
+						dominated = true
+						break
+					}
+				}
+				if !dominated {
+					count++
+				}
+			}
+			total += float64(count)
+		}
+		sim := total / trials
+		est, err := SkylineCardinality(tc.d, tc.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if est < sim/3 || est > sim*3 {
+			t.Errorf("d=%d n=%d: estimate %v vs simulated %v (off by more than 3x)", tc.d, tc.n, est, sim)
+		}
+	}
+}
+
+func TestCompareFeedback(t *testing.T) {
+	if _, err := CompareFeedback(3, 1000, 0); err == nil {
+		t.Error("m=0 must be rejected")
+	}
+	// Single site: both costs are zero (no feedback needed).
+	fc, err := CompareFeedback(3, 1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fc.Back != 0 || fc.Local != 0 {
+		t.Errorf("m=1 costs = %+v, want zero", fc)
+	}
+	// The paper's §4 point: with m > 1 sites the naive feedback costs more
+	// than shipping local skylines, because H(d, N) > H(d, N/m).
+	for _, m := range []int{2, 10, 60, 100} {
+		fc, err := CompareFeedback(3, 2_000_000, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fc.Back <= fc.Local {
+			t.Errorf("m=%d: N_back (%v) should exceed N_local (%v)", m, fc.Back, fc.Local)
+		}
+	}
+}
+
+func TestFeedbackCostAnalysis(t *testing.T) {
+	// EXP-E6: regenerate the eq. 7–8 comparison at paper scale and check
+	// its qualitative conclusion across the full m sweep of Table 3.
+	for _, m := range []int{40, 60, 80, 100} {
+		fc, err := CompareFeedback(3, 2_000_000, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := fc.Back / fc.Local
+		if ratio <= 1 {
+			t.Errorf("m=%d: naive feedback should be the more expensive option (ratio %v)", m, ratio)
+		}
+	}
+}

@@ -1,0 +1,352 @@
+// Package gen produces the evaluation workloads of the paper's §7:
+// synthetic value distributions (Independent and Anticorrelated, per the
+// classic skyline benchmark of Börzsönyi et al., plus Correlated for
+// ablations), a synthetic stand-in for the proprietary NYSE trade trace,
+// existential-probability assigners (Uniform and Gaussian), and the uniform
+// horizontal partitioner that splits a global database over m sites with
+// equal local cardinality.
+//
+// All generation is deterministic given a seed.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/uncertain"
+)
+
+// ValueDist selects the spatial distribution of tuple attribute values.
+type ValueDist int
+
+// Supported value distributions. NYSE is the synthetic substitute for the
+// paper's real stock-trade trace: 2-d tuples (average price per share,
+// volume-complement) where both attributes are minimised, so low price and
+// high volume are preferred, matching the paper's "good deal" semantics.
+const (
+	Independent ValueDist = iota + 1
+	Anticorrelated
+	Correlated
+	NYSE
+)
+
+// String implements fmt.Stringer for experiment labels.
+func (v ValueDist) String() string {
+	switch v {
+	case Independent:
+		return "independent"
+	case Anticorrelated:
+		return "anticorrelated"
+	case Correlated:
+		return "correlated"
+	case NYSE:
+		return "nyse"
+	default:
+		return fmt.Sprintf("ValueDist(%d)", int(v))
+	}
+}
+
+// ProbDist selects the distribution of existential probabilities.
+type ProbDist int
+
+// Supported probability distributions (§7: uniform on (0,1], or Gaussian
+// with configurable mean and standard deviation, clamped into (0,1]).
+const (
+	UniformProb ProbDist = iota + 1
+	GaussianProb
+)
+
+func (p ProbDist) String() string {
+	switch p {
+	case UniformProb:
+		return "uniform"
+	case GaussianProb:
+		return "gaussian"
+	default:
+		return fmt.Sprintf("ProbDist(%d)", int(p))
+	}
+}
+
+// Config describes one generated workload.
+type Config struct {
+	// N is the global cardinality (paper default: 2,000,000).
+	N int
+	// Dims is the dimensionality (paper range: 2..5; NYSE forces 2).
+	Dims int
+	// Values selects the spatial distribution.
+	Values ValueDist
+	// Probs selects the existential probability distribution.
+	Probs ProbDist
+	// Mu and Sigma parameterise GaussianProb (paper: mu in 0.3..0.9,
+	// sigma 0.2). Ignored for UniformProb.
+	Mu, Sigma float64
+	// Seed makes generation reproducible.
+	Seed int64
+	// FirstID numbers tuples starting here (default 1).
+	FirstID uncertain.TupleID
+}
+
+func (c Config) validate() error {
+	if c.N < 0 {
+		return fmt.Errorf("gen: negative N %d", c.N)
+	}
+	switch c.Values {
+	case Independent, Anticorrelated, Correlated:
+		if c.Dims < 1 {
+			return fmt.Errorf("gen: dims %d < 1", c.Dims)
+		}
+	case NYSE:
+		if c.Dims != 0 && c.Dims != 2 {
+			return fmt.Errorf("gen: NYSE workload is 2-dimensional, got dims %d", c.Dims)
+		}
+	default:
+		return fmt.Errorf("gen: unknown value distribution %d", int(c.Values))
+	}
+	switch c.Probs {
+	case UniformProb:
+	case GaussianProb:
+		if c.Sigma < 0 {
+			return fmt.Errorf("gen: negative sigma %v", c.Sigma)
+		}
+	default:
+		return fmt.Errorf("gen: unknown probability distribution %d", int(c.Probs))
+	}
+	return nil
+}
+
+// Generate materialises the configured uncertain database.
+func Generate(cfg Config) (uncertain.DB, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	firstID := cfg.FirstID
+	if firstID == 0 {
+		firstID = 1
+	}
+	db := make(uncertain.DB, cfg.N)
+	var points func() geom.Point
+	switch cfg.Values {
+	case Independent:
+		points = func() geom.Point { return independentPoint(r, cfg.Dims) }
+	case Anticorrelated:
+		points = func() geom.Point { return anticorrelatedPoint(r, cfg.Dims) }
+	case Correlated:
+		points = func() geom.Point { return correlatedPoint(r, cfg.Dims) }
+	case NYSE:
+		walk := newPriceWalk(r)
+		points = func() geom.Point { return walk.next(r) }
+	}
+	for i := range db {
+		db[i] = uncertain.Tuple{
+			ID:    firstID + uncertain.TupleID(i),
+			Point: points(),
+			Prob:  probability(r, cfg),
+		}
+	}
+	return db, nil
+}
+
+func probability(r *rand.Rand, cfg Config) float64 {
+	switch cfg.Probs {
+	case GaussianProb:
+		p := cfg.Mu + cfg.Sigma*r.NormFloat64()
+		return clampProb(p)
+	default:
+		// Uniform on (0,1]: reject exact zeros (probability-0 tuples
+		// never exist and are excluded by the model).
+		for {
+			if p := r.Float64(); p > 0 {
+				return p
+			}
+		}
+	}
+}
+
+func clampProb(p float64) float64 {
+	const eps = 1e-6
+	if p < eps {
+		return eps
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+func independentPoint(r *rand.Rand, d int) geom.Point {
+	p := make(geom.Point, d)
+	for j := range p {
+		p[j] = r.Float64()
+	}
+	return p
+}
+
+// anticorrelatedPoint samples points clustered around the anti-diagonal
+// hyperplane Σx_j ≈ d/2: points good on one dimension tend to be bad on the
+// others, which is exactly the regime that blows up skyline cardinality.
+func anticorrelatedPoint(r *rand.Rand, d int) geom.Point {
+	if d == 1 {
+		return geom.Point{r.Float64()}
+	}
+	// Classic Börzsönyi construction: start with every coordinate equal to
+	// a per-point plane value drawn from a tight Gaussian around 0.5, then
+	// shuffle mass between random dimension pairs. The pairwise transfers
+	// preserve the coordinate sum, so points land spread out on nearly the
+	// same anti-diagonal hyperplane — and same-plane points can never
+	// dominate one another, which is what inflates the skyline.
+	var v float64
+	for {
+		v = 0.5 + 0.0577*r.NormFloat64()
+		if v > 0 && v < 1 {
+			break
+		}
+	}
+	p := make(geom.Point, d)
+	for j := range p {
+		p[j] = v
+	}
+	for k := 0; k < 6*d; k++ {
+		i := r.Intn(d)
+		j := r.Intn(d)
+		if i == j {
+			continue
+		}
+		up := math.Min(1-p[i], p[j])   // how much p[i] can gain from p[j]
+		down := math.Min(p[i], 1-p[j]) // how much p[i] can give to p[j]
+		delta := -down + (up+down)*r.Float64()
+		p[i] += delta
+		p[j] -= delta
+	}
+	return p
+}
+
+// correlatedPoint samples points hugging the main diagonal: good values on
+// one dimension imply good values on the rest, the easiest skyline regime.
+func correlatedPoint(r *rand.Rand, d int) geom.Point {
+	base := r.Float64()
+	p := make(geom.Point, d)
+	for j := range p {
+		// Resample out-of-range jitter instead of clamping, so points do
+		// not pile up at the exact corners (degenerate duplicates).
+		for {
+			v := base + r.NormFloat64()*0.05
+			if v >= 0 && v <= 1 {
+				p[j] = v
+				break
+			}
+		}
+	}
+	return p
+}
+
+// priceWalk synthesises the NYSE-like trade stream: an intraday
+// mean-reverting price walk combined with heavy-tailed (log-normal) trade
+// volumes. Tuples are (price, volumeComplement); both minimised, so low
+// price and high volume are preferred — the paper's "top deal" semantics.
+type priceWalk struct {
+	price float64
+}
+
+// maxVolume caps the log-normal volume; the complement maxVolume − volume
+// turns "higher volume is better" into the minimisation convention.
+const maxVolume = 1 << 20
+
+func newPriceWalk(r *rand.Rand) *priceWalk {
+	return &priceWalk{price: 25 + 10*r.Float64()}
+}
+
+func (w *priceWalk) next(r *rand.Rand) geom.Point {
+	// Mean-revert toward 30 with small Gaussian jitter, bounded away from
+	// zero like a real equity price.
+	w.price += 0.02*(30-w.price) + 0.25*r.NormFloat64()
+	if w.price < 5 {
+		w.price = 5
+	}
+	if w.price > 120 {
+		w.price = 120
+	}
+	vol := math.Exp(6.2 + 1.2*r.NormFloat64()) // median ≈ 500 shares
+	if vol > maxVolume {
+		vol = maxVolume
+	}
+	return geom.Point{w.price, maxVolume - vol}
+}
+
+// Partition splits db over m sites with equal local cardinality by uniform
+// random assignment (§7: "each tuple ... is assigned to site S_i chosen
+// uniformly", with every server holding |N|/m points). The remainder tuples
+// (when m does not divide |db|) go one-each to the first sites. The input
+// is not modified.
+func Partition(db uncertain.DB, m int, seed int64) ([]uncertain.DB, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("gen: partition count %d < 1", m)
+	}
+	perm := rand.New(rand.NewSource(seed)).Perm(len(db))
+	parts := make([]uncertain.DB, m)
+	base := len(db) / m
+	extra := len(db) % m
+	idx := 0
+	for i := range parts {
+		size := base
+		if i < extra {
+			size++
+		}
+		parts[i] = make(uncertain.DB, 0, size)
+		for k := 0; k < size; k++ {
+			parts[i] = append(parts[i], db[perm[idx]])
+			idx++
+		}
+	}
+	return parts, nil
+}
+
+// PartitionAngular splits db over m sites by angular sectors around the
+// origin (Vlachou et al., SIGMOD 2008 — the paper's reference [21]).
+// Points are ordered by the angle of their first two coordinates and cut
+// into m equal-population sectors. Every sector touches the origin
+// region, so each site owns a share of the likely skyline — the load per
+// site is balanced in *skyline work*, not just cardinality, unlike the
+// uniform random split. Requires d >= 2.
+func PartitionAngular(db uncertain.DB, m int) ([]uncertain.DB, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("gen: partition count %d < 1", m)
+	}
+	if db.Dims() < 2 && len(db) > 0 {
+		return nil, fmt.Errorf("gen: angular partitioning needs >= 2 dimensions, got %d", db.Dims())
+	}
+	order := make([]int, len(db))
+	for i := range order {
+		order[i] = i
+	}
+	angle := func(i int) float64 {
+		p := db[order[i]].Point
+		return math.Atan2(p[1], p[0])
+	}
+	sort.Slice(order, func(a, b int) bool {
+		aa, ab := angle(a), angle(b)
+		if aa != ab {
+			return aa < ab
+		}
+		return db[order[a]].ID < db[order[b]].ID
+	})
+	parts := make([]uncertain.DB, m)
+	base := len(db) / m
+	extra := len(db) % m
+	idx := 0
+	for i := range parts {
+		size := base
+		if i < extra {
+			size++
+		}
+		parts[i] = make(uncertain.DB, 0, size)
+		for k := 0; k < size; k++ {
+			parts[i] = append(parts[i], db[order[idx]])
+			idx++
+		}
+	}
+	return parts, nil
+}

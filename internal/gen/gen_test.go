@@ -1,0 +1,326 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/uncertain"
+)
+
+func TestGenerateValidatesConfig(t *testing.T) {
+	bad := []Config{
+		{N: -1, Dims: 2, Values: Independent, Probs: UniformProb},
+		{N: 10, Dims: 0, Values: Independent, Probs: UniformProb},
+		{N: 10, Dims: 2, Values: ValueDist(99), Probs: UniformProb},
+		{N: 10, Dims: 2, Values: Independent, Probs: ProbDist(99)},
+		{N: 10, Dims: 3, Values: NYSE, Probs: UniformProb},
+		{N: 10, Dims: 2, Values: Independent, Probs: GaussianProb, Sigma: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("case %d: config %+v should be rejected", i, cfg)
+		}
+	}
+}
+
+func TestGenerateBasics(t *testing.T) {
+	for _, dist := range []ValueDist{Independent, Anticorrelated, Correlated} {
+		for d := 1; d <= 5; d++ {
+			cfg := Config{N: 500, Dims: d, Values: dist, Probs: UniformProb, Seed: 42}
+			db, err := Generate(cfg)
+			if err != nil {
+				t.Fatalf("%v d=%d: %v", dist, d, err)
+			}
+			if len(db) != 500 {
+				t.Fatalf("%v d=%d: len %d", dist, d, len(db))
+			}
+			if err := db.Validate(d); err != nil {
+				t.Fatalf("%v d=%d: %v", dist, d, err)
+			}
+			for _, tu := range db {
+				for j, v := range tu.Point {
+					if v < 0 || v > 1 {
+						t.Fatalf("%v d=%d: coordinate %d out of [0,1]: %v", dist, d, j, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{N: 200, Dims: 3, Values: Anticorrelated, Probs: UniformProb, Seed: 7}
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if !a[i].Point.Equal(b[i].Point) || a[i].Prob != b[i].Prob || a[i].ID != b[i].ID {
+			t.Fatalf("index %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	cfg.Seed = 8
+	c, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a {
+		if !a[i].Point.Equal(c[i].Point) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds must produce different data")
+	}
+}
+
+func TestGenerateFirstID(t *testing.T) {
+	cfg := Config{N: 5, Dims: 2, Values: Independent, Probs: UniformProb, Seed: 1, FirstID: 100}
+	db, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tu := range db {
+		if tu.ID != uncertain.TupleID(100+i) {
+			t.Fatalf("ID = %d, want %d", tu.ID, 100+i)
+		}
+	}
+}
+
+func TestAnticorrelatedHasLargerSkyline(t *testing.T) {
+	const n, d = 4000, 3
+	indep, err := Generate(Config{N: n, Dims: d, Values: Independent, Probs: UniformProb, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	anti, err := Generate(Config{N: n, Dims: d, Values: Anticorrelated, Probs: UniformProb, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	corr, err := Generate(Config{N: n, Dims: d, Values: Correlated, Probs: UniformProb, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	si := len(indep.Skyline(0.3, nil))
+	sa := len(anti.Skyline(0.3, nil))
+	sc := len(corr.Skyline(0.3, nil))
+	if !(sa > si) {
+		t.Errorf("anticorrelated skyline (%d) should exceed independent (%d)", sa, si)
+	}
+	if !(sc <= si) {
+		t.Errorf("correlated skyline (%d) should not exceed independent (%d)", sc, si)
+	}
+}
+
+func TestGaussianProbabilities(t *testing.T) {
+	cfg := Config{N: 5000, Dims: 2, Values: Independent, Probs: GaussianProb, Mu: 0.5, Sigma: 0.2, Seed: 4}
+	db, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, tu := range db {
+		if !(tu.Prob > 0 && tu.Prob <= 1) {
+			t.Fatalf("probability %v outside (0,1]", tu.Prob)
+		}
+		sum += tu.Prob
+	}
+	mean := sum / float64(len(db))
+	if math.Abs(mean-0.5) > 0.02 {
+		t.Errorf("gaussian mean = %v, want ≈ 0.5", mean)
+	}
+}
+
+func TestGaussianExtremeMeansClamp(t *testing.T) {
+	for _, mu := range []float64{-2, 3} {
+		db, err := Generate(Config{N: 500, Dims: 2, Values: Independent, Probs: GaussianProb, Mu: mu, Sigma: 0.2, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Validate(2); err != nil {
+			t.Fatalf("mu=%v: %v", mu, err)
+		}
+	}
+}
+
+func TestNYSEWorkload(t *testing.T) {
+	db, err := Generate(Config{N: 3000, Values: NYSE, Probs: UniformProb, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Validate(2); err != nil {
+		t.Fatal(err)
+	}
+	for _, tu := range db {
+		price, volC := tu.Point[0], tu.Point[1]
+		if price < 5 || price > 120 {
+			t.Fatalf("price %v out of bounds", price)
+		}
+		if volC < 0 || volC >= maxVolume {
+			t.Fatalf("volume complement %v out of bounds", volC)
+		}
+	}
+	// A realistic trade stream has very few "top deals".
+	sky := db.Skyline(0.3, nil)
+	if len(sky) == 0 || len(sky) > len(db)/10 {
+		t.Errorf("NYSE skyline size %d implausible for %d trades", len(sky), len(db))
+	}
+	// Dims 2 must be accepted as an explicit setting too.
+	if _, err := Generate(Config{N: 10, Dims: 2, Values: NYSE, Probs: UniformProb, Seed: 6}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartition(t *testing.T) {
+	db, err := Generate(Config{N: 1003, Dims: 2, Values: Independent, Probs: UniformProb, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := Partition(db, 10, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 10 {
+		t.Fatalf("parts = %d", len(parts))
+	}
+	seen := make(map[uncertain.TupleID]bool, len(db))
+	total := 0
+	for i, p := range parts {
+		want := 100
+		if i < 3 {
+			want = 101
+		}
+		if len(p) != want {
+			t.Fatalf("part %d size %d, want %d", i, len(p), want)
+		}
+		total += len(p)
+		for _, tu := range p {
+			if seen[tu.ID] {
+				t.Fatalf("tuple %d assigned twice", tu.ID)
+			}
+			seen[tu.ID] = true
+		}
+	}
+	if total != len(db) {
+		t.Fatalf("partitioned %d of %d tuples", total, len(db))
+	}
+	if _, err := Partition(db, 0, 1); err == nil {
+		t.Fatal("m=0 must be rejected")
+	}
+	// More sites than tuples: empty tails are fine.
+	small := db[:3]
+	parts, err = Partition(small, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 5 {
+		t.Fatalf("parts = %d", len(parts))
+	}
+}
+
+func TestPartitionDeterministic(t *testing.T) {
+	db, _ := Generate(Config{N: 100, Dims: 2, Values: Independent, Probs: UniformProb, Seed: 8})
+	a, _ := Partition(db, 7, 42)
+	b, _ := Partition(db, 7, 42)
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatal("partition not deterministic")
+		}
+		for k := range a[i] {
+			if a[i][k].ID != b[i][k].ID {
+				t.Fatal("partition not deterministic")
+			}
+		}
+	}
+}
+
+func TestStringers(t *testing.T) {
+	cases := map[string]string{
+		Independent.String():    "independent",
+		Anticorrelated.String(): "anticorrelated",
+		Correlated.String():     "correlated",
+		NYSE.String():           "nyse",
+		UniformProb.String():    "uniform",
+		GaussianProb.String():   "gaussian",
+	}
+	for got, want := range cases {
+		if got != want {
+			t.Errorf("stringer = %q, want %q", got, want)
+		}
+	}
+	if ValueDist(99).String() == "" || ProbDist(99).String() == "" {
+		t.Error("unknown enum stringers must not be empty")
+	}
+}
+
+func TestPartitionAngular(t *testing.T) {
+	db, err := Generate(Config{N: 1000, Dims: 2, Values: Independent, Probs: UniformProb, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := PartitionAngular(db, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 7 {
+		t.Fatalf("parts = %d", len(parts))
+	}
+	seen := map[uncertain.TupleID]bool{}
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+		for _, tu := range p {
+			if seen[tu.ID] {
+				t.Fatalf("tuple %d assigned twice", tu.ID)
+			}
+			seen[tu.ID] = true
+		}
+	}
+	if total != len(db) {
+		t.Fatalf("assigned %d of %d", total, len(db))
+	}
+	// Sector sizes balanced within 1.
+	for i, p := range parts {
+		if len(p) < len(db)/7 || len(p) > len(db)/7+1 {
+			t.Fatalf("sector %d has %d tuples", i, len(p))
+		}
+	}
+	// Angular ordering: every tuple in sector i has angle <= every tuple
+	// in sector i+1 (up to ties at the boundary).
+	maxAngle := func(p uncertain.DB) float64 {
+		worst := -10.0
+		for _, tu := range p {
+			if a := math.Atan2(tu.Point[1], tu.Point[0]); a > worst {
+				worst = a
+			}
+		}
+		return worst
+	}
+	minAngle := func(p uncertain.DB) float64 {
+		best := 10.0
+		for _, tu := range p {
+			if a := math.Atan2(tu.Point[1], tu.Point[0]); a < best {
+				best = a
+			}
+		}
+		return best
+	}
+	for i := 1; i < len(parts); i++ {
+		if maxAngle(parts[i-1]) > minAngle(parts[i])+1e-12 {
+			t.Fatalf("sectors %d and %d overlap in angle", i-1, i)
+		}
+	}
+	if _, err := PartitionAngular(db, 0); err == nil {
+		t.Fatal("m=0 must fail")
+	}
+	oneD, _ := Generate(Config{N: 10, Dims: 1, Values: Independent, Probs: UniformProb, Seed: 1})
+	if _, err := PartitionAngular(oneD, 2); err == nil {
+		t.Fatal("1-d data must be rejected")
+	}
+}

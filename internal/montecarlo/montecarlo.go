@@ -1,0 +1,112 @@
+// Package montecarlo estimates skyline probabilities by sampling possible
+// worlds, in the spirit of MCDB (Jampani et al., cited as [9] by the
+// paper). It is the project's second, *independent* oracle: the exact
+// engine derives eq. 3 analytically, the world enumerator in
+// internal/uncertain verifies it exhaustively for tiny inputs, and this
+// sampler verifies it statistically at sizes where enumeration is
+// impossible. It is also useful on its own for models whose probability
+// structure has no closed form.
+package montecarlo
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/uncertain"
+)
+
+// Estimate is the sampled skyline probability of one tuple.
+type Estimate struct {
+	Tuple uncertain.Tuple
+	// Prob is the fraction of sampled worlds in which the tuple was a
+	// skyline member.
+	Prob float64
+	// StdErr is the binomial standard error of Prob.
+	StdErr float64
+}
+
+// SkyProbs estimates every tuple's skyline probability over db in the
+// subspace dims (nil = full space) from the given number of sampled
+// worlds. Sampling is deterministic for a fixed seed.
+//
+// Cost: one O(N²) dominance precomputation plus O(N + edges) per sample,
+// where edges is the number of dominance pairs.
+func SkyProbs(db uncertain.DB, dims []int, samples int, seed int64) ([]Estimate, error) {
+	if samples < 1 {
+		return nil, errors.New("montecarlo: samples must be >= 1")
+	}
+	if err := db.Validate(0); err != nil {
+		return nil, fmt.Errorf("montecarlo: %w", err)
+	}
+	n := len(db)
+	// dominators[i] lists the indices of tuples that dominate db[i]; a
+	// tuple is in a world's skyline iff it exists and none of its
+	// dominators do.
+	dominators := make([][]int32, n)
+	for i := range db {
+		for j := range db {
+			if i != j && db[j].Dominates(db[i], dims) {
+				dominators[i] = append(dominators[i], int32(j))
+			}
+		}
+	}
+
+	r := rand.New(rand.NewSource(seed))
+	exists := make([]bool, n)
+	hits := make([]int, n)
+	for s := 0; s < samples; s++ {
+		for i := range db {
+			exists[i] = r.Float64() < db[i].Prob
+		}
+		for i := range db {
+			if !exists[i] {
+				continue
+			}
+			dominated := false
+			for _, j := range dominators[i] {
+				if exists[j] {
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				hits[i]++
+			}
+		}
+	}
+
+	out := make([]Estimate, n)
+	for i := range db {
+		p := float64(hits[i]) / float64(samples)
+		out[i] = Estimate{
+			Tuple:  db[i].Clone(),
+			Prob:   p,
+			StdErr: math.Sqrt(p * (1 - p) / float64(samples)),
+		}
+	}
+	return out, nil
+}
+
+// Skyline estimates the probabilistic skyline at threshold q: the tuples
+// whose sampled probability reaches q, sorted by descending probability.
+// Tuples whose true probability lies within a few standard errors of q
+// may flip between runs; use wide sample counts near decision boundaries.
+func Skyline(db uncertain.DB, q float64, dims []int, samples int, seed int64) ([]uncertain.SkylineMember, error) {
+	if !(q > 0 && q <= 1) {
+		return nil, fmt.Errorf("montecarlo: threshold %v outside (0,1]", q)
+	}
+	ests, err := SkyProbs(db, dims, samples, seed)
+	if err != nil {
+		return nil, err
+	}
+	var out []uncertain.SkylineMember
+	for _, e := range ests {
+		if e.Prob >= q {
+			out = append(out, uncertain.SkylineMember{Tuple: e.Tuple, Prob: e.Prob})
+		}
+	}
+	uncertain.SortMembers(out)
+	return out, nil
+}

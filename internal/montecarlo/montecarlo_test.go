@@ -1,0 +1,158 @@
+package montecarlo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/uncertain"
+)
+
+func randomDB(r *rand.Rand, n, d int) uncertain.DB {
+	db := make(uncertain.DB, n)
+	for i := range db {
+		p := make(geom.Point, d)
+		for j := range p {
+			p[j] = r.Float64()
+		}
+		db[i] = uncertain.Tuple{ID: uncertain.TupleID(i + 1), Point: p, Prob: 0.05 + 0.95*r.Float64()}
+	}
+	return db
+}
+
+func TestValidation(t *testing.T) {
+	db := randomDB(rand.New(rand.NewSource(1)), 5, 2)
+	if _, err := SkyProbs(db, nil, 0, 1); err == nil {
+		t.Error("0 samples must fail")
+	}
+	bad := uncertain.DB{{ID: 1, Point: geom.Point{1}, Prob: 7}}
+	if _, err := SkyProbs(bad, nil, 10, 1); err == nil {
+		t.Error("invalid db must fail")
+	}
+	if _, err := Skyline(db, 0, nil, 10, 1); err == nil {
+		t.Error("q=0 must fail")
+	}
+	if _, err := Skyline(db, 0.3, nil, 0, 1); err == nil {
+		t.Error("invalid samples must propagate")
+	}
+}
+
+// The sampler must converge to the analytic eq. 3 probabilities.
+func TestEstimatesMatchExact(t *testing.T) {
+	r := rand.New(rand.NewSource(151))
+	for trial := 0; trial < 4; trial++ {
+		d := 1 + r.Intn(3)
+		db := randomDB(r, 40, d)
+		var dims []int
+		if d > 1 && trial%2 == 0 {
+			dims = []int{0}
+		}
+		const samples = 20_000
+		ests, err := SkyProbs(db, dims, samples, r.Int63())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ests) != len(db) {
+			t.Fatalf("got %d estimates for %d tuples", len(ests), len(db))
+		}
+		for _, e := range ests {
+			exact := db.SkyProb(e.Tuple, dims)
+			// 5 sigma plus a small absolute floor keeps the test stable
+			// while still catching systematic bias.
+			tol := 5*math.Sqrt(exact*(1-exact)/samples) + 0.005
+			if math.Abs(e.Prob-exact) > tol {
+				t.Errorf("trial %d tuple %d: sampled %v, exact %v (tol %v)",
+					trial, e.Tuple.ID, e.Prob, exact, tol)
+			}
+			if e.StdErr < 0 || e.StdErr > 0.5 {
+				t.Errorf("implausible standard error %v", e.StdErr)
+			}
+		}
+	}
+}
+
+func TestSkylineAgreesAwayFromBoundary(t *testing.T) {
+	r := rand.New(rand.NewSource(152))
+	db := randomDB(r, 60, 2)
+	const q, samples = 0.3, 20_000
+	sampled, err := Skyline(db, q, nil, samples, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := db.Skyline(q, nil)
+	inSampled := map[uncertain.TupleID]bool{}
+	for _, m := range sampled {
+		inSampled[m.Tuple.ID] = true
+	}
+	margin := 5 * math.Sqrt(0.25/samples)
+	for _, tu := range db {
+		p := db.SkyProb(tu, nil)
+		if math.Abs(p-q) < margin {
+			continue // boundary tuples may flip; skip
+		}
+		want := p >= q
+		if inSampled[tu.ID] != want {
+			t.Errorf("tuple %d (exact %v): sampled membership %v, want %v",
+				tu.ID, p, inSampled[tu.ID], want)
+		}
+	}
+	_ = exact
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	db := randomDB(rand.New(rand.NewSource(153)), 30, 2)
+	a, err := SkyProbs(db, nil, 500, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SkyProbs(db, nil, 500, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Prob != b[i].Prob {
+			t.Fatal("same seed must reproduce identical estimates")
+		}
+	}
+	c, err := SkyProbs(db, nil, 500, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a {
+		if a[i].Prob != c[i].Prob {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds should perturb the estimates")
+	}
+}
+
+func TestEmptyDB(t *testing.T) {
+	ests, err := SkyProbs(uncertain.DB{}, nil, 10, 1)
+	if err != nil || len(ests) != 0 {
+		t.Fatalf("empty db: %v, %v", ests, err)
+	}
+	sky, err := Skyline(uncertain.DB{}, 0.5, nil, 10, 1)
+	if err != nil || len(sky) != 0 {
+		t.Fatalf("empty skyline: %v, %v", sky, err)
+	}
+}
+
+func TestCertainTuples(t *testing.T) {
+	// With probability-1 tuples the sampler must be exact.
+	db := uncertain.DB{
+		{ID: 1, Point: geom.Point{1, 1}, Prob: 1},
+		{ID: 2, Point: geom.Point{2, 2}, Prob: 1},
+	}
+	ests, err := SkyProbs(db, nil, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ests[0].Prob != 1 || ests[1].Prob != 0 {
+		t.Fatalf("certain data must sample exactly: %v", ests)
+	}
+}

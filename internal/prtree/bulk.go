@@ -1,0 +1,102 @@
+package prtree
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/uncertain"
+)
+
+// Bulk builds a PR-tree over db with Sort-Tile-Recursive packing, the
+// standard way to load a large static partition before querying begins.
+// Tuples are deep-copied; db is not retained. capacity < 4 selects
+// DefaultCapacity.
+func Bulk(db uncertain.DB, dims, capacity int) *Tree {
+	t := New(dims, capacity)
+	if len(db) == 0 {
+		return t
+	}
+	leaves := make([]entry, 0, len(db))
+	for _, tu := range db {
+		leaves = append(leaves, leafEntry(tu.Clone()))
+	}
+	strSort(leaves, 0, dims, t.max)
+
+	// Pack leaf nodes, then repeatedly pack the level above until one node
+	// remains.
+	nodes := packLevel(leaves, t.max, true)
+	for len(nodes) > 1 {
+		upper := make([]entry, 0, len(nodes))
+		for _, n := range nodes {
+			upper = append(upper, wrap(n))
+		}
+		nodes = packLevel(upper, t.max, false)
+	}
+	t.root = nodes[0]
+	t.size = len(db)
+	return t
+}
+
+// strSort orders entries with the STR tiling recursion: sort by dimension
+// dim, slice into vertical slabs sized so each slab fills whole nodes, then
+// recurse on the next dimension within each slab.
+func strSort(entries []entry, dim, dims, capacity int) {
+	if dim >= dims-1 || len(entries) <= capacity {
+		sort.Slice(entries, func(i, j int) bool {
+			return center(entries[i], dim) < center(entries[j], dim)
+		})
+		return
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		return center(entries[i], dim) < center(entries[j], dim)
+	})
+	nLeaves := int(math.Ceil(float64(len(entries)) / float64(capacity)))
+	remDims := float64(dims - dim)
+	slabCount := int(math.Ceil(math.Pow(float64(nLeaves), 1/remDims)))
+	if slabCount < 1 {
+		slabCount = 1
+	}
+	slabSize := int(math.Ceil(float64(len(entries)) / float64(slabCount)))
+	if slabSize < 1 {
+		slabSize = 1
+	}
+	for lo := 0; lo < len(entries); lo += slabSize {
+		hi := lo + slabSize
+		if hi > len(entries) {
+			hi = len(entries)
+		}
+		strSort(entries[lo:hi], dim+1, dims, capacity)
+	}
+}
+
+func center(e entry, dim int) float64 {
+	if dim >= len(e.rect.Lo) {
+		return 0
+	}
+	return (e.rect.Lo[dim] + e.rect.Hi[dim]) / 2
+}
+
+// packLevel groups consecutive entries into nodes of up to capacity
+// entries, spreading the counts evenly so no node violates the minimum
+// fill (except a lone root, which is exempt).
+func packLevel(entries []entry, capacity int, leaf bool) []*node {
+	n := len(entries)
+	count := (n + capacity - 1) / capacity
+	if count == 0 {
+		count = 1
+	}
+	nodes := make([]*node, 0, count)
+	base := n / count
+	extra := n % count
+	idx := 0
+	for i := 0; i < count; i++ {
+		size := base
+		if i < extra {
+			size++
+		}
+		nd := &node{leaf: leaf, entries: append([]entry(nil), entries[idx:idx+size]...)}
+		nodes = append(nodes, nd)
+		idx += size
+	}
+	return nodes
+}

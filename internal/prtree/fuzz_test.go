@@ -1,0 +1,62 @@
+package prtree
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/uncertain"
+)
+
+// FuzzTreeOperations drives a PR-tree with a byte-coded operation script
+// (2 bits op, 6 bits value per byte) and checks structural invariants and
+// oracle agreement after every script.
+func FuzzTreeOperations(f *testing.F) {
+	f.Add([]byte{0x01, 0x42, 0x83, 0xC4, 0x05, 0x46})
+	f.Add([]byte{0xFF, 0x00, 0xAA, 0x55})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, script []byte) {
+		if len(script) > 512 {
+			script = script[:512]
+		}
+		tr := New(2, 5)
+		var live uncertain.DB
+		nextID := uncertain.TupleID(1)
+		for _, b := range script {
+			op := b >> 6
+			v := float64(b & 0x3F)
+			switch {
+			case op <= 1 || len(live) == 0: // insert (biased)
+				tu := uncertain.Tuple{
+					ID:    nextID,
+					Point: geom.Point{v, float64((b * 7) & 0x3F)},
+					Prob:  0.1 + float64(b%9)/10,
+				}
+				nextID++
+				tr.Insert(tu)
+				live = append(live, tu)
+			case op == 2: // delete existing
+				i := int(b) % len(live)
+				victim := live[i]
+				live = append(live[:i], live[i+1:]...)
+				if err := tr.Delete(victim.ID, victim.Point); err != nil {
+					t.Fatalf("delete live tuple: %v", err)
+				}
+			default: // delete missing must not corrupt
+				if err := tr.Delete(uncertain.TupleID(1_000_000+int(b)), geom.Point{v, v}); err != ErrNotFound {
+					t.Fatalf("deleting missing tuple: %v", err)
+				}
+			}
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("invariants after script: %v", err)
+		}
+		if tr.Len() != len(live) {
+			t.Fatalf("Len %d, want %d", tr.Len(), len(live))
+		}
+		got := tr.LocalSkyline(0.3, nil)
+		want := live.Skyline(0.3, nil)
+		if !uncertain.MembersEqual(got, want, 1e-9) {
+			t.Fatalf("skyline mismatch: %d vs %d", len(got), len(want))
+		}
+	})
+}

@@ -1,0 +1,143 @@
+package prtree
+
+import "repro/internal/uncertain"
+
+// Insert adds one tuple using the classic Guttman algorithm (least-area-
+// enlargement descent, quadratic split) while keeping the probabilistic
+// aggregates fresh along the insertion path.
+func (t *Tree) Insert(tu uncertain.Tuple) {
+	e := leafEntry(tu.Clone())
+	split := t.insert(t.root, e)
+	if split != nil {
+		old := t.root
+		t.root = &node{leaf: false, entries: []entry{wrap(old), wrap(split)}}
+	}
+	t.size++
+}
+
+// insert places e under n and returns a new sibling node when n overflowed
+// and split; the caller is responsible for wiring the sibling in.
+func (t *Tree) insert(n *node, e entry) *node {
+	if n.leaf {
+		n.entries = append(n.entries, e)
+		if len(n.entries) > t.max {
+			return t.splitNode(n)
+		}
+		return nil
+	}
+	best := t.chooseSubtree(n, e)
+	split := t.insert(n.entries[best].child, e)
+	n.entries[best].recompute()
+	if split != nil {
+		n.entries = append(n.entries, wrap(split))
+		if len(n.entries) > t.max {
+			return t.splitNode(n)
+		}
+	}
+	return nil
+}
+
+// chooseSubtree picks the child whose rectangle needs least enlargement to
+// absorb e, breaking ties by smaller area.
+func (t *Tree) chooseSubtree(n *node, e entry) int {
+	best := 0
+	bestGrow := n.entries[0].rect.Enlargement(e.rect)
+	bestArea := n.entries[0].rect.Area()
+	for i := 1; i < len(n.entries); i++ {
+		grow := n.entries[i].rect.Enlargement(e.rect)
+		area := n.entries[i].rect.Area()
+		if grow < bestGrow || (grow == bestGrow && area < bestArea) {
+			best, bestGrow, bestArea = i, grow, area
+		}
+	}
+	return best
+}
+
+// splitNode divides an overflowing node in place using Guttman's quadratic
+// split and returns the newly created sibling.
+func (t *Tree) splitNode(n *node) *node {
+	entries := n.entries
+	seedA, seedB := pickSeeds(entries)
+	groupA := []entry{entries[seedA]}
+	groupB := []entry{entries[seedB]}
+	rectA := entries[seedA].rect.Clone()
+	rectB := entries[seedB].rect.Clone()
+
+	rest := make([]entry, 0, len(entries)-2)
+	for i, e := range entries {
+		if i != seedA && i != seedB {
+			rest = append(rest, e)
+		}
+	}
+
+	for len(rest) > 0 {
+		// Force assignment when one group must take everything left to
+		// reach minimum fill.
+		if len(groupA)+len(rest) == t.min {
+			groupA = append(groupA, rest...)
+			for _, e := range rest {
+				rectA = rectA.ExpandRect(e.rect)
+			}
+			break
+		}
+		if len(groupB)+len(rest) == t.min {
+			groupB = append(groupB, rest...)
+			for _, e := range rest {
+				rectB = rectB.ExpandRect(e.rect)
+			}
+			break
+		}
+		// pickNext: the entry with the strongest preference.
+		bestIdx, bestDiff := 0, -1.0
+		for i, e := range rest {
+			dA := rectA.Enlargement(e.rect)
+			dB := rectB.Enlargement(e.rect)
+			diff := dA - dB
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > bestDiff {
+				bestIdx, bestDiff = i, diff
+			}
+		}
+		e := rest[bestIdx]
+		rest[bestIdx] = rest[len(rest)-1]
+		rest = rest[:len(rest)-1]
+
+		dA := rectA.Enlargement(e.rect)
+		dB := rectB.Enlargement(e.rect)
+		switch {
+		case dA < dB:
+			groupA = append(groupA, e)
+			rectA = rectA.ExpandRect(e.rect)
+		case dB < dA:
+			groupB = append(groupB, e)
+			rectB = rectB.ExpandRect(e.rect)
+		case len(groupA) <= len(groupB):
+			groupA = append(groupA, e)
+			rectA = rectA.ExpandRect(e.rect)
+		default:
+			groupB = append(groupB, e)
+			rectB = rectB.ExpandRect(e.rect)
+		}
+	}
+
+	n.entries = groupA
+	return &node{leaf: n.leaf, entries: groupB}
+}
+
+// pickSeeds returns the pair of entries whose combined rectangle wastes the
+// most area, the quadratic-split seed heuristic.
+func pickSeeds(entries []entry) (int, int) {
+	seedA, seedB, worst := 0, 1, -1.0
+	for i := 0; i < len(entries); i++ {
+		for j := i + 1; j < len(entries); j++ {
+			waste := entries[i].rect.ExpandRect(entries[j].rect).Area() -
+				entries[i].rect.Area() - entries[j].rect.Area()
+			if waste > worst {
+				seedA, seedB, worst = i, j, waste
+			}
+		}
+	}
+	return seedA, seedB
+}

@@ -1,0 +1,107 @@
+package prtree
+
+import (
+	"repro/internal/geom"
+	"repro/internal/uncertain"
+)
+
+// Search visits every tuple inside the query window rect (boundaries
+// included); fn returning false stops the search.
+func (t *Tree) Search(rect geom.Rect, fn func(uncertain.Tuple) bool) {
+	var walk func(n *node) bool
+	walk = func(n *node) bool {
+		for i := range n.entries {
+			e := &n.entries[i]
+			if n.leaf {
+				if rect.ContainsPoint(e.tuple.Point) && !fn(e.tuple) {
+					return false
+				}
+				continue
+			}
+			// Descend only into overlapping subtrees.
+			if overlaps(e.rect, rect) && !walk(e.child) {
+				return false
+			}
+		}
+		return true
+	}
+	walk(t.root)
+}
+
+func overlaps(a, b geom.Rect) bool {
+	if a.IsEmpty() || b.IsEmpty() || len(a.Lo) != len(b.Lo) {
+		return false
+	}
+	for i := range a.Lo {
+		if a.Hi[i] < b.Lo[i] || b.Hi[i] < a.Lo[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Dominators visits every stored tuple that dominates p in the subspace
+// dims (nil = full space), skipping the tuple with ID self (so a stored
+// tuple can query its own dominators). This is the paper's §6.3 window
+// query: the window spans from the space origin to p.
+func (t *Tree) Dominators(p geom.Point, dims []int, self uncertain.TupleID, fn func(uncertain.Tuple) bool) {
+	var walk func(n *node) bool
+	walk = func(n *node) bool {
+		for i := range n.entries {
+			e := &n.entries[i]
+			if n.leaf {
+				if e.tuple.ID != self && e.tuple.Point.DominatesIn(p, dims) && !fn(e.tuple) {
+					return false
+				}
+				continue
+			}
+			if e.rect.MayContainDominatorOf(p, dims) && !walk(e.child) {
+				return false
+			}
+		}
+		return true
+	}
+	walk(t.root)
+}
+
+// CrossSkyProb computes eq. 9 for an arbitrary probe tuple against the
+// indexed database: Π over stored dominators of probe (excluding any stored
+// tuple sharing probe's ID) of (1 − P). Subtrees that lie entirely inside
+// the dominance region contribute their pre-aggregated product without
+// being expanded, which is what makes the feedback evaluation at local
+// sites (§6.3) sublinear in practice.
+func (t *Tree) CrossSkyProb(probe uncertain.Tuple, dims []int) float64 {
+	prob := 1.0
+	var walk func(n *node)
+	walk = func(n *node) {
+		for i := range n.entries {
+			e := &n.entries[i]
+			if n.leaf {
+				if e.tuple.ID != probe.ID && e.tuple.Point.DominatesIn(probe.Point, dims) {
+					prob *= 1 - e.tuple.Prob
+				}
+				continue
+			}
+			if !e.rect.MayContainDominatorOf(probe.Point, dims) {
+				continue
+			}
+			// Whole-subtree shortcut: when even the far corner of the
+			// subtree dominates the probe, every contained tuple does,
+			// so the cached product applies (the probe itself can never
+			// be inside such a subtree — nothing dominates itself).
+			if e.rect.Hi.DominatesIn(probe.Point, dims) {
+				prob *= e.prodInv
+				continue
+			}
+			walk(e.child)
+		}
+	}
+	walk(t.root)
+	return prob
+}
+
+// SkyProb computes eq. 3 for probe against the indexed database:
+// P(probe) × CrossSkyProb(probe).
+func (t *Tree) SkyProb(probe uncertain.Tuple, dims []int) float64 {
+	return probe.Prob * t.CrossSkyProb(probe, dims)
+}

@@ -1,0 +1,96 @@
+package prtree
+
+import (
+	"container/heap"
+
+	"repro/internal/uncertain"
+)
+
+// LocalSkyline computes the probabilistic skyline of the indexed database
+// (§6.2): every tuple whose skyline probability (eq. 3) is at least q,
+// sorted by descending probability. It follows the BBS discipline — a
+// min-heap on the L1 distance of entry rectangles to the origin — and
+// prunes a subtree as soon as its best possible skyline probability
+//
+//	P2(subtree) × Π_{t' ∈ D, t' ≺ rect.Lo} (1 − P(t'))
+//
+// drops below q. The product is evaluated with a dominance-window query on
+// the tree itself, which strictly sharpens the paper's single-feedback-point
+// bound while remaining sound: every tuple dominating the subtree's best
+// corner dominates each tuple inside it.
+func (t *Tree) LocalSkyline(q float64, dims []int) []uncertain.SkylineMember {
+	var out []uncertain.SkylineMember
+	t.LocalSkylineFunc(q, dims, func(m uncertain.SkylineMember) bool {
+		out = append(out, m)
+		return true
+	})
+	uncertain.SortMembers(out)
+	return out
+}
+
+// LocalSkylineFunc streams qualified skyline members in BBS (ascending L1)
+// order, which delivers near-origin members first; fn returning false stops
+// the search. Members are NOT probability-sorted — callers wanting the
+// paper's descending-probability order should collect and sort (as
+// LocalSkyline does).
+func (t *Tree) LocalSkylineFunc(q float64, dims []int, fn func(uncertain.SkylineMember) bool) {
+	if t.size == 0 || q <= 0 {
+		if q <= 0 && t.size > 0 {
+			// q <= 0 qualifies everything; still report exact probabilities.
+			t.All(func(tu uncertain.Tuple) bool {
+				return fn(uncertain.SkylineMember{Tuple: tu.Clone(), Prob: t.SkyProb(tu, dims)})
+			})
+		}
+		return
+	}
+
+	h := &entryHeap{}
+	heap.Init(h)
+	push := func(e *entry) {
+		// Subtree-level threshold prune (leaf entries get the exact test).
+		if e.child != nil {
+			probe := uncertain.Tuple{ID: uncertain.NoTuple, Point: e.rect.Lo, Prob: 1}
+			if e.pmax*t.CrossSkyProb(probe, dims) < q {
+				return
+			}
+		}
+		heap.Push(h, heapItem{dist: e.rect.MinDist(dims), e: e})
+	}
+	for i := range t.root.entries {
+		push(&t.root.entries[i])
+	}
+	for h.Len() > 0 {
+		item := heap.Pop(h).(heapItem)
+		e := item.e
+		if e.child != nil {
+			for i := range e.child.entries {
+				push(&e.child.entries[i])
+			}
+			continue
+		}
+		if p := t.SkyProb(e.tuple, dims); p >= q {
+			if !fn(uncertain.SkylineMember{Tuple: e.tuple.Clone(), Prob: p}) {
+				return
+			}
+		}
+	}
+}
+
+type heapItem struct {
+	dist float64
+	e    *entry
+}
+
+type entryHeap []heapItem
+
+func (h entryHeap) Len() int            { return len(h) }
+func (h entryHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h entryHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *entryHeap) Push(x interface{}) { *h = append(*h, x.(heapItem)) }
+func (h *entryHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

@@ -1,0 +1,217 @@
+// Package prtree implements the Probabilistic R-tree of the paper's §6.1: a
+// dynamic R-tree over uncertain tuples whose directory entries additionally
+// carry the minimum and maximum existential probability of their subtree
+// (P1/P2 in the paper) plus the aggregated product Π(1−P(t)) used to
+// accelerate dominance-window probability queries (§6.3) and threshold-aware
+// local skyline search (§6.2, BBS-style).
+package prtree
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/uncertain"
+)
+
+// DefaultCapacity is the default maximum node fan-out. Forty-ish entries per
+// node is the classic disk-page sizing; it also performs well in memory.
+const DefaultCapacity = 32
+
+// ErrNotFound reports a Delete for a tuple the tree does not contain.
+var ErrNotFound = errors.New("prtree: tuple not found")
+
+// Tree is a probabilistic R-tree. The zero value is not usable; construct
+// with New or Bulk. Tree is not safe for concurrent mutation; concurrent
+// read-only queries are safe.
+type Tree struct {
+	dims int
+	max  int // node capacity M
+	min  int // minimum fill m
+	root *node
+	size int
+}
+
+// node is one R-tree node. Leaf nodes carry tuple entries; interior nodes
+// carry child entries.
+type node struct {
+	leaf    bool
+	entries []entry
+}
+
+// entry is one slot of a node: either a child pointer with aggregates
+// (interior) or a tuple (leaf).
+type entry struct {
+	rect  geom.Rect
+	child *node           // interior entries only
+	tuple uncertain.Tuple // leaf entries only
+
+	// Aggregates over the subtree (for a leaf entry, over the single
+	// tuple): the paper's P1/P2 plus the Π(1−P) product and tuple count.
+	pmin    float64
+	pmax    float64
+	prodInv float64 // Π over subtree of (1 − P(t))
+	count   int
+}
+
+// New returns an empty PR-tree for points of dimensionality dims with node
+// capacity cap (cap < 4 falls back to DefaultCapacity).
+func New(dims, capacity int) *Tree {
+	if capacity < 4 {
+		capacity = DefaultCapacity
+	}
+	return &Tree{
+		dims: dims,
+		max:  capacity,
+		min:  capacity * 2 / 5, // 40% minimum fill, the R*-tree default
+		root: &node{leaf: true},
+	}
+}
+
+// Dims returns the dimensionality the tree indexes.
+func (t *Tree) Dims() int { return t.dims }
+
+// Len returns the number of tuples stored.
+func (t *Tree) Len() int { return t.size }
+
+// leafEntry builds the entry wrapping one tuple.
+func leafEntry(tu uncertain.Tuple) entry {
+	return entry{
+		rect:    geom.RectFromPoint(tu.Point),
+		tuple:   tu,
+		pmin:    tu.Prob,
+		pmax:    tu.Prob,
+		prodInv: 1 - tu.Prob,
+		count:   1,
+	}
+}
+
+// recompute refreshes an interior entry's rect and aggregates from its
+// child's entries.
+func (e *entry) recompute() {
+	n := e.child
+	e.rect = geom.Rect{}
+	e.pmin = 1
+	e.pmax = 0
+	e.prodInv = 1
+	e.count = 0
+	for i := range n.entries {
+		c := &n.entries[i]
+		e.rect = e.rect.ExpandRect(c.rect)
+		if c.pmin < e.pmin {
+			e.pmin = c.pmin
+		}
+		if c.pmax > e.pmax {
+			e.pmax = c.pmax
+		}
+		e.prodInv *= c.prodInv
+		e.count += c.count
+	}
+}
+
+// wrap builds a fresh interior entry around n.
+func wrap(n *node) entry {
+	e := entry{child: n}
+	e.recompute()
+	return e
+}
+
+// CheckInvariants validates structural invariants: bounding rectangles
+// contain children, aggregates match recomputation, leaf depth is uniform,
+// and node occupancy respects capacity. It exists for tests.
+func (t *Tree) CheckInvariants() error {
+	if t.root == nil {
+		return errors.New("prtree: nil root")
+	}
+	_, err := t.check(t.root, true)
+	if err != nil {
+		return err
+	}
+	n := wrapCount(t.root)
+	if n != t.size {
+		return fmt.Errorf("prtree: size %d but %d tuples reachable", t.size, n)
+	}
+	return nil
+}
+
+func wrapCount(n *node) int {
+	if n.leaf {
+		return len(n.entries)
+	}
+	total := 0
+	for i := range n.entries {
+		total += wrapCount(n.entries[i].child)
+	}
+	return total
+}
+
+func (t *Tree) check(n *node, isRoot bool) (depth int, err error) {
+	if len(n.entries) > t.max {
+		return 0, fmt.Errorf("prtree: node with %d entries exceeds capacity %d", len(n.entries), t.max)
+	}
+	if !isRoot && len(n.entries) < t.min {
+		return 0, fmt.Errorf("prtree: underfull non-root node (%d < %d)", len(n.entries), t.min)
+	}
+	if n.leaf {
+		for i := range n.entries {
+			e := &n.entries[i]
+			if e.child != nil {
+				return 0, errors.New("prtree: leaf entry with child pointer")
+			}
+			if !e.rect.Lo.Equal(e.tuple.Point) || !e.rect.Hi.Equal(e.tuple.Point) {
+				return 0, fmt.Errorf("prtree: leaf rect %v mismatches tuple %v", e.rect, e.tuple)
+			}
+		}
+		return 1, nil
+	}
+	if len(n.entries) == 0 {
+		return 0, errors.New("prtree: empty interior node")
+	}
+	childDepth := -1
+	for i := range n.entries {
+		e := &n.entries[i]
+		if e.child == nil {
+			return 0, errors.New("prtree: interior entry without child")
+		}
+		var fresh entry
+		fresh.child = e.child
+		fresh.recompute()
+		if !fresh.rect.Lo.Equal(e.rect.Lo) || !fresh.rect.Hi.Equal(e.rect.Hi) {
+			return 0, fmt.Errorf("prtree: stale rect: have %v want %v", e.rect, fresh.rect)
+		}
+		if fresh.count != e.count || fresh.pmin != e.pmin || fresh.pmax != e.pmax {
+			return 0, fmt.Errorf("prtree: stale aggregates (count %d/%d pmin %v/%v pmax %v/%v)",
+				e.count, fresh.count, e.pmin, fresh.pmin, e.pmax, fresh.pmax)
+		}
+		d, err := t.check(e.child, false)
+		if err != nil {
+			return 0, err
+		}
+		if childDepth == -1 {
+			childDepth = d
+		} else if childDepth != d {
+			return 0, errors.New("prtree: leaves at different depths")
+		}
+	}
+	return childDepth + 1, nil
+}
+
+// All visits every tuple in the tree in unspecified order; fn returning
+// false stops the walk early.
+func (t *Tree) All(fn func(uncertain.Tuple) bool) {
+	var walk func(n *node) bool
+	walk = func(n *node) bool {
+		for i := range n.entries {
+			e := &n.entries[i]
+			if n.leaf {
+				if !fn(e.tuple) {
+					return false
+				}
+			} else if !walk(e.child) {
+				return false
+			}
+		}
+		return true
+	}
+	walk(t.root)
+}

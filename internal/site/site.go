@@ -1,0 +1,361 @@
+// Package site implements the local-site engine of the DSUD protocol: each
+// site indexes its uncertain partition in a PR-tree, computes its local
+// skyline set SKY(D_i) sorted by descending local skyline probability
+// (§5.1), streams representatives to the coordinator, evaluates feedback
+// tuples (Observation 1, eq. 9), applies the Observation-2 local pruning
+// rule, and services the §5.4 update operations.
+//
+// Query state is kept per session (transport.Request.Session), so several
+// coordinators — or several concurrent queries from one coordinator — can
+// share a site without trampling each other's cursors.
+package site
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/prtree"
+	"repro/internal/synopsis"
+	"repro/internal/transport"
+	"repro/internal/uncertain"
+)
+
+// MaxSessions caps concurrent query sessions per site; KindInit beyond the
+// cap is rejected so a leaky coordinator cannot exhaust site memory.
+const MaxSessions = 128
+
+// session is the per-query state created by KindInit.
+type session struct {
+	query transport.Query
+	// sky is the not-yet-shipped suffix of SKY(D_i), kept sorted by
+	// descending local skyline probability (ties: ascending ID).
+	sky []uncertain.SkylineMember
+	// pruned counts local skyline tuples discarded by feedback.
+	pruned int
+}
+
+// Engine is one local site. It implements transport.Handler so it can be
+// served in-process or over TCP unchanged. Engine is safe for concurrent
+// use.
+type Engine struct {
+	id int
+
+	mu       sync.Mutex
+	index    *prtree.Tree
+	sessions map[uint64]*session
+
+	// replica mirrors the coordinator's global skyline SKY(H) (§5.4);
+	// nil when replication is off.
+	replica map[uncertain.TupleID]uncertain.Tuple
+
+	// At-most-once dedup for retried requests, scoped per client ID
+	// (transport.Request.Client): the last processed sequence number and
+	// its outcome. Sequence zero disables dedup (unsequenced callers).
+	dedup map[uint64]*dedupState
+}
+
+// dedupState is one client's retry bookkeeping.
+type dedupState struct {
+	lastSeq  uint64
+	lastResp *transport.Response
+	lastErr  error
+}
+
+// maxDedupClients bounds the dedup table; beyond it, an arbitrary idle
+// entry is evicted (its owner would only lose replay protection for its
+// single most recent request).
+const maxDedupClients = 1024
+
+// New builds a site engine over one uncertain partition. The PR-tree is
+// bulk-loaded; dims is the data dimensionality and capacity the R-tree
+// fan-out (<4 selects the default).
+func New(id int, part uncertain.DB, dims, capacity int) *Engine {
+	return &Engine{
+		id:       id,
+		index:    prtree.Bulk(part, dims, capacity),
+		sessions: make(map[uint64]*session),
+		dedup:    make(map[uint64]*dedupState),
+	}
+}
+
+// ID returns the site's index, fixed at construction.
+func (e *Engine) ID() int { return e.id }
+
+// Len returns the number of tuples currently stored at the site.
+func (e *Engine) Len() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.index.Len()
+}
+
+// Sessions returns the number of live query sessions.
+func (e *Engine) Sessions() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.sessions)
+}
+
+// Handle implements transport.Handler.
+func (e *Engine) Handle(ctx context.Context, req *transport.Request) (*transport.Response, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if req.Seq != 0 {
+		st := e.dedup[req.Client]
+		if st == nil {
+			if len(e.dedup) >= maxDedupClients {
+				for k := range e.dedup {
+					delete(e.dedup, k)
+					break
+				}
+			}
+			st = &dedupState{}
+			e.dedup[req.Client] = st
+		}
+		if req.Seq == st.lastSeq {
+			// A retry of the request we just served: replay the cached
+			// outcome instead of re-executing (Next and the update
+			// operations are not idempotent).
+			return st.lastResp, st.lastErr
+		}
+		if req.Seq < st.lastSeq {
+			return nil, fmt.Errorf("site %d: stale sequence %d from client %d (last %d)",
+				e.id, req.Seq, req.Client, st.lastSeq)
+		}
+		resp, err := e.dispatch(req)
+		st.lastSeq, st.lastResp, st.lastErr = req.Seq, resp, err
+		return resp, err
+	}
+	return e.dispatch(req)
+}
+
+func (e *Engine) dispatch(req *transport.Request) (*transport.Response, error) {
+	switch req.Kind {
+	case transport.KindInit:
+		return e.handleInit(req)
+	case transport.KindNext:
+		return e.handleNext(req)
+	case transport.KindEvaluate:
+		return e.handleEvaluate(req)
+	case transport.KindEndQuery:
+		delete(e.sessions, req.Session)
+		return &transport.Response{}, nil
+	case transport.KindShipAll:
+		return e.handleShipAll()
+	case transport.KindInsert:
+		return e.handleInsert(req)
+	case transport.KindDelete:
+		return e.handleDelete(req)
+	case transport.KindCandidates:
+		return e.handleCandidates(req)
+	case transport.KindLocalSkylineSize:
+		size := 0
+		if s := e.sessions[req.Session]; s != nil {
+			size = len(s.sky)
+		}
+		return &transport.Response{Size: size}, nil
+	case transport.KindSynopsis:
+		return e.handleSynopsis(req)
+	case transport.KindReplicate:
+		return e.handleReplicate(req)
+	default:
+		return nil, fmt.Errorf("site %d: unknown request kind %v", e.id, req.Kind)
+	}
+}
+
+// handleInit runs the local computing phase: compute SKY(D_i) with the
+// PR-tree's threshold-aware BBS search, sort by descending local skyline
+// probability, and hand out the first representative.
+func (e *Engine) handleInit(req *transport.Request) (*transport.Response, error) {
+	if err := req.Query.Validate(e.index.Dims()); err != nil {
+		return nil, fmt.Errorf("site %d: %w", e.id, err)
+	}
+	if _, exists := e.sessions[req.Session]; !exists && len(e.sessions) >= MaxSessions {
+		return nil, fmt.Errorf("site %d: session limit (%d) reached", e.id, MaxSessions)
+	}
+	e.sessions[req.Session] = &session{
+		query: req.Query,
+		sky:   e.index.LocalSkyline(req.Query.Threshold, req.Query.Dims),
+	}
+	return e.handleNext(req)
+}
+
+// handleNext pops the most promising remaining local skyline tuple.
+func (e *Engine) handleNext(req *transport.Request) (*transport.Response, error) {
+	s := e.sessions[req.Session]
+	if s == nil {
+		return nil, fmt.Errorf("site %d: Next before Init (session %d)", e.id, req.Session)
+	}
+	if len(s.sky) == 0 {
+		return &transport.Response{Exhausted: true}, nil
+	}
+	head := s.sky[0]
+	s.sky = s.sky[1:]
+	return &transport.Response{
+		Rep: transport.Representative{Tuple: head.Tuple, LocalProb: head.Prob},
+	}, nil
+}
+
+// handleEvaluate answers a feedback broadcast: report this site's eq. 9
+// factor for the feedback tuple and prune the session's local skyline
+// (Local-Pruning phase). A remaining tuple s is discarded iff the
+// feedback t dominates it and the Observation-2 upper bound on s's global
+// skyline probability,
+//
+//	P_sky(s, D_x) × P_sky(t, D_home)/P(t) × (1 − P(t))
+//
+// falls below the query threshold — a sound prune because every dominator
+// of t at t's home site also dominates s. Without a session (maintenance
+// traffic), the request's own Query supplies the dominance subspace.
+func (e *Engine) handleEvaluate(req *transport.Request) (*transport.Response, error) {
+	feed := req.Feed
+	if err := feed.Tuple.Validate(e.index.Dims()); err != nil {
+		return nil, fmt.Errorf("site %d: bad feedback: %w", e.id, err)
+	}
+	s := e.sessions[req.Session]
+	dims := req.Query.Dims
+	if s != nil {
+		dims = s.query.Dims
+	}
+	cross := e.index.CrossSkyProb(feed.Tuple, dims)
+	pruned := 0
+	if s != nil && !s.query.NoPrune && len(s.sky) > 0 {
+		homeFactor := feed.HomeLocalProb / feed.Tuple.Prob * (1 - feed.Tuple.Prob)
+		kept := s.sky[:0]
+		for _, cand := range s.sky {
+			if feed.Tuple.Dominates(cand.Tuple, dims) &&
+				cand.Prob*homeFactor < s.query.Threshold {
+				pruned++
+				continue
+			}
+			kept = append(kept, cand)
+		}
+		s.sky = kept
+		s.pruned += pruned
+	}
+	return &transport.Response{CrossProb: cross, Pruned: pruned}, nil
+}
+
+// handleShipAll returns the whole partition (baseline algorithm).
+func (e *Engine) handleShipAll() (*transport.Response, error) {
+	out := make([]transport.Representative, 0, e.index.Len())
+	e.index.All(func(tu uncertain.Tuple) bool {
+		out = append(out, transport.Representative{Tuple: tu.Clone()})
+		return true
+	})
+	return &transport.Response{Tuples: out}, nil
+}
+
+// handleInsert applies one insertion (§5.4) and returns the fresh local
+// skyline probability of the inserted tuple (in the request's subspace)
+// so the coordinator can start its global evaluation without another
+// round trip.
+func (e *Engine) handleInsert(req *transport.Request) (*transport.Response, error) {
+	if err := req.Tuple.Validate(e.index.Dims()); err != nil {
+		return nil, fmt.Errorf("site %d: bad insert: %w", e.id, err)
+	}
+	e.index.Insert(req.Tuple)
+	local := e.index.SkyProb(req.Tuple, req.Query.Dims)
+	resp := &transport.Response{
+		Rep: transport.Representative{Tuple: req.Tuple, LocalProb: local},
+	}
+	// Replica filter (§5.4): if the global skyline copy alone pushes the
+	// newcomer's best possible global probability below the threshold,
+	// tell the coordinator to skip the evaluation broadcast. Sound: every
+	// replica member is a real tuple of D.
+	if e.replica != nil && req.Query.Threshold > 0 {
+		bound := local
+		for _, r := range e.replica {
+			if r.ID != req.Tuple.ID && r.Dominates(req.Tuple, req.Query.Dims) {
+				bound *= 1 - r.Prob
+			}
+		}
+		if bound < req.Query.Threshold {
+			resp.Hopeless = true
+		}
+	}
+	return resp, nil
+}
+
+// handleReplicate applies a delta to the site's SKY(H) replica.
+func (e *Engine) handleReplicate(req *transport.Request) (*transport.Response, error) {
+	if e.replica == nil {
+		e.replica = make(map[uncertain.TupleID]uncertain.Tuple)
+	}
+	for _, id := range req.RemoveIDs {
+		delete(e.replica, id)
+	}
+	for _, rep := range req.Tuples {
+		if err := rep.Tuple.Validate(e.index.Dims()); err != nil {
+			return nil, fmt.Errorf("site %d: bad replica tuple: %w", e.id, err)
+		}
+		e.replica[rep.Tuple.ID] = rep.Tuple.Clone()
+	}
+	return &transport.Response{Size: len(e.replica)}, nil
+}
+
+// handleDelete applies one deletion (§5.4).
+func (e *Engine) handleDelete(req *transport.Request) (*transport.Response, error) {
+	if err := e.index.Delete(req.ID, req.Point); err != nil {
+		return nil, fmt.Errorf("site %d: delete %d: %w", e.id, req.ID, err)
+	}
+	return &transport.Response{}, nil
+}
+
+// handleCandidates finds, after the deletion of req.Feed.Tuple anywhere in
+// the system, the local tuples it used to dominate whose fresh local
+// skyline probability now reaches the threshold — the promotion candidates
+// of incremental maintenance. The threshold and subspace ride in the
+// request's Query (maintenance is independent of query sessions).
+func (e *Engine) handleCandidates(req *transport.Request) (*transport.Response, error) {
+	if !(req.Query.Threshold > 0 && req.Query.Threshold <= 1) {
+		return nil, fmt.Errorf("site %d: candidates need a threshold, got %v", e.id, req.Query.Threshold)
+	}
+	var out []transport.Representative
+	e.index.DominatedCandidates(req.Feed.Tuple.Point, req.Query.Dims, req.Feed.Tuple.ID,
+		req.Query.Threshold, func(m uncertain.SkylineMember) bool {
+			out = append(out, transport.Representative{Tuple: m.Tuple, LocalProb: m.Prob})
+			return true
+		})
+	return &transport.Response{Tuples: out}, nil
+}
+
+// handleSynopsis summarises the partition into a grid histogram (§5.2
+// data-synopsis alternative).
+func (e *Engine) handleSynopsis(req *transport.Request) (*transport.Response, error) {
+	var db uncertain.DB
+	e.index.All(func(tu uncertain.Tuple) bool {
+		db = append(db, tu)
+		return true
+	})
+	h, err := synopsis.Build(db, req.Grid)
+	if err != nil {
+		return nil, fmt.Errorf("site %d: %w", e.id, err)
+	}
+	return &transport.Response{Synopsis: h}, nil
+}
+
+// LocalSkylineSize reports how many local skyline tuples remain unshipped
+// in the default session, for tests and diagnostics.
+func (e *Engine) LocalSkylineSize() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if s := e.sessions[0]; s != nil {
+		return len(s.sky)
+	}
+	return 0
+}
+
+// PrunedTotal reports how many local skyline tuples feedback pruning
+// discarded in the default session.
+func (e *Engine) PrunedTotal() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if s := e.sessions[0]; s != nil {
+		return s.pruned
+	}
+	return 0
+}

@@ -1,0 +1,368 @@
+package site
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/transport"
+	"repro/internal/uncertain"
+)
+
+func randomPart(r *rand.Rand, n, d int) uncertain.DB {
+	db := make(uncertain.DB, n)
+	for i := range db {
+		p := make(geom.Point, d)
+		for j := range p {
+			p[j] = r.Float64()
+		}
+		db[i] = uncertain.Tuple{ID: uncertain.TupleID(i + 1), Point: p, Prob: 0.05 + 0.95*r.Float64()}
+	}
+	return db
+}
+
+func initSite(t *testing.T, eng *Engine, q float64, dims []int) *transport.Response {
+	t.Helper()
+	resp, err := eng.Handle(context.Background(), &transport.Request{
+		Kind:  transport.KindInit,
+		Query: transport.Query{Threshold: q, Dims: dims},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestInitStreamsLocalSkylineInOrder(t *testing.T) {
+	r := rand.New(rand.NewSource(51))
+	part := randomPart(r, 200, 3)
+	eng := New(0, part, 3, 0)
+	want := part.Skyline(0.3, nil)
+
+	resp := initSite(t, eng, 0.3, nil)
+	var got []uncertain.SkylineMember
+	for !resp.Exhausted {
+		got = append(got, uncertain.SkylineMember{Tuple: resp.Rep.Tuple, Prob: resp.Rep.LocalProb})
+		var err error
+		resp, err = eng.Handle(context.Background(), &transport.Request{Kind: transport.KindNext})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !uncertain.MembersEqual(got, want, 1e-9) {
+		t.Fatalf("streamed %d members, oracle %d", len(got), len(want))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Prob > got[i-1].Prob {
+			t.Fatal("representatives must stream in descending local probability")
+		}
+	}
+	if eng.LocalSkylineSize() != 0 {
+		t.Fatal("size must be zero after exhaustion")
+	}
+}
+
+func TestNextBeforeInitFails(t *testing.T) {
+	eng := New(0, nil, 2, 0)
+	if _, err := eng.Handle(context.Background(), &transport.Request{Kind: transport.KindNext}); err == nil {
+		t.Fatal("Next before Init must fail")
+	}
+	if _, err := eng.Handle(context.Background(), &transport.Request{Kind: transport.KindCandidates}); err == nil {
+		t.Fatal("Candidates before Init must fail")
+	}
+}
+
+func TestInitValidatesQuery(t *testing.T) {
+	r := rand.New(rand.NewSource(52))
+	eng := New(0, randomPart(r, 10, 2), 2, 0)
+	bad := []transport.Query{
+		{Threshold: 0},
+		{Threshold: 2},
+		{Threshold: 0.3, Dims: []int{9}},
+	}
+	for i, q := range bad {
+		if _, err := eng.Handle(context.Background(), &transport.Request{Kind: transport.KindInit, Query: q}); err == nil {
+			t.Errorf("case %d: query %+v must be rejected", i, q)
+		}
+	}
+}
+
+func TestEvaluateReturnsCrossProbAndPrunes(t *testing.T) {
+	part := uncertain.DB{
+		{ID: 1, Point: geom.Point{0.5, 0.5}, Prob: 0.9}, // will dominate the feedback target region
+		{ID: 2, Point: geom.Point{0.9, 0.9}, Prob: 0.4},
+	}
+	eng := New(0, part, 2, 0)
+	initSite(t, eng, 0.3, nil)
+
+	feed := transport.Feedback{
+		Tuple:         uncertain.Tuple{ID: 99, Point: geom.Point{0.8, 0.8}, Prob: 0.5},
+		HomeLocalProb: 0.5,
+	}
+	resp, err := eng.Handle(context.Background(), &transport.Request{Kind: transport.KindEvaluate, Feed: feed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only tuple 1 dominates (0.8, 0.8): cross = 1 − 0.9 = 0.1.
+	if math.Abs(resp.CrossProb-0.1) > 1e-12 {
+		t.Fatalf("CrossProb = %v, want 0.1", resp.CrossProb)
+	}
+	if got := eng.PrunedTotal(); got != resp.Pruned {
+		t.Fatalf("PrunedTotal %d != response %d", got, resp.Pruned)
+	}
+}
+
+func TestEvaluatePruningIsSound(t *testing.T) {
+	// Whatever the feedback, tuples whose true global probability could
+	// reach q must survive local pruning. We verify against the
+	// mathematical bound directly.
+	r := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 30; trial++ {
+		part := randomPart(r, 120, 2)
+		eng := New(0, part, 2, 0)
+		const q = 0.3
+		initSite(t, eng, q, nil)
+		// Skip the first representative (already popped by Init).
+		feed := transport.Feedback{
+			Tuple: uncertain.Tuple{
+				ID:    uncertain.TupleID(10_000 + trial),
+				Point: geom.Point{0.2 * r.Float64(), 0.2 * r.Float64()},
+				Prob:  0.05 + 0.9*r.Float64(),
+			},
+		}
+		feed.HomeLocalProb = feed.Tuple.Prob * (0.5 + 0.5*r.Float64())
+		before := eng.LocalSkylineSize()
+		resp, err := eng.Handle(context.Background(), &transport.Request{Kind: transport.KindEvaluate, Feed: feed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if eng.LocalSkylineSize() != before-resp.Pruned {
+			t.Fatalf("size bookkeeping off: %d -> %d with %d pruned",
+				before, eng.LocalSkylineSize(), resp.Pruned)
+		}
+		// Survivors dominated by the feedback must have bound >= q.
+		homeFactor := feed.HomeLocalProb / feed.Tuple.Prob * (1 - feed.Tuple.Prob)
+		for eng.LocalSkylineSize() > 0 {
+			next, err := eng.Handle(context.Background(), &transport.Request{Kind: transport.KindNext})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if next.Exhausted {
+				break
+			}
+			s := next.Rep
+			if feed.Tuple.Dominates(s.Tuple, nil) && s.LocalProb*homeFactor < q {
+				t.Fatalf("unpruned tuple %v violates the bound", s)
+			}
+		}
+	}
+}
+
+func TestEvaluateRejectsBadFeedback(t *testing.T) {
+	r := rand.New(rand.NewSource(54))
+	eng := New(0, randomPart(r, 10, 2), 2, 0)
+	initSite(t, eng, 0.3, nil)
+	bad := transport.Feedback{Tuple: uncertain.Tuple{ID: 1, Point: geom.Point{1}, Prob: 0.5}}
+	if _, err := eng.Handle(context.Background(), &transport.Request{Kind: transport.KindEvaluate, Feed: bad}); err == nil {
+		t.Fatal("dimension-mismatched feedback must be rejected")
+	}
+}
+
+func TestShipAll(t *testing.T) {
+	r := rand.New(rand.NewSource(55))
+	part := randomPart(r, 64, 2)
+	eng := New(3, part, 2, 0)
+	resp, err := eng.Handle(context.Background(), &transport.Request{Kind: transport.KindShipAll})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Tuples) != len(part) {
+		t.Fatalf("shipped %d tuples, want %d", len(resp.Tuples), len(part))
+	}
+	if eng.ID() != 3 || eng.Len() != len(part) {
+		t.Fatalf("ID/Len = %d/%d", eng.ID(), eng.Len())
+	}
+}
+
+func TestInsertDeleteRoundTrip(t *testing.T) {
+	eng := New(0, nil, 2, 0)
+	initSite(t, eng, 0.3, nil)
+	tu := uncertain.Tuple{ID: 1, Point: geom.Point{0.5, 0.5}, Prob: 0.8}
+	resp, err := eng.Handle(context.Background(), &transport.Request{Kind: transport.KindInsert, Tuple: tu})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(resp.Rep.LocalProb-0.8) > 1e-12 {
+		t.Fatalf("LocalProb of sole tuple = %v, want its existential probability", resp.Rep.LocalProb)
+	}
+	dominator := uncertain.Tuple{ID: 2, Point: geom.Point{0.1, 0.1}, Prob: 0.5}
+	if _, err := eng.Handle(context.Background(), &transport.Request{Kind: transport.KindInsert, Tuple: dominator}); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Len() != 2 {
+		t.Fatalf("Len = %d", eng.Len())
+	}
+	if _, err := eng.Handle(context.Background(), &transport.Request{Kind: transport.KindDelete, ID: 1, Point: tu.Point}); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Len() != 1 {
+		t.Fatalf("Len after delete = %d", eng.Len())
+	}
+	if _, err := eng.Handle(context.Background(), &transport.Request{Kind: transport.KindDelete, ID: 1, Point: tu.Point}); err == nil {
+		t.Fatal("deleting a missing tuple must fail")
+	}
+	if _, err := eng.Handle(context.Background(), &transport.Request{
+		Kind:  transport.KindInsert,
+		Tuple: uncertain.Tuple{ID: 3, Point: geom.Point{1}, Prob: 0.5},
+	}); err == nil {
+		t.Fatal("dimension-mismatched insert must be rejected")
+	}
+}
+
+func TestCandidatesFindsPromotions(t *testing.T) {
+	// One strong dominator suppresses two tuples; deleting it must surface
+	// them as candidates.
+	part := uncertain.DB{
+		{ID: 1, Point: geom.Point{0.1, 0.1}, Prob: 0.95},
+		{ID: 2, Point: geom.Point{0.5, 0.5}, Prob: 0.8},
+		{ID: 3, Point: geom.Point{0.6, 0.4}, Prob: 0.7},
+		{ID: 4, Point: geom.Point{0.9, 0.9}, Prob: 0.9}, // dominated by everything
+	}
+	eng := New(0, part, 2, 0)
+	initSite(t, eng, 0.3, nil)
+	dominator := part[0]
+	if _, err := eng.Handle(context.Background(), &transport.Request{
+		Kind: transport.KindDelete, ID: dominator.ID, Point: dominator.Point,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := eng.Handle(context.Background(), &transport.Request{
+		Kind:  transport.KindCandidates,
+		Feed:  transport.Feedback{Tuple: dominator},
+		Query: transport.Query{Threshold: 0.3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[uncertain.TupleID]float64{}
+	for _, cand := range resp.Tuples {
+		got[cand.Tuple.ID] = cand.LocalProb
+	}
+	// Fresh local probabilities: t2 = 0.8, t3 = 0.7, t4 = 0.9×0.2×0.3 =
+	// 0.054 (< q, excluded).
+	if len(got) != 2 {
+		t.Fatalf("candidates = %v, want tuples 2 and 3", got)
+	}
+	if math.Abs(got[2]-0.8) > 1e-12 || math.Abs(got[3]-0.7) > 1e-12 {
+		t.Fatalf("candidate probabilities wrong: %v", got)
+	}
+}
+
+func TestLocalSkylineSizeRequest(t *testing.T) {
+	r := rand.New(rand.NewSource(56))
+	part := randomPart(r, 100, 2)
+	eng := New(0, part, 2, 0)
+	initSite(t, eng, 0.3, nil)
+	resp, err := eng.Handle(context.Background(), &transport.Request{Kind: transport.KindLocalSkylineSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Size != eng.LocalSkylineSize() {
+		t.Fatalf("Size = %d, want %d", resp.Size, eng.LocalSkylineSize())
+	}
+}
+
+func TestUnknownKind(t *testing.T) {
+	eng := New(0, nil, 2, 0)
+	if _, err := eng.Handle(context.Background(), &transport.Request{Kind: transport.Kind(77)}); err == nil {
+		t.Fatal("unknown kind must fail")
+	}
+}
+
+func TestHandleHonoursContext(t *testing.T) {
+	eng := New(0, nil, 2, 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.Handle(ctx, &transport.Request{Kind: transport.KindShipAll}); err == nil {
+		t.Fatal("cancelled context must fail")
+	}
+}
+
+func TestSubspaceInit(t *testing.T) {
+	r := rand.New(rand.NewSource(57))
+	part := randomPart(r, 150, 3)
+	eng := New(0, part, 3, 0)
+	dims := []int{1, 2}
+	resp := initSite(t, eng, 0.3, dims)
+	want := part.Skyline(0.3, dims)
+	var got []uncertain.SkylineMember
+	for !resp.Exhausted {
+		got = append(got, uncertain.SkylineMember{Tuple: resp.Rep.Tuple, Prob: resp.Rep.LocalProb})
+		var err error
+		resp, err = eng.Handle(context.Background(), &transport.Request{Kind: transport.KindNext})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !uncertain.MembersEqual(got, want, 1e-9) {
+		t.Fatalf("subspace stream mismatch: %d vs %d", len(got), len(want))
+	}
+}
+
+func TestReInitResetsState(t *testing.T) {
+	r := rand.New(rand.NewSource(58))
+	part := randomPart(r, 80, 2)
+	eng := New(0, part, 2, 0)
+	initSite(t, eng, 0.3, nil)
+	for i := 0; i < 3; i++ {
+		if _, err := eng.Handle(context.Background(), &transport.Request{Kind: transport.KindNext}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Re-Init with a different threshold must rebuild the full list.
+	initSite(t, eng, 0.1, nil)
+	want := len(part.Skyline(0.1, nil)) - 1 // Init pops the head
+	if eng.LocalSkylineSize() != want {
+		t.Fatalf("size after re-Init = %d, want %d", eng.LocalSkylineSize(), want)
+	}
+	if eng.PrunedTotal() != 0 {
+		t.Fatal("re-Init must reset prune counter")
+	}
+}
+
+func TestStatusEndpoint(t *testing.T) {
+	r := rand.New(rand.NewSource(59))
+	eng := New(7, randomPart(r, 42, 2), 2, 0)
+	initSite(t, eng, 0.3, nil)
+	st := eng.Status()
+	if st.ID != 7 || st.Tuples != 42 || st.Sessions != 1 || st.ReplicaSize != 0 {
+		t.Fatalf("status = %+v", st)
+	}
+	srv := httptest.NewServer(eng.StatusHandler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got Status
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got != st {
+		t.Fatalf("http status %+v, want %+v", got, st)
+	}
+	post, err := http.Post(srv.URL, "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST status = %d", post.StatusCode)
+	}
+}

@@ -1,0 +1,47 @@
+package site
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Status is the site's operational snapshot, served as JSON by
+// StatusHandler for monitoring.
+type Status struct {
+	// ID is the site index.
+	ID int `json:"id"`
+	// Tuples is the partition size.
+	Tuples int `json:"tuples"`
+	// Sessions is the number of live query sessions.
+	Sessions int `json:"sessions"`
+	// ReplicaSize is the size of the SKY(H) replica (0 when replication
+	// is off).
+	ReplicaSize int `json:"replica_size"`
+}
+
+// Status returns the current operational snapshot.
+func (e *Engine) Status() Status {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return Status{
+		ID:          e.id,
+		Tuples:      e.index.Len(),
+		Sessions:    len(e.sessions),
+		ReplicaSize: len(e.replica),
+	}
+}
+
+// StatusHandler serves the snapshot as JSON — mount it on an ops port
+// next to the TCP protocol listener (see cmd/dsud-site -http).
+func (e *Engine) StatusHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(e.Status()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}

@@ -1,0 +1,175 @@
+// Package skyline implements the classical certain-data skyline
+// algorithms the paper builds on (§1–2; Börzsönyi et al., ICDE 2001):
+// block-nested-loops (BNL), sort-filter-skyline (SFS), and
+// divide-and-conquer. They serve three roles in this repository: the
+// conceptual baseline for the probabilistic semantics (a probability-1
+// database reduces to them), a fast path for certain special cases, and a
+// benchmark substrate (internal/uncertain keeps the deliberately naive
+// O(N²) oracle; these are the real algorithms).
+//
+// All functions return the *indices* of skyline points in the input
+// slice, sorted ascending, so callers keep identity and auxiliary data.
+// Duplicate points are all skyline members (neither dominates the other),
+// matching the dominance definition used throughout the module.
+package skyline
+
+import (
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// BNL computes the skyline with the block-nested-loops discipline: stream
+// the points through a window of incomparable candidates. Expected
+// near-linear on small skylines; O(N²) worst case.
+func BNL(points []geom.Point, dims []int) []int {
+	type candidate struct {
+		idx int
+		p   geom.Point
+	}
+	var window []candidate
+	for i, p := range points {
+		dominated := false
+		kept := window[:0]
+		for _, c := range window {
+			if dominated {
+				kept = append(kept, c)
+				continue
+			}
+			switch {
+			case c.p.DominatesIn(p, dims):
+				dominated = true
+				kept = append(kept, c)
+			case p.DominatesIn(c.p, dims):
+				// c falls out of the window.
+			default:
+				kept = append(kept, c)
+			}
+		}
+		window = kept
+		if !dominated {
+			window = append(window, candidate{idx: i, p: p})
+		}
+	}
+	out := make([]int, 0, len(window))
+	for _, c := range window {
+		out = append(out, c.idx)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// SFS computes the skyline by first sorting on an entropy-like monotone
+// score (the L1 norm): after sorting, no point can be dominated by a
+// later one, so a single pass against the accumulated skyline suffices
+// and every window member is final.
+func SFS(points []geom.Point, dims []int) []int {
+	order := make([]int, len(points))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return points[order[a]].L1In(dims) < points[order[b]].L1In(dims)
+	})
+	var skyIdx []int
+	for _, i := range order {
+		p := points[i]
+		dominated := false
+		for _, j := range skyIdx {
+			if points[j].DominatesIn(p, dims) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			skyIdx = append(skyIdx, i)
+		}
+	}
+	sort.Ints(skyIdx)
+	return skyIdx
+}
+
+// DivideConquer computes the skyline by splitting on the median of the
+// first compared dimension, recursing, and filtering the worse half's
+// skyline against the better half's. The merge is pairwise over the two
+// (small) partial skylines.
+func DivideConquer(points []geom.Point, dims []int) []int {
+	idx := make([]int, len(points))
+	for i := range idx {
+		idx[i] = i
+	}
+	firstDim := 0
+	if len(dims) > 0 {
+		firstDim = dims[0]
+	}
+	out := dac(points, idx, dims, firstDim)
+	sort.Ints(out)
+	return out
+}
+
+func dac(points []geom.Point, idx []int, dims []int, splitDim int) []int {
+	if len(idx) <= 16 {
+		sub := make([]geom.Point, len(idx))
+		for k, i := range idx {
+			sub[k] = points[i]
+		}
+		local := BNL(sub, dims)
+		out := make([]int, 0, len(local))
+		for _, k := range local {
+			out = append(out, idx[k])
+		}
+		return out
+	}
+	// Median split on splitDim (ties broken by index keeps halves
+	// balanced even on heavily duplicated data).
+	sorted := append([]int(nil), idx...)
+	sort.Slice(sorted, func(a, b int) bool {
+		va, vb := value(points[sorted[a]], splitDim), value(points[sorted[b]], splitDim)
+		if va != vb {
+			return va < vb
+		}
+		return sorted[a] < sorted[b]
+	})
+	mid := len(sorted) / 2
+	better := dac(points, sorted[:mid], dims, splitDim)
+	worse := dac(points, sorted[mid:], dims, splitDim)
+
+	// Merge with a bidirectional filter: ties on the split dimension can
+	// straddle the halves, so a "worse"-half point may dominate a
+	// "better"-half one. Filtering each partial skyline against the other
+	// is sound (a dominator in the opposite half is itself dominated by
+	// an opposite-half skyline member, and dominance is transitive).
+	var out []int
+	for _, b := range better {
+		dominated := false
+		for _, w := range worse {
+			if points[w].DominatesIn(points[b], dims) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, b)
+		}
+	}
+	for _, w := range worse {
+		dominated := false
+		for _, b := range better {
+			if points[b].DominatesIn(points[w], dims) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+func value(p geom.Point, dim int) float64 {
+	if dim < len(p) {
+		return p[dim]
+	}
+	return 0
+}

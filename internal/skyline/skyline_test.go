@@ -1,0 +1,143 @@
+package skyline
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/uncertain"
+)
+
+// bruteIndices is the independent oracle: indices of points no other
+// point dominates.
+func bruteIndices(points []geom.Point, dims []int) []int {
+	var out []int
+	for i, p := range points {
+		dominated := false
+		for j, s := range points {
+			if i != j && s.DominatesIn(p, dims) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func sameInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+var algorithms = map[string]func([]geom.Point, []int) []int{
+	"BNL": BNL,
+	"SFS": SFS,
+	"DAC": DivideConquer,
+}
+
+func TestAlgorithmsMatchOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(171))
+	for trial := 0; trial < 60; trial++ {
+		n := r.Intn(400)
+		d := 1 + r.Intn(4)
+		points := make([]geom.Point, n)
+		for i := range points {
+			p := make(geom.Point, d)
+			for j := range p {
+				p[j] = float64(r.Intn(12)) // heavy ties
+			}
+			points[i] = p
+		}
+		var dims []int
+		if d > 1 && r.Intn(2) == 0 {
+			dims = []int{0, d - 1}
+		}
+		want := bruteIndices(points, dims)
+		sort.Ints(want)
+		for name, algo := range algorithms {
+			got := algo(points, dims)
+			if !sameInts(got, want) {
+				t.Fatalf("trial %d (n=%d d=%d dims=%v): %s returned %d indices, oracle %d\ngot %v\nwant %v",
+					trial, n, d, dims, name, len(got), len(want), got, want)
+			}
+		}
+	}
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	for name, algo := range algorithms {
+		if got := algo(nil, nil); len(got) != 0 {
+			t.Errorf("%s(nil) = %v", name, got)
+		}
+		if got := algo([]geom.Point{{1, 2}}, nil); !sameInts(got, []int{0}) {
+			t.Errorf("%s(single) = %v", name, got)
+		}
+	}
+}
+
+func TestDuplicatesAllKept(t *testing.T) {
+	points := []geom.Point{{1, 1}, {1, 1}, {2, 2}, {1, 1}}
+	want := []int{0, 1, 3}
+	for name, algo := range algorithms {
+		if got := algo(points, nil); !sameInts(got, want) {
+			t.Errorf("%s duplicates = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestHotelFigureExample(t *testing.T) {
+	// Fig. 1 of the paper: P1, P3, P5 win.
+	points := []geom.Point{
+		{1, 9}, {4, 7}, {3, 5}, {6, 4}, {5, 2}, {8, 6},
+	}
+	want := []int{0, 2, 4}
+	for name, algo := range algorithms {
+		if got := algo(points, nil); !sameInts(got, want) {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestAgreesWithUncertainPackageOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(172))
+	points := make([]geom.Point, 200)
+	for i := range points {
+		points[i] = geom.Point{r.Float64(), r.Float64(), r.Float64()}
+	}
+	fromUncertain := uncertain.CertainSkyline(points, nil)
+	got := BNL(points, nil)
+	if len(fromUncertain) != len(got) {
+		t.Fatalf("package disagreement: %d vs %d", len(fromUncertain), len(got))
+	}
+}
+
+func BenchmarkCentralAlgorithms(b *testing.B) {
+	r := rand.New(rand.NewSource(173))
+	for _, n := range []int{1000, 10000} {
+		points := make([]geom.Point, n)
+		for i := range points {
+			points[i] = geom.Point{r.Float64(), r.Float64(), r.Float64()}
+		}
+		for name, algo := range algorithms {
+			b.Run(fmt.Sprintf("%s/n=%d", name, n), func(b *testing.B) {
+				var size int
+				for i := 0; i < b.N; i++ {
+					size = len(algo(points, nil))
+				}
+				b.ReportMetric(float64(size), "skyline")
+			})
+		}
+	}
+}

@@ -1,0 +1,282 @@
+// Package stream maintains a continuous probabilistic skyline over a
+// sliding window of an uncertain data stream — the centralized streaming
+// setting the paper's §2.2 surveys (Zhang et al., ICDE 2009) and the
+// natural companion to the distributed engine for the paper's
+// sensor-stream motivation.
+//
+// The window holds the most recent W tuples. The maintained state is the
+// *candidate set*: tuple t stays a candidate while
+//
+//	P(t) × Π_{u younger than t, u ≺ t} (1 − P(u)) ≥ q
+//
+// — the tuple's best possible future skyline probability. Older
+// dominators expire before t does, so once younger dominators alone push
+// t below q, t can never re-qualify within its lifetime and is discarded
+// permanently; this is exactly the minimality argument of the
+// candidate-set approach. The current answer is the subset of candidates
+// whose probability against the *whole* live window reaches q.
+//
+// Appends and evictions cost O(|candidates|) dominance checks; the
+// candidate set is typically a tiny fraction of the window.
+package stream
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/uncertain"
+)
+
+// Window is a sliding-window continuous skyline operator. It is not safe
+// for concurrent use; wrap with a mutex if multiple goroutines feed it.
+type Window struct {
+	capacity int
+	q        float64
+	dims     []int
+
+	// ring holds the live tuples in arrival order (oldest first).
+	ring []uncertain.Tuple
+
+	// candidates maps tuple ID to its maintained state.
+	candidates map[uncertain.TupleID]*candidate
+
+	// evictions and drops count discarded tuples for diagnostics.
+	evictions int
+	drops     int
+}
+
+// candidate tracks the two survival products of one candidate tuple. To
+// stay exact when dominators carry probability 1, the product over
+// (1 − P) factors excludes P = 1 dominators, which are counted
+// separately.
+type candidate struct {
+	tuple uncertain.Tuple
+
+	// future: survival against younger dominators only.
+	futureProd float64
+	futureOnes int
+	// current: survival against every live dominator.
+	currentProd float64
+	currentOnes int
+}
+
+func (c *candidate) futureProb() float64 {
+	if c.futureOnes > 0 {
+		return 0
+	}
+	return c.tuple.Prob * c.futureProd
+}
+
+func (c *candidate) currentProb() float64 {
+	if c.currentOnes > 0 {
+		return 0
+	}
+	return c.tuple.Prob * c.currentProd
+}
+
+// New builds a sliding window of the given capacity and threshold over
+// dims-restricted dominance (nil = full space).
+func New(capacity int, q float64, dims []int) (*Window, error) {
+	if capacity < 1 {
+		return nil, errors.New("stream: capacity must be >= 1")
+	}
+	if !(q > 0 && q <= 1) {
+		return nil, fmt.Errorf("stream: threshold %v outside (0,1]", q)
+	}
+	return &Window{
+		capacity:   capacity,
+		q:          q,
+		dims:       dims,
+		candidates: make(map[uncertain.TupleID]*candidate),
+	}, nil
+}
+
+// Len returns the number of live tuples.
+func (w *Window) Len() int { return len(w.ring) }
+
+// Candidates returns the current candidate-set size — the memory the
+// operator actually needs beyond the raw window.
+func (w *Window) Candidates() int { return len(w.candidates) }
+
+// Drops returns how many tuples were discarded from the candidate set
+// before expiry (proof of the candidate rule's pruning power).
+func (w *Window) Drops() int { return w.drops }
+
+// Append pushes one tuple, evicting the oldest when the window is full,
+// and updates the candidate set. It returns the evicted tuple, if any.
+func (w *Window) Append(tu uncertain.Tuple) (*uncertain.Tuple, error) {
+	if err := tu.Validate(0); err != nil {
+		return nil, fmt.Errorf("stream: %w", err)
+	}
+	if _, dup := w.candidates[tu.ID]; dup {
+		return nil, fmt.Errorf("stream: duplicate tuple id %d", tu.ID)
+	}
+	var evicted *uncertain.Tuple
+	if len(w.ring) == w.capacity {
+		old := w.ring[0]
+		w.ring = w.ring[1:]
+		w.evict(old)
+		evicted = &old
+	}
+
+	// The newcomer dominates: every candidate it dominates loses both
+	// future and current survival mass (the newcomer is younger than all).
+	for id, c := range w.candidates {
+		if tu.Dominates(c.tuple, w.dims) {
+			if tu.Prob == 1 {
+				c.futureOnes++
+				c.currentOnes++
+			} else {
+				c.futureProd *= 1 - tu.Prob
+				c.currentProd *= 1 - tu.Prob
+			}
+			if c.futureProb() < w.q {
+				delete(w.candidates, id)
+				w.drops++
+			}
+		}
+	}
+
+	// The newcomer's own state: no younger tuples exist yet, so its
+	// future product is 1; its current product accumulates every live
+	// dominator.
+	nc := &candidate{tuple: tu.Clone(), futureProd: 1, currentProd: 1}
+	for _, live := range w.ring {
+		if live.Point.DominatesIn(tu.Point, w.dims) {
+			if live.Prob == 1 {
+				nc.currentOnes++
+			} else {
+				nc.currentProd *= 1 - live.Prob
+			}
+		}
+	}
+	w.ring = append(w.ring, tu.Clone())
+	if nc.futureProb() >= w.q {
+		w.candidates[tu.ID] = nc
+	} else {
+		w.drops++
+	}
+	return evicted, nil
+}
+
+// evict removes the expired tuple's influence: candidates it dominated
+// regain current survival mass (it was older than everything, so the
+// future products are untouched).
+func (w *Window) evict(old uncertain.Tuple) {
+	w.evictions++
+	delete(w.candidates, old.ID)
+	for _, c := range w.candidates {
+		if old.Dominates(c.tuple, w.dims) {
+			if old.Prob == 1 {
+				c.currentOnes--
+			} else {
+				c.currentProd /= 1 - old.Prob
+				if c.currentProd > 1 {
+					c.currentProd = 1 // numerical guard
+				}
+			}
+		}
+	}
+}
+
+// Skyline returns the current probabilistic skyline of the window,
+// sorted by descending probability.
+func (w *Window) Skyline() []uncertain.SkylineMember {
+	out := make([]uncertain.SkylineMember, 0, len(w.candidates))
+	for _, c := range w.candidates {
+		if p := c.currentProb(); p >= w.q {
+			out = append(out, uncertain.SkylineMember{Tuple: c.tuple.Clone(), Prob: p})
+		}
+	}
+	uncertain.SortMembers(out)
+	return out
+}
+
+// Contents returns a copy of the live window in arrival order, for
+// verification and checkpointing.
+func (w *Window) Contents() uncertain.DB {
+	return append(uncertain.DB(nil), w.ring...).Clone()
+}
+
+// Rebuild recomputes every candidate product from scratch, clearing the
+// floating-point drift that long multiply/divide chains accumulate. Call
+// it periodically on very long streams (the tests bound the drift; a
+// rebuild every ~10^6 appends is ample).
+func (w *Window) Rebuild() {
+	for _, c := range w.candidates {
+		c.futureProd, c.futureOnes = 1, 0
+		c.currentProd, c.currentOnes = 1, 0
+		younger := false
+		for _, live := range w.ring {
+			if live.ID == c.tuple.ID {
+				younger = true
+				continue
+			}
+			if !live.Point.DominatesIn(c.tuple.Point, w.dims) {
+				continue
+			}
+			if live.Prob == 1 {
+				c.currentOnes++
+				if younger {
+					c.futureOnes++
+				}
+			} else {
+				c.currentProd *= 1 - live.Prob
+				if younger {
+					c.futureProd *= 1 - live.Prob
+				}
+			}
+		}
+	}
+}
+
+// Delta describes how the answer set changed across one arrival.
+type Delta struct {
+	// Entered lists tuples that joined the skyline (including re-entries
+	// after a dominator expired).
+	Entered []uncertain.SkylineMember
+	// Exited lists tuples that left it (expiry or new domination).
+	Exited []uncertain.SkylineMember
+}
+
+// AppendDelta is Append plus an exact diff of the answer set, for
+// continuous consumers that react to changes rather than re-reading the
+// whole skyline. It costs one extra O(candidates) pass per arrival.
+func (w *Window) AppendDelta(tu uncertain.Tuple) (Delta, error) {
+	before := make(map[uncertain.TupleID]float64, len(w.candidates))
+	for id, c := range w.candidates {
+		if p := c.currentProb(); p >= w.q {
+			before[id] = p
+		}
+	}
+	if _, err := w.Append(tu); err != nil {
+		return Delta{}, err
+	}
+	var delta Delta
+	after := make(map[uncertain.TupleID]bool, len(w.candidates))
+	for id, c := range w.candidates {
+		p := c.currentProb()
+		if p < w.q {
+			continue
+		}
+		after[id] = true
+		if _, was := before[id]; !was {
+			delta.Entered = append(delta.Entered, uncertain.SkylineMember{Tuple: c.tuple.Clone(), Prob: p})
+		}
+	}
+	for id, p := range before {
+		if !after[id] {
+			// The tuple may be gone entirely; report its last known state.
+			member := uncertain.SkylineMember{Prob: p}
+			if c, ok := w.candidates[id]; ok {
+				member.Tuple = c.tuple.Clone()
+			} else {
+				member.Tuple = uncertain.Tuple{ID: id}
+			}
+			delta.Exited = append(delta.Exited, member)
+		}
+	}
+	uncertain.SortMembers(delta.Entered)
+	uncertain.SortMembers(delta.Exited)
+	return delta, nil
+}

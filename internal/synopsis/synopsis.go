@@ -1,0 +1,182 @@
+// Package synopsis implements the data-synopsis alternative that the
+// paper's §5.2 discusses and dismisses: each site ships a compact grid
+// histogram of its partition to the coordinator, which then bounds remote
+// skyline probabilities *locally* instead of relying only on dominance
+// among queued tuples (Corollary 2). The paper argues the synopsis traffic
+// outweighs its benefit; the SDSUD algorithm in internal/core implements
+// the idea faithfully so the claim can be measured instead of assumed.
+//
+// The histogram stores, per cell, the tuple count and the minimum
+// existential probability. That makes the derived bound sound: every
+// tuple in a cell whose far corner strictly dominates a point p also
+// dominates p, and each such tuple contributes a survival factor of at
+// most (1 − minProb), so
+//
+//	Π_{t' ∈ D_x, t' ≺ p} (1 − P(t'))  ≤  Π_{dominating cells} (1 − minProb)^count.
+//
+// Bounds, not estimates — expunging on them never loses a qualified tuple.
+package synopsis
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/uncertain"
+)
+
+// MaxGrid bounds the grid resolution so a rogue request cannot allocate
+// grid^d cells without limit.
+const MaxGrid = 64
+
+// Cell is one histogram bucket.
+type Cell struct {
+	// Count is the number of tuples in the bucket.
+	Count int32
+	// MinProb is the smallest existential probability among them (the
+	// quantity that keeps the dominance bound sound).
+	MinProb float64
+}
+
+// Histogram is an equi-width d-dimensional grid over the partition's
+// bounding box. The zero value is an empty histogram.
+type Histogram struct {
+	// Lo and Hi bound the data.
+	Lo, Hi geom.Point
+	// Grid is the number of buckets per dimension.
+	Grid int
+	// Cells holds Grid^d buckets in row-major order.
+	Cells []Cell
+}
+
+// Build summarises db into a grid histogram with the given per-dimension
+// resolution.
+func Build(db uncertain.DB, grid int) (*Histogram, error) {
+	if grid < 1 || grid > MaxGrid {
+		return nil, fmt.Errorf("synopsis: grid %d outside [1, %d]", grid, MaxGrid)
+	}
+	if len(db) == 0 {
+		return &Histogram{Grid: grid}, nil
+	}
+	d := db.Dims()
+	cells := 1
+	for j := 0; j < d; j++ {
+		if cells > 1<<20/grid {
+			return nil, errors.New("synopsis: grid^d too large")
+		}
+		cells *= grid
+	}
+	h := &Histogram{
+		Lo:    db[0].Point.Clone(),
+		Hi:    db[0].Point.Clone(),
+		Grid:  grid,
+		Cells: make([]Cell, cells),
+	}
+	for _, tu := range db[1:] {
+		h.Lo = geom.Min(h.Lo, tu.Point)
+		h.Hi = geom.Max(h.Hi, tu.Point)
+	}
+	for _, tu := range db {
+		idx := h.cellIndex(tu.Point)
+		c := &h.Cells[idx]
+		if c.Count == 0 || tu.Prob < c.MinProb {
+			c.MinProb = tu.Prob
+		}
+		c.Count++
+	}
+	return h, nil
+}
+
+// cellIndex maps a point inside [Lo, Hi] to its bucket.
+func (h *Histogram) cellIndex(p geom.Point) int {
+	idx := 0
+	for j := 0; j < len(p); j++ {
+		width := h.Hi[j] - h.Lo[j]
+		k := 0
+		if width > 0 {
+			k = int(float64(h.Grid) * (p[j] - h.Lo[j]) / width)
+			if k >= h.Grid {
+				k = h.Grid - 1
+			}
+			if k < 0 {
+				k = 0
+			}
+		}
+		idx = idx*h.Grid + k
+	}
+	return idx
+}
+
+// CrossBound returns a sound upper bound on the eq. 9 factor
+// Π_{t' ≺ p} (1 − P(t')) of the summarised partition: the product over
+// every bucket whose far corner strictly dominates p. Full space only —
+// grid marginals for subspaces would need per-subspace synopses.
+func (h *Histogram) CrossBound(p geom.Point) float64 {
+	if len(h.Cells) == 0 || len(h.Lo) != len(p) {
+		return 1
+	}
+	d := len(h.Lo)
+	// maxCell[j] is the number of leading buckets in dimension j whose
+	// upper edge lies strictly below p[j]; only combinations of such
+	// buckets can strictly dominate p on every coordinate.
+	maxCell := make([]int, d)
+	for j := 0; j < d; j++ {
+		width := h.Hi[j] - h.Lo[j]
+		if width <= 0 {
+			// Degenerate dimension: every tuple shares the value; a cell
+			// can never be strictly below p[j] unless p[j] exceeds it.
+			if p[j] > h.Lo[j] {
+				maxCell[j] = h.Grid
+			}
+			continue
+		}
+		edge := float64(h.Grid) * (p[j] - h.Lo[j]) / width
+		k := int(math.Ceil(edge)) - 1 // buckets 0..k have upper edge < p[j]... conservatively
+		if upper := h.Lo[j] + width*float64(k+1)/float64(h.Grid); upper >= p[j] {
+			// The k-th bucket's upper edge does not lie strictly below
+			// p[j]; step back.
+			for k >= 0 {
+				if h.Lo[j]+width*float64(k+1)/float64(h.Grid) < p[j] {
+					break
+				}
+				k--
+			}
+		}
+		if k >= h.Grid {
+			k = h.Grid - 1
+		}
+		maxCell[j] = k + 1
+	}
+	bound := 1.0
+	coords := make([]int, d)
+	var walk func(j, base int)
+	walk = func(j, base int) {
+		if j == d {
+			c := h.Cells[base]
+			if c.Count > 0 && c.MinProb > 0 {
+				bound *= math.Pow(1-c.MinProb, float64(c.Count))
+			}
+			return
+		}
+		for k := 0; k < maxCell[j]; k++ {
+			coords[j] = k
+			walk(j+1, base*h.Grid+k)
+		}
+	}
+	walk(0, 0)
+	return bound
+}
+
+// NonEmptyCells is the synopsis size in tuple-equivalents for bandwidth
+// accounting: one (count, minProb) record per occupied bucket, the same
+// order of wire weight as one tuple.
+func (h *Histogram) NonEmptyCells() int {
+	n := 0
+	for _, c := range h.Cells {
+		if c.Count > 0 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,181 @@
+package synopsis
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/uncertain"
+)
+
+func randomDB(r *rand.Rand, n, d int) uncertain.DB {
+	db := make(uncertain.DB, n)
+	for i := range db {
+		p := make(geom.Point, d)
+		for j := range p {
+			p[j] = r.Float64()
+		}
+		db[i] = uncertain.Tuple{ID: uncertain.TupleID(i + 1), Point: p, Prob: 0.05 + 0.95*r.Float64()}
+	}
+	return db
+}
+
+func TestBuildValidation(t *testing.T) {
+	db := randomDB(rand.New(rand.NewSource(1)), 10, 2)
+	if _, err := Build(db, 0); err == nil {
+		t.Error("grid 0 must fail")
+	}
+	if _, err := Build(db, MaxGrid+1); err == nil {
+		t.Error("oversized grid must fail")
+	}
+	h, err := Build(uncertain.DB{}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NonEmptyCells() != 0 {
+		t.Error("empty histogram must have no cells")
+	}
+	if got := h.CrossBound(geom.Point{0.5, 0.5}); got != 1 {
+		t.Errorf("empty CrossBound = %v, want 1", got)
+	}
+	// grid^d explosion guard.
+	wide := randomDB(rand.New(rand.NewSource(2)), 4, 8)
+	if _, err := Build(wide, MaxGrid); err == nil {
+		t.Error("grid^d overflow must fail")
+	}
+}
+
+func TestBuildAccounting(t *testing.T) {
+	db := uncertain.DB{
+		{ID: 1, Point: geom.Point{0.1, 0.1}, Prob: 0.9},
+		{ID: 2, Point: geom.Point{0.12, 0.11}, Prob: 0.4},
+		{ID: 3, Point: geom.Point{0.9, 0.9}, Prob: 0.7},
+	}
+	h, err := Build(db, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, c := range h.Cells {
+		total += int(c.Count)
+	}
+	if total != len(db) {
+		t.Fatalf("cells count %d tuples, want %d", total, len(db))
+	}
+	if h.NonEmptyCells() != 2 {
+		t.Fatalf("NonEmptyCells = %d, want 2", h.NonEmptyCells())
+	}
+	// The crowded cell must record the minimum probability.
+	idx := h.cellIndex(geom.Point{0.1, 0.1})
+	if h.Cells[idx].MinProb != 0.4 {
+		t.Fatalf("MinProb = %v, want 0.4", h.Cells[idx].MinProb)
+	}
+}
+
+// The critical property: CrossBound is a sound upper bound on the true
+// eq. 9 factor, for member points, foreign points, and corner cases.
+func TestCrossBoundIsSound(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 40; trial++ {
+		d := 1 + r.Intn(3)
+		db := randomDB(r, 20+r.Intn(300), d)
+		grid := 1 + r.Intn(12)
+		h, err := Build(db, grid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for probe := 0; probe < 40; probe++ {
+			var p geom.Point
+			if probe%2 == 0 {
+				p = db[r.Intn(len(db))].Point
+			} else {
+				p = make(geom.Point, d)
+				for j := range p {
+					p[j] = r.Float64()*1.4 - 0.2 // also outside the box
+				}
+			}
+			exact := db.CrossSkyProb(uncertain.Tuple{ID: uncertain.NoTuple, Point: p, Prob: 1}, nil)
+			bound := h.CrossBound(p)
+			if bound < exact-1e-9 {
+				t.Fatalf("trial %d grid %d: bound %v below exact %v at %v",
+					trial, grid, bound, exact, p)
+			}
+			if bound > 1+1e-12 {
+				t.Fatalf("bound %v exceeds 1", bound)
+			}
+		}
+	}
+}
+
+// Finer grids give tighter (or equal) bounds at the same points.
+func TestFinerGridTightens(t *testing.T) {
+	r := rand.New(rand.NewSource(32))
+	db := randomDB(r, 500, 2)
+	coarse, err := Build(db, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine, err := Build(db, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	looser, tighter := 0, 0
+	for probe := 0; probe < 200; probe++ {
+		p := geom.Point{r.Float64(), r.Float64()}
+		cb, fb := coarse.CrossBound(p), fine.CrossBound(p)
+		if fb < cb-1e-12 {
+			tighter++
+		}
+		if fb > cb+1e-12 {
+			looser++
+		}
+	}
+	if tighter == 0 {
+		t.Error("a 16x grid should tighten some bounds over a 2x grid")
+	}
+	// Occasional loosening is possible at bucket boundaries, but it must
+	// not dominate.
+	if looser > tighter {
+		t.Errorf("finer grid looser more often than tighter (%d vs %d)", looser, tighter)
+	}
+}
+
+func TestDegenerateDimensions(t *testing.T) {
+	// All tuples share one coordinate: width-0 dimension.
+	db := uncertain.DB{
+		{ID: 1, Point: geom.Point{0.5, 0.1}, Prob: 0.8},
+		{ID: 2, Point: geom.Point{0.5, 0.7}, Prob: 0.6},
+	}
+	h, err := Build(db, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Probe above the shared x: tuples can dominate.
+	exact := db.CrossSkyProb(uncertain.Tuple{ID: 99, Point: geom.Point{0.9, 0.9}, Prob: 1}, nil)
+	if got := h.CrossBound(geom.Point{0.9, 0.9}); got < exact-1e-9 {
+		t.Fatalf("degenerate bound %v below exact %v", got, exact)
+	}
+	// Probe below everything: bound must stay 1.
+	if got := h.CrossBound(geom.Point{0, 0}); got != 1 {
+		t.Fatalf("bound below the data = %v, want 1", got)
+	}
+	// Single-tuple histogram (Lo == Hi everywhere).
+	single, err := Build(db[:1], 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := single.CrossBound(geom.Point{0.6, 0.2}); got > 1-0.8+1e-9 {
+		t.Fatalf("single-tuple bound %v, want <= 0.2", got)
+	}
+}
+
+func TestDimensionMismatchSafe(t *testing.T) {
+	db := randomDB(rand.New(rand.NewSource(33)), 10, 2)
+	h, err := Build(db, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.CrossBound(geom.Point{0.5}); got != 1 {
+		t.Fatalf("mismatched probe must fail open to 1, got %v", got)
+	}
+}

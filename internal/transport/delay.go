@@ -1,0 +1,36 @@
+package transport
+
+import (
+	"context"
+	"time"
+)
+
+// Delayed wraps a client with a fixed artificial round-trip latency per
+// call — a simple network model that lets single-machine experiments
+// study progressiveness in the time domain (the paper's §3.2 motivates
+// progressive delivery precisely by network delay). The sleep honours
+// context cancellation.
+func Delayed(c Client, latency time.Duration) Client {
+	if latency <= 0 {
+		return c
+	}
+	return &delayedClient{inner: c, latency: latency}
+}
+
+type delayedClient struct {
+	inner   Client
+	latency time.Duration
+}
+
+func (c *delayedClient) Call(ctx context.Context, req *Request) (*Response, error) {
+	timer := time.NewTimer(c.latency)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-timer.C:
+	}
+	return c.inner.Call(ctx, req)
+}
+
+func (c *delayedClient) Close() error { return c.inner.Close() }

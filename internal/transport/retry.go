@@ -1,0 +1,104 @@
+package transport
+
+import (
+	"context"
+	cryptorand "crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// DialFunc opens a fresh connection to a site.
+type DialFunc func() (Client, error)
+
+// Retry wraps a redialing, retrying client around dial. Each call is
+// stamped with a fresh sequence number; when a call fails for a reason
+// other than cancellation, the connection is discarded, a new one is
+// dialled, and the *same* request (same sequence number) is re-sent, up
+// to attempts tries. Combined with the sites' sequence-number dedup this
+// yields exactly-once request execution across connection failures — the
+// property the non-idempotent Next request needs.
+func Retry(dial DialFunc, attempts int) Client {
+	if attempts < 1 {
+		attempts = 1
+	}
+	return &retryClient{dial: dial, attempts: attempts, client: newClientID()}
+}
+
+// newClientID draws a random nonzero identifier so independent
+// coordinators never share a sequence space at the sites.
+func newClientID() uint64 {
+	var buf [8]byte
+	for {
+		if _, err := cryptorand.Read(buf[:]); err != nil {
+			// crypto/rand failing is effectively fatal elsewhere too;
+			// fall back to a fixed id rather than panicking.
+			return 1
+		}
+		if id := binary.LittleEndian.Uint64(buf[:]); id != 0 {
+			return id
+		}
+	}
+}
+
+type retryClient struct {
+	mu       sync.Mutex
+	dial     DialFunc
+	attempts int
+	cur      Client
+	client   uint64
+	seq      uint64
+	closed   bool
+}
+
+func (c *retryClient) Call(ctx context.Context, req *Request) (*Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClosed
+	}
+	c.seq++
+	stamped := *req
+	stamped.Seq = c.seq
+	stamped.Client = c.client
+
+	var lastErr error
+	for attempt := 0; attempt < c.attempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if c.cur == nil {
+			client, err := c.dial()
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			c.cur = client
+		}
+		resp, err := c.cur.Call(ctx, &stamped)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return nil, err
+		}
+		// The connection state is unknown; discard it and redial.
+		c.cur.Close()
+		c.cur = nil
+	}
+	return nil, fmt.Errorf("transport: %d attempt(s) failed: %w", c.attempts, lastErr)
+}
+
+func (c *retryClient) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	if c.cur != nil {
+		err := c.cur.Close()
+		c.cur = nil
+		return err
+	}
+	return nil
+}

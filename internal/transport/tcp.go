@@ -1,0 +1,262 @@
+package transport
+
+import (
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// wireRequest frames a Request for the TCP transport.
+type wireRequest struct {
+	Req Request
+}
+
+// wireResponse frames a Response; Err carries handler failures back to the
+// caller as text (errors are not gob-encodable in general).
+type wireResponse struct {
+	Resp Response
+	Err  string
+}
+
+// Server exposes a Handler on a TCP listener, one goroutine per accepted
+// connection, each processing requests sequentially (the protocol is
+// strictly request/response per connection).
+type Server struct {
+	handler Handler
+	meter   *Meter
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	wg       sync.WaitGroup
+	closed   bool
+}
+
+// NewServer returns a server for h. meter may be nil; when set, wire bytes
+// are recorded on it.
+func NewServer(h Handler, meter *Meter) *Server {
+	return &Server{handler: h, meter: meter, conns: make(map[net.Conn]struct{})}
+}
+
+// Serve accepts connections on lis until Close (or a fatal accept error).
+// It blocks; run it in a goroutine.
+func (s *Server) Serve(lis net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		lis.Close()
+		return ErrClosed
+	}
+	s.listener = lis
+	s.mu.Unlock()
+
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return fmt.Errorf("transport: accept: %w", err)
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+
+	var reader io.Reader = conn
+	var writer io.Writer = conn
+	if s.meter != nil {
+		reader = &countingReader{r: conn, meter: s.meter}
+		writer = &countingWriter{w: conn, meter: s.meter}
+	}
+	dec := gob.NewDecoder(reader)
+	enc := gob.NewEncoder(writer)
+	for {
+		var wreq wireRequest
+		if err := dec.Decode(&wreq); err != nil {
+			return // EOF or broken peer; either way this connection is done
+		}
+		resp, err := s.handler.Handle(context.Background(), &wreq.Req)
+		var wresp wireResponse
+		if err != nil {
+			wresp.Err = err.Error()
+		} else if resp != nil {
+			wresp.Resp = *resp
+		}
+		if err := enc.Encode(&wresp); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops accepting, closes live connections, and waits for the
+// per-connection goroutines to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	lis := s.listener
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if lis != nil {
+		err = lis.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// Dial connects a Client to a TCP site at addr. meter may be nil; when
+// set, wire bytes are recorded on it (tuple accounting still happens via
+// Metered, which composes with this client).
+func Dial(addr string, meter *Meter) (Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	return newTCPClient(conn, meter), nil
+}
+
+func newTCPClient(conn net.Conn, meter *Meter) Client {
+	var reader io.Reader = conn
+	var writer io.Writer = conn
+	if meter != nil {
+		reader = &countingReader{r: conn, meter: meter}
+		writer = &countingWriter{w: conn, meter: meter}
+	}
+	return &tcpClient{
+		conn: conn,
+		dec:  gob.NewDecoder(reader),
+		enc:  gob.NewEncoder(writer),
+	}
+}
+
+type tcpClient struct {
+	mu     sync.Mutex
+	conn   net.Conn
+	dec    *gob.Decoder
+	enc    *gob.Encoder
+	closed bool
+}
+
+// Call sends one request and waits for its response. Cancellation closes
+// the connection (the protocol has no other way to abandon an in-flight
+// read), so a cancelled client is dead afterwards.
+func (c *tcpClient) Call(ctx context.Context, req *Request) (*Response, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClosed
+	}
+
+	// The watcher aborts a blocked send/receive by closing the socket when
+	// ctx is cancelled. It re-checks done after waking so that a
+	// cancellation racing with a completed call (e.g. a broadcast helper
+	// cancelling its child context on return) cannot kill the connection,
+	// and Call joins it before returning so it never outlives the call.
+	done := make(chan struct{})
+	watcherExit := make(chan struct{})
+	var cancelled atomic.Bool
+	go func() {
+		defer close(watcherExit)
+		select {
+		case <-ctx.Done():
+			select {
+			case <-done:
+				// The call finished first; leave the connection alone.
+			default:
+				cancelled.Store(true)
+				c.conn.Close()
+			}
+		case <-done:
+		}
+	}()
+	defer func() {
+		close(done)
+		<-watcherExit
+	}()
+
+	if err := c.enc.Encode(&wireRequest{Req: *req}); err != nil {
+		if cancelled.Load() {
+			return nil, ctx.Err()
+		}
+		return nil, fmt.Errorf("transport: send: %w", err)
+	}
+	var wresp wireResponse
+	if err := c.dec.Decode(&wresp); err != nil {
+		if cancelled.Load() {
+			return nil, ctx.Err()
+		}
+		return nil, fmt.Errorf("transport: receive: %w", err)
+	}
+	if wresp.Err != "" {
+		return nil, errors.New(wresp.Err)
+	}
+	resp := wresp.Resp
+	return &resp, nil
+}
+
+func (c *tcpClient) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	return c.conn.Close()
+}
+
+type countingReader struct {
+	r     io.Reader
+	meter *Meter
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.meter.AddBytes(int64(n))
+	return n, err
+}
+
+type countingWriter struct {
+	w     io.Writer
+	meter *Meter
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.meter.AddBytes(int64(n))
+	return n, err
+}

@@ -1,0 +1,209 @@
+// Package transport carries the DSUD wire protocol between the coordinator
+// H and the local sites. Two interchangeable implementations are provided:
+// an in-process transport (goroutine sites, used by the experiment harness
+// so tuple accounting is exact and runs are fast) and a real TCP transport
+// with gob framing (used by the cmd/dsud-site daemon). A Meter counts the
+// paper's bandwidth measure — tuples shipped — plus message and byte
+// totals.
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/synopsis"
+	"repro/internal/uncertain"
+)
+
+// Kind discriminates protocol requests.
+type Kind int
+
+// Protocol request kinds. One request type with optional payload fields
+// keeps gob encoding trivial (no interface registration) while staying
+// explicit about the protocol surface.
+const (
+	// KindInit asks a site to run its local skyline phase for the given
+	// query and return its first representative.
+	KindInit Kind = iota + 1
+	// KindNext asks for the site's next representative tuple.
+	KindNext
+	// KindEvaluate ships a feedback tuple (§5: Server-Delivery phase); the
+	// site answers with its eq. 9 factor and prunes its local skyline.
+	KindEvaluate
+	// KindShipAll asks for the site's entire partition (baseline
+	// algorithm).
+	KindShipAll
+	// KindInsert applies one tuple insertion at the site (§5.4).
+	KindInsert
+	// KindDelete applies one tuple deletion at the site (§5.4).
+	KindDelete
+	// KindCandidates asks, after a deletion, for local tuples that were
+	// dominated by the deleted tuple and now locally qualify (§5.4
+	// incremental maintenance).
+	KindCandidates
+	// KindLocalSkylineSize reports the size of the site's current local
+	// skyline set (diagnostics and tests).
+	KindLocalSkylineSize
+	// KindSynopsis asks the site for a grid histogram of its partition
+	// (the §5.2 data-synopsis alternative, SDSUD).
+	KindSynopsis
+	// KindEndQuery releases the per-query session state created by
+	// KindInit. Idempotent; best-effort (a lost end-query only costs
+	// memory until the session cap evicts it).
+	KindEndQuery
+	// KindReplicate synchronises the site's replica of the global skyline
+	// SKY(H) (§5.4: "we duplicate SKY(H) at all local sites"), as adds
+	// plus removals. Sites use the replica to reject hopeless inserts
+	// without a global evaluation round.
+	KindReplicate
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindInit:
+		return "init"
+	case KindNext:
+		return "next"
+	case KindEvaluate:
+		return "evaluate"
+	case KindShipAll:
+		return "ship-all"
+	case KindInsert:
+		return "insert"
+	case KindDelete:
+		return "delete"
+	case KindCandidates:
+		return "candidates"
+	case KindLocalSkylineSize:
+		return "local-skyline-size"
+	case KindSynopsis:
+		return "synopsis"
+	case KindEndQuery:
+		return "end-query"
+	case KindReplicate:
+		return "replicate"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Query describes the skyline query being executed.
+type Query struct {
+	// Threshold is the paper's q: report tuples with global skyline
+	// probability >= q.
+	Threshold float64
+	// Dims optionally restricts dominance to a subspace (nil = full
+	// space), per the paper's §4 subspace extension.
+	Dims []int
+	// NoPrune disables the Observation-2 local pruning at the site — an
+	// ablation control; production queries leave it false.
+	NoPrune bool
+}
+
+// Validate rejects malformed queries before they cross the wire.
+func (q Query) Validate(d int) error {
+	if !(q.Threshold > 0 && q.Threshold <= 1) {
+		return fmt.Errorf("transport: threshold %v outside (0,1]", q.Threshold)
+	}
+	if !geom.ValidDims(q.Dims, d) {
+		return fmt.Errorf("transport: invalid subspace %v for dimensionality %d", q.Dims, d)
+	}
+	return nil
+}
+
+// Representative is the paper's quaternion ⟨i, j, P(t), P_sky(t, D_i)⟩: a
+// site's currently most promising local skyline tuple.
+type Representative struct {
+	Tuple uncertain.Tuple
+	// LocalProb is P_sky(Tuple, D_i), eq. 3 over the site's partition.
+	LocalProb float64
+}
+
+// Feedback is a tuple broadcast from the coordinator during the
+// Server-Delivery phase, carrying the home-site local skyline probability
+// that remote sites need for the Observation-2 pruning bound.
+type Feedback struct {
+	Tuple uncertain.Tuple
+	// HomeLocalProb is P_sky(Tuple, D_home).
+	HomeLocalProb float64
+}
+
+// Request is the single protocol request envelope.
+type Request struct {
+	// Seq, when nonzero, makes the request idempotent: sites remember,
+	// per Client, the last sequence number they processed and replay the
+	// cached response when the same request arrives again (at-most-once
+	// execution). The Retry client assigns both fields automatically;
+	// callers running over reliable transports may leave them zero.
+	Seq uint64
+	// Client scopes Seq: independent coordinators draw distinct random
+	// client IDs so their sequence spaces never collide at the site.
+	Client uint64
+	// Session scopes per-query state (the local skyline cursor and prune
+	// list) so multiple queries can run concurrently against the same
+	// site. KindInit creates the session, KindNext/KindEvaluate operate
+	// within it, KindEndQuery releases it. Session 0 is the default
+	// single-query session.
+	Session uint64
+
+	Kind  Kind
+	Query Query    // KindInit
+	Feed  Feedback // KindEvaluate, KindCandidates (the deleted tuple)
+
+	Tuple uncertain.Tuple   // KindInsert
+	ID    uncertain.TupleID // KindDelete
+	Point geom.Point        // KindDelete
+	Grid  int               // KindSynopsis: buckets per dimension
+
+	// Tuples carries replica additions for KindReplicate; RemoveIDs the
+	// replica evictions.
+	Tuples    []Representative
+	RemoveIDs []uncertain.TupleID
+}
+
+// Response is the single protocol response envelope.
+type Response struct {
+	// Rep is the site's representative for KindInit/KindNext; Exhausted
+	// reports that the site's local skyline set is empty.
+	Rep       Representative
+	Exhausted bool
+
+	// CrossProb is the eq. 9 factor for KindEvaluate; Pruned counts local
+	// skyline tuples discarded by the feedback.
+	CrossProb float64
+	Pruned    int
+
+	// Tuples carries the partition for KindShipAll and promotion
+	// candidates for KindCandidates.
+	Tuples []Representative
+
+	// Size answers KindLocalSkylineSize.
+	Size int
+
+	// Hopeless reports (for KindInsert against a replica-holding site)
+	// that the inserted tuple provably cannot reach the threshold
+	// globally, so the coordinator can skip its evaluation broadcast.
+	Hopeless bool
+
+	// Synopsis answers KindSynopsis.
+	Synopsis *synopsis.Histogram
+}
+
+// Client is the coordinator's handle to one site.
+type Client interface {
+	// Call executes one request against the site. Implementations must
+	// honour ctx cancellation.
+	Call(ctx context.Context, req *Request) (*Response, error)
+	// Close releases the connection. Calls after Close fail.
+	Close() error
+}
+
+// Handler is the site side of the protocol.
+type Handler interface {
+	Handle(ctx context.Context, req *Request) (*Response, error)
+}
+
+// ErrClosed reports use of a closed client.
+var ErrClosed = errors.New("transport: client closed")

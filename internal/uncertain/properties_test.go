@@ -1,0 +1,151 @@
+package uncertain
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+// dbFromBytes deterministically decodes a small uncertain database from a
+// byte string, for testing/quick generators: 3 bytes per tuple (x, y,
+// prob bucket).
+func dbFromBytes(raw []byte) DB {
+	var db DB
+	for i := 0; i+2 < len(raw) && len(db) < 12; i += 3 {
+		db = append(db, Tuple{
+			ID:    TupleID(len(db) + 1),
+			Point: geom.Point{float64(raw[i] % 8), float64(raw[i+1] % 8)},
+			Prob:  0.1 + 0.8*float64(raw[i+2]%10)/10,
+		})
+	}
+	return db
+}
+
+// P_sky is a probability: it lies in [0, P(t)] for every tuple.
+func TestQuickSkyProbBounded(t *testing.T) {
+	f := func(raw []byte) bool {
+		db := dbFromBytes(raw)
+		for _, tu := range db {
+			p := db.SkyProb(tu, nil)
+			if p < 0 || p > tu.Prob+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Adding any tuple to the database can only lower (or keep) every other
+// tuple's skyline probability — eq. 3 is antitone in the dominator set.
+func TestQuickSkyProbAntitone(t *testing.T) {
+	f := func(raw []byte, x, y, pb uint8) bool {
+		db := dbFromBytes(raw)
+		if len(db) == 0 {
+			return true
+		}
+		extra := Tuple{
+			ID:    9999,
+			Point: geom.Point{float64(x % 8), float64(y % 8)},
+			Prob:  0.1 + 0.8*float64(pb%10)/10,
+		}
+		bigger := append(db.Clone(), extra)
+		for _, tu := range db {
+			before := db.SkyProb(tu, nil)
+			after := bigger.SkyProb(tu, nil)
+			if after > before+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Splitting a database into partitions never changes global skyline
+// probabilities (Lemma 1), regardless of the split.
+func TestQuickPartitionInvariance(t *testing.T) {
+	f := func(raw []byte, splitMask uint16) bool {
+		db := dbFromBytes(raw)
+		var a, b DB
+		for i, tu := range db {
+			if splitMask&(1<<(i%16)) != 0 {
+				a = append(a, tu)
+			} else {
+				b = append(b, tu)
+			}
+		}
+		for _, tu := range db {
+			got := GlobalSkyProb(tu, []DB{a, b}, nil)
+			want := db.SkyProb(tu, nil)
+			if math.Abs(got-want) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Scaling one tuple's probability down never shrinks anyone else's
+// skyline probability.
+func TestQuickDominatorWeakeningMonotone(t *testing.T) {
+	r := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 500; trial++ {
+		db := dbFromBytes(randBytes(r, 30))
+		if len(db) < 2 {
+			continue
+		}
+		k := r.Intn(len(db))
+		weaker := db.Clone()
+		weaker[k].Prob *= 0.5
+		for i, tu := range db {
+			if i == k {
+				continue
+			}
+			before := db.SkyProb(tu, nil)
+			after := weaker.SkyProb(tu, nil)
+			if after < before-1e-12 {
+				t.Fatalf("weakening tuple %d lowered tuple %d's probability (%v -> %v)",
+					k, i, before, after)
+			}
+		}
+	}
+}
+
+func randBytes(r *rand.Rand, n int) []byte {
+	b := make([]byte, n)
+	r.Read(b)
+	return b
+}
+
+// The sum of P(W) over all possible worlds is 1 for arbitrary databases.
+func TestQuickWorldsSumToOne(t *testing.T) {
+	f := func(raw []byte) bool {
+		db := dbFromBytes(raw)
+		if len(db) > 10 {
+			db = db[:10]
+		}
+		worlds, err := EnumerateWorlds(db)
+		if err != nil {
+			return false
+		}
+		var total float64
+		for _, w := range worlds {
+			total += w.Prob
+		}
+		return math.Abs(total-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

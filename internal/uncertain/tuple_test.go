@@ -1,0 +1,345 @@
+package uncertain
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// fig3DB is the worked example of the paper's Fig. 2/3.
+func fig3DB() DB {
+	return DB{
+		{ID: 1, Point: geom.Point{80, 96}, Prob: 0.8},
+		{ID: 2, Point: geom.Point{85, 90}, Prob: 0.6},
+		{ID: 3, Point: geom.Point{75, 95}, Prob: 0.8},
+	}
+}
+
+func TestSkyProbMatchesPaperExample(t *testing.T) {
+	db := fig3DB()
+	want := map[TupleID]float64{1: 0.16, 2: 0.6, 3: 0.8}
+	for _, tu := range db {
+		got := db.SkyProb(tu, nil)
+		if math.Abs(got-want[tu.ID]) > 1e-12 {
+			t.Errorf("SkyProb(t%d) = %v, want %v", tu.ID, got, want[tu.ID])
+		}
+	}
+}
+
+func TestWorldEnumerationMatchesPaperExample(t *testing.T) {
+	db := fig3DB()
+	worlds, err := EnumerateWorlds(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(worlds) != 8 {
+		t.Fatalf("got %d worlds, want 8", len(worlds))
+	}
+	var total float64
+	for _, w := range worlds {
+		total += w.Prob
+	}
+	if math.Abs(total-1) > 1e-12 {
+		t.Errorf("world probabilities sum to %v, want 1", total)
+	}
+	// Spot-check the two worlds tabulated in Fig. 3.
+	probOf := func(ids ...TupleID) float64 {
+		for _, w := range worlds {
+			if len(w.Tuples) != len(ids) {
+				continue
+			}
+			match := true
+			for i, tu := range w.Tuples {
+				if tu.ID != ids[i] {
+					match = false
+					break
+				}
+			}
+			if match {
+				return w.Prob
+			}
+		}
+		t.Fatalf("world %v not found", ids)
+		return 0
+	}
+	if got := probOf(); math.Abs(got-0.016) > 1e-12 {
+		t.Errorf("P(empty world) = %v, want 0.016", got)
+	}
+	if got := probOf(1, 2, 3); math.Abs(got-0.384) > 1e-12 {
+		t.Errorf("P(full world) = %v, want 0.384", got)
+	}
+}
+
+// Equation 2 (possible worlds) and equation 3 (closed form) must agree.
+func TestClosedFormMatchesPossibleWorlds(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + r.Intn(9)
+		d := 1 + r.Intn(3)
+		db := randomDB(r, n, d)
+		var dims []int
+		if d > 1 && r.Intn(2) == 0 {
+			dims = []int{r.Intn(d)}
+		}
+		for _, tu := range db {
+			want, err := SkyProbByWorlds(db, tu.ID, dims)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := db.SkyProb(tu, dims)
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("trial %d dims %v: closed form %v != worlds %v for %v\ndb=%v",
+					trial, dims, got, want, tu, db)
+			}
+		}
+	}
+}
+
+func randomDB(r *rand.Rand, n, d int) DB {
+	db := make(DB, n)
+	for i := range db {
+		p := make(geom.Point, d)
+		for j := range p {
+			p[j] = float64(r.Intn(6))
+		}
+		db[i] = Tuple{ID: TupleID(i + 1), Point: p, Prob: 0.05 + 0.95*r.Float64()}
+	}
+	return db
+}
+
+func TestEnumerateWorldsLimit(t *testing.T) {
+	db := make(DB, MaxWorldTuples+1)
+	for i := range db {
+		db[i] = Tuple{ID: TupleID(i + 1), Point: geom.Point{float64(i)}, Prob: 0.5}
+	}
+	if _, err := EnumerateWorlds(db); err == nil {
+		t.Fatal("expected error beyond MaxWorldTuples")
+	}
+	if _, err := SkyProbByWorlds(db, 1, nil); err == nil {
+		t.Fatal("expected error from SkyProbByWorlds beyond limit")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	valid := Tuple{ID: 1, Point: geom.Point{1, 2}, Prob: 0.5}
+	if err := valid.Validate(2); err != nil {
+		t.Errorf("valid tuple rejected: %v", err)
+	}
+	cases := []Tuple{
+		{ID: 2, Point: nil, Prob: 0.5},
+		{ID: 3, Point: geom.Point{1}, Prob: 0.5},     // wrong d
+		{ID: 4, Point: geom.Point{1, 2}, Prob: 0},    // zero prob
+		{ID: 5, Point: geom.Point{1, 2}, Prob: 1.5},  // prob > 1
+		{ID: 6, Point: geom.Point{1, 2}, Prob: -0.1}, // negative
+		{ID: 7, Point: geom.Point{math.NaN(), 2}, Prob: 1},
+
+		{ID: 8, Point: geom.Point{math.Inf(1), 2}, Prob: 1},
+	}
+	for _, tu := range cases {
+		if err := tu.Validate(2); err == nil {
+			t.Errorf("tuple %v should be invalid", tu)
+		}
+	}
+	if err := (Tuple{ID: 9, Point: geom.Point{1, 2, 3}, Prob: 1}).Validate(0); err != nil {
+		t.Errorf("d<=0 must skip dimensionality check: %v", err)
+	}
+}
+
+func TestDBValidate(t *testing.T) {
+	db := fig3DB()
+	if err := db.Validate(0); err != nil {
+		t.Errorf("valid db rejected: %v", err)
+	}
+	if err := (DB{}).Validate(0); err != nil {
+		t.Errorf("empty db rejected: %v", err)
+	}
+	dup := append(fig3DB(), Tuple{ID: 1, Point: geom.Point{1, 1}, Prob: 0.5})
+	if err := dup.Validate(0); err == nil {
+		t.Error("duplicate IDs must be rejected")
+	}
+	mixed := DB{
+		{ID: 1, Point: geom.Point{1, 2}, Prob: 0.5},
+		{ID: 2, Point: geom.Point{1}, Prob: 0.5},
+	}
+	if err := mixed.Validate(0); err == nil {
+		t.Error("mixed dimensionality must be rejected")
+	}
+}
+
+func TestCrossSkyProbExcludesOwnProbability(t *testing.T) {
+	db := fig3DB()
+	foreign := Tuple{ID: 99, Point: geom.Point{90, 97}, Prob: 0.4}
+	// Dominators of (90,97) within db: t1 (80,96), t2 (85,90), t3 (75,95).
+	want := (1 - 0.8) * (1 - 0.6) * (1 - 0.8)
+	if got := db.CrossSkyProb(foreign, nil); math.Abs(got-want) > 1e-12 {
+		t.Errorf("CrossSkyProb = %v, want %v", got, want)
+	}
+	// A tuple present in db must not be penalised by itself.
+	self := db[2] // t3, undominated
+	if got := db.CrossSkyProb(self, nil); got != 1 {
+		t.Errorf("CrossSkyProb(self) = %v, want 1", got)
+	}
+}
+
+func TestGlobalSkyProbEqualsUnionSkyProb(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 300; trial++ {
+		m := 1 + r.Intn(4)
+		d := 1 + r.Intn(3)
+		parts := make([]DB, m)
+		id := TupleID(1)
+		for i := range parts {
+			n := r.Intn(6)
+			for k := 0; k < n; k++ {
+				p := make(geom.Point, d)
+				for j := range p {
+					p[j] = float64(r.Intn(6))
+				}
+				parts[i] = append(parts[i], Tuple{ID: id, Point: p, Prob: 0.05 + 0.95*r.Float64()})
+				id++
+			}
+		}
+		union := Union(parts)
+		for _, tu := range union {
+			got := GlobalSkyProb(tu, parts, nil)
+			want := union.SkyProb(tu, nil)
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("trial %d: Lemma 1 broken for %v: distributed %v != centralized %v",
+					trial, tu, got, want)
+			}
+		}
+	}
+}
+
+func TestSkylineThresholdMonotonicity(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	db := randomDB(r, 40, 3)
+	prev := db.Skyline(0.1, nil)
+	for _, q := range []float64{0.3, 0.5, 0.7, 0.9} {
+		cur := db.Skyline(q, nil)
+		curIDs := make(map[TupleID]bool)
+		for _, m := range cur {
+			curIDs[m.Tuple.ID] = true
+			if m.Prob < q {
+				t.Fatalf("q=%v: member below threshold: %v", q, m)
+			}
+		}
+		prevIDs := make(map[TupleID]bool)
+		for _, m := range prev {
+			prevIDs[m.Tuple.ID] = true
+		}
+		for id := range curIDs {
+			if !prevIDs[id] {
+				t.Fatalf("q=%v skyline not a subset of smaller-q skyline (id %d)", q, id)
+			}
+		}
+		prev = cur
+	}
+}
+
+func TestSkylineSortedDeterministically(t *testing.T) {
+	db := fig3DB()
+	sky := db.Skyline(0.1, nil)
+	if len(sky) != 3 {
+		t.Fatalf("got %d members, want 3", len(sky))
+	}
+	for i := 1; i < len(sky); i++ {
+		if sky[i].Prob > sky[i-1].Prob {
+			t.Fatal("members must be sorted by descending probability")
+		}
+	}
+	if sky[0].Tuple.ID != 3 || sky[1].Tuple.ID != 2 || sky[2].Tuple.ID != 1 {
+		t.Errorf("unexpected order: %v", sky)
+	}
+}
+
+func TestMembersEqual(t *testing.T) {
+	a := []SkylineMember{{Tuple: Tuple{ID: 1}, Prob: 0.5}, {Tuple: Tuple{ID: 2}, Prob: 0.7}}
+	b := []SkylineMember{{Tuple: Tuple{ID: 2}, Prob: 0.7}, {Tuple: Tuple{ID: 1}, Prob: 0.5}}
+	if !MembersEqual(a, b, 1e-12) {
+		t.Error("order must not matter")
+	}
+	c := []SkylineMember{{Tuple: Tuple{ID: 1}, Prob: 0.5}}
+	if MembersEqual(a, c, 1e-12) {
+		t.Error("different lengths must differ")
+	}
+	d := []SkylineMember{{Tuple: Tuple{ID: 1}, Prob: 0.5}, {Tuple: Tuple{ID: 3}, Prob: 0.7}}
+	if MembersEqual(a, d, 1e-12) {
+		t.Error("different IDs must differ")
+	}
+	e := []SkylineMember{{Tuple: Tuple{ID: 1}, Prob: 0.6}, {Tuple: Tuple{ID: 2}, Prob: 0.7}}
+	if MembersEqual(a, e, 1e-12) {
+		t.Error("different probabilities must differ")
+	}
+	if !MembersEqual(a, e, 0.2) {
+		t.Error("tolerance must absorb small differences")
+	}
+}
+
+func TestCertainSkyline(t *testing.T) {
+	// The hotel example of Fig. 1: P1, P3, P5 are the skyline.
+	pts := []geom.Point{
+		{1, 9}, // P1
+		{4, 7}, // dominated by P3
+		{3, 5}, // P3
+		{6, 4}, // dominated by P5
+		{5, 2}, // P5
+		{8, 6}, // dominated
+	}
+	sky := CertainSkyline(pts, nil)
+	want := map[string]bool{"(1, 9)": true, "(3, 5)": true, "(5, 2)": true}
+	if len(sky) != len(want) {
+		t.Fatalf("skyline size %d, want %d: %v", len(sky), len(want), sky)
+	}
+	for _, p := range sky {
+		if !want[p.String()] {
+			t.Errorf("unexpected skyline point %v", p)
+		}
+	}
+}
+
+func TestCertainSkylineAsProbabilityOneSpecialCase(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + r.Intn(20)
+		d := 1 + r.Intn(3)
+		db := make(DB, n)
+		pts := make([]geom.Point, n)
+		for i := range db {
+			p := make(geom.Point, d)
+			for j := range p {
+				p[j] = float64(r.Intn(10))
+			}
+			db[i] = Tuple{ID: TupleID(i + 1), Point: p, Prob: 1}
+			pts[i] = p
+		}
+		// With all probabilities 1, the q=1 probabilistic skyline must have
+		// the same size as the certain skyline over distinct point multisets.
+		sky := db.Skyline(1, nil)
+		want := CertainSkyline(pts, nil)
+		if len(sky) != len(want) {
+			t.Fatalf("trial %d: probabilistic q=1 size %d != certain size %d", trial, len(sky), len(want))
+		}
+	}
+}
+
+func TestUnionAndClone(t *testing.T) {
+	parts := []DB{fig3DB(), {{ID: 9, Point: geom.Point{1, 1}, Prob: 0.2}}}
+	u := Union(parts)
+	if len(u) != 4 {
+		t.Fatalf("union size %d, want 4", len(u))
+	}
+	c := u.Clone()
+	c[0].Point[0] = 12345
+	if u[0].Point[0] == 12345 {
+		t.Error("Clone must deep-copy points")
+	}
+	if got := (DB{}).Dims(); got != 0 {
+		t.Errorf("empty Dims = %d", got)
+	}
+	if got := u.Dims(); got != 2 {
+		t.Errorf("Dims = %d, want 2", got)
+	}
+}

@@ -1,0 +1,102 @@
+package uncertain
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// MaxWorldTuples bounds possible-world enumeration: 2^N worlds are
+// materialised, so N must stay small. The limit keeps accidental misuse from
+// consuming the machine; the enumeration exists only as a semantic oracle.
+const MaxWorldTuples = 20
+
+// World is one possible world: the subset of tuples that exist, together
+// with its instantiation probability (eq. 1).
+type World struct {
+	Tuples []Tuple
+	Prob   float64
+}
+
+// EnumerateWorlds materialises all 2^N possible worlds of db with their
+// probabilities (eq. 1). It returns an error when db exceeds
+// MaxWorldTuples.
+func EnumerateWorlds(db DB) ([]World, error) {
+	n := len(db)
+	if n > MaxWorldTuples {
+		return nil, fmt.Errorf("uncertain: %d tuples exceed the %d-tuple world-enumeration limit", n, MaxWorldTuples)
+	}
+	worlds := make([]World, 0, 1<<n)
+	for mask := 0; mask < 1<<n; mask++ {
+		w := World{Prob: 1}
+		for i, t := range db {
+			if mask&(1<<i) != 0 {
+				w.Tuples = append(w.Tuples, t)
+				w.Prob *= t.Prob
+			} else {
+				w.Prob *= 1 - t.Prob
+			}
+		}
+		worlds = append(worlds, w)
+	}
+	return worlds, nil
+}
+
+// WorldSkyline returns the conventional (certain-data) skyline of the
+// tuples present in w, in the subspace dims.
+func WorldSkyline(w World, dims []int) []Tuple {
+	var sky []Tuple
+	for _, t := range w.Tuples {
+		dominated := false
+		for _, s := range w.Tuples {
+			if s.ID != t.ID && s.Dominates(t, dims) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			sky = append(sky, t)
+		}
+	}
+	return sky
+}
+
+// SkyProbByWorlds computes eq. 2 directly: the sum of the probabilities of
+// every possible world whose skyline contains t. It is exponential in |db|
+// and exists to validate the closed form of eq. 3.
+func SkyProbByWorlds(db DB, id TupleID, dims []int) (float64, error) {
+	worlds, err := EnumerateWorlds(db)
+	if err != nil {
+		return 0, err
+	}
+	var p float64
+	for _, w := range worlds {
+		for _, t := range WorldSkyline(w, dims) {
+			if t.ID == id {
+				p += w.Prob
+				break
+			}
+		}
+	}
+	return p, nil
+}
+
+// CertainSkyline returns the conventional skyline of a set of points:
+// those not dominated by any other point. It serves tests and the certain
+// special case (all probabilities 1).
+func CertainSkyline(points []geom.Point, dims []int) []geom.Point {
+	var sky []geom.Point
+	for i, p := range points {
+		dominated := false
+		for j, s := range points {
+			if i != j && s.DominatesIn(p, dims) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			sky = append(sky, p)
+		}
+	}
+	return sky
+}

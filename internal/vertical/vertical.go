@@ -1,0 +1,369 @@
+// Package vertical implements the paper's stated future work (§8):
+// probabilistic skyline retrieval when the uncertain relation is
+// *vertically* partitioned — every site holds one attribute of every
+// tuple, as in Balke et al.'s distributed skyline over web information
+// systems, rather than a subset of whole tuples.
+//
+// The algorithm (VDSUD, our design — the paper leaves the problem open)
+// adapts the Threshold-Algorithm discipline to skyline probabilities:
+//
+//  1. Discovery. The coordinator performs lock-step sorted accesses over
+//     the d value-sorted lists. Let v be the frontier point formed by the
+//     current scan positions. Every tuple never seen in any list lies
+//     componentwise at or above v, so it is strictly dominated by every
+//     tuple whose values are all strictly below the frontier; the product
+//     of (1 − P) over those fully-seen tuples is therefore an upper bound
+//     on any unseen tuple's skyline probability. Scanning stops as soon
+//     as that bound drops below the query threshold q.
+//
+//  2. Resolution. The tuples seen at least once are the only possible
+//     answers. The coordinator random-accesses their missing attributes,
+//     then asks each list for the prefix up to the candidates' maximum
+//     value in that dimension — every dominator of every candidate
+//     appears in all those prefixes — and evaluates eq. 3 exactly.
+//
+// Both phases are bandwidth-accounted in list entries, the natural unit
+// of the vertical model (an entry is 1/d of a tuple).
+package vertical
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/uncertain"
+)
+
+// Entry is one element of a vertical attribute list: the tuple it belongs
+// to, its value in this list's dimension, and the tuple's existential
+// probability (replicated across lists, as id→probability maps usually
+// are in vertically partitioned stores).
+type Entry struct {
+	ID    uncertain.TupleID
+	Value float64
+	Prob  float64
+}
+
+// ListSite is one site of the vertical deployment: a single attribute of
+// the whole relation, sorted ascending by value (ties by ID, so scans are
+// deterministic). ListSite is immutable after construction and safe for
+// concurrent readers.
+type ListSite struct {
+	dim     int
+	entries []Entry
+	byID    map[uncertain.TupleID]int
+}
+
+// NewListSite projects dimension dim out of db into a sorted list site.
+func NewListSite(dim int, db uncertain.DB) (*ListSite, error) {
+	if len(db) == 0 {
+		return &ListSite{dim: dim}, nil
+	}
+	if dim < 0 || dim >= db.Dims() {
+		return nil, fmt.Errorf("vertical: dimension %d out of range for %d-d data", dim, db.Dims())
+	}
+	entries := make([]Entry, len(db))
+	for i, tu := range db {
+		entries[i] = Entry{ID: tu.ID, Value: tu.Point[dim], Prob: tu.Prob}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Value != entries[j].Value {
+			return entries[i].Value < entries[j].Value
+		}
+		return entries[i].ID < entries[j].ID
+	})
+	byID := make(map[uncertain.TupleID]int, len(entries))
+	for i, e := range entries {
+		byID[e.ID] = i
+	}
+	return &ListSite{dim: dim, entries: entries, byID: byID}, nil
+}
+
+// Len returns the list length.
+func (s *ListSite) Len() int { return len(s.entries) }
+
+// Dim returns the dimension this site serves.
+func (s *ListSite) Dim() int { return s.dim }
+
+// At performs one sorted access: the i-th smallest entry.
+func (s *ListSite) At(i int) Entry { return s.entries[i] }
+
+// Lookup performs one random access: the value of tuple id.
+func (s *ListSite) Lookup(id uncertain.TupleID) (Entry, bool) {
+	i, ok := s.byID[id]
+	if !ok {
+		return Entry{}, false
+	}
+	return s.entries[i], true
+}
+
+// PrefixFrom returns the entries at positions [from, hi) where hi is the
+// first position whose value exceeds maxVal — the "extend my scan" call
+// of the resolution phase. from lets the coordinator skip entries it
+// already holds.
+func (s *ListSite) PrefixFrom(from int, maxVal float64) []Entry {
+	hi := sort.Search(len(s.entries), func(i int) bool { return s.entries[i].Value > maxVal })
+	if from < 0 {
+		from = 0
+	}
+	if from >= hi {
+		return nil
+	}
+	return s.entries[from:hi]
+}
+
+// Stats is the bandwidth/cost accounting of one vertical query, in list
+// entries (1 entry = one (id, value, prob) triple = 1/d tuple).
+type Stats struct {
+	// SortedEntries is the number of entries shipped by phase-1 lock-step
+	// scanning.
+	SortedEntries int
+	// RandomEntries is the number of random-access responses.
+	RandomEntries int
+	// PrefixEntries is the number of additional entries shipped by the
+	// phase-2 prefix extension.
+	PrefixEntries int
+	// ScanDepth is how deep the lock-step scan ran before the threshold
+	// bound fired.
+	ScanDepth int
+	// Candidates is how many tuples survived to exact evaluation.
+	Candidates int
+}
+
+// Entries is the total number of list entries transmitted.
+func (s Stats) Entries() int { return s.SortedEntries + s.RandomEntries + s.PrefixEntries }
+
+// ErrDimensionMismatch reports sites that disagree about the relation.
+var ErrDimensionMismatch = errors.New("vertical: sites have inconsistent lengths")
+
+// partial accumulates what the coordinator knows about one tuple.
+type partial struct {
+	values []float64
+	mask   uint64
+	prob   float64
+}
+
+// Query runs VDSUD over one site per dimension and returns the exact
+// probabilistic skyline (eq. 3 semantics, full space) at threshold q,
+// sorted by descending probability, along with the access statistics.
+func Query(sites []*ListSite, q float64) ([]uncertain.SkylineMember, Stats, error) {
+	var stats Stats
+	d := len(sites)
+	if d == 0 {
+		return nil, stats, errors.New("vertical: no sites")
+	}
+	if d > 64 {
+		return nil, stats, errors.New("vertical: more than 64 dimensions unsupported")
+	}
+	if !(q > 0 && q <= 1) {
+		return nil, stats, fmt.Errorf("vertical: threshold %v outside (0,1]", q)
+	}
+	n := sites[0].Len()
+	for _, s := range sites[1:] {
+		if s.Len() != n {
+			return nil, stats, ErrDimensionMismatch
+		}
+	}
+	if n == 0 {
+		return nil, stats, nil
+	}
+	fullMask := uint64(1)<<d - 1
+
+	seen := make(map[uncertain.TupleID]*partial)
+	observe := func(dim int, e Entry) *partial {
+		p := seen[e.ID]
+		if p == nil {
+			p = &partial{values: make([]float64, d), prob: e.Prob}
+			seen[e.ID] = p
+		}
+		p.values[dim] = e.Value
+		p.mask |= 1 << dim
+		return p
+	}
+
+	// Phase 1: lock-step sorted access until no unseen tuple can qualify.
+	frontier := make([]float64, d)
+	depth := 0
+	for ; depth < n; depth++ {
+		for dim, s := range sites {
+			e := s.At(depth)
+			stats.SortedEntries++
+			observe(dim, e)
+			frontier[dim] = e.Value
+		}
+		// Bound for unseen tuples: the survival product over fully seen
+		// tuples strictly below the frontier on every dimension.
+		bound := 1.0
+		for _, p := range seen {
+			if p.mask != fullMask {
+				continue
+			}
+			strict := true
+			for j, v := range p.values {
+				if v >= frontier[j] {
+					strict = false
+					break
+				}
+			}
+			if strict {
+				bound *= 1 - p.prob
+			}
+		}
+		if bound < q {
+			depth++
+			break
+		}
+	}
+	stats.ScanDepth = depth
+
+	// Candidate pre-filter: before paying random accesses, discard every
+	// seen tuple whose skyline probability provably cannot reach q. For a
+	// fully seen dominator t and a candidate c, t ≺ c holds whenever t is
+	// at or below c on c's known dimensions and strictly below the
+	// frontier on c's unknown ones (c is at or above the frontier there).
+	// The surviving product is a sound upper bound on P_sky(c), so the
+	// filter never drops a qualified tuple — it is what keeps the
+	// resolution phase from extending prefixes for hopeless interior
+	// candidates.
+	var full []*partial
+	for _, p := range seen {
+		if p.mask == fullMask {
+			full = append(full, p)
+		}
+	}
+	survivors := make(map[uncertain.TupleID]*partial, len(seen))
+	for id, c := range seen {
+		bound := c.prob
+		for _, t := range full {
+			if t == c {
+				continue
+			}
+			dominates, strict := true, false
+			for j := 0; j < d; j++ {
+				if c.mask&(1<<j) != 0 {
+					switch {
+					case t.values[j] > c.values[j]:
+						dominates = false
+					case t.values[j] < c.values[j]:
+						strict = true
+					}
+				} else {
+					if t.values[j] >= frontier[j] {
+						dominates = false
+					} else {
+						strict = true
+					}
+				}
+				if !dominates {
+					break
+				}
+			}
+			if dominates && strict {
+				bound *= 1 - t.prob
+				if bound < q {
+					break
+				}
+			}
+		}
+		if bound >= q {
+			survivors[id] = c
+		}
+	}
+
+	// Phase 2a: complete the surviving candidates' vectors by random
+	// access.
+	for id, p := range survivors {
+		for dim := 0; dim < d; dim++ {
+			if p.mask&(1<<dim) != 0 {
+				continue
+			}
+			e, ok := sites[dim].Lookup(id)
+			if !ok {
+				return nil, stats, fmt.Errorf("vertical: tuple %d missing from list %d", id, dim)
+			}
+			stats.RandomEntries++
+			observe(dim, e)
+		}
+	}
+	stats.Candidates = len(survivors)
+
+	// Phase 2b: extend every list far enough to contain all dominators of
+	// all candidates, assembling their vectors as well.
+	extended := make(map[uncertain.TupleID]*partial, len(seen))
+	for id, p := range seen {
+		extended[id] = p
+	}
+	for dim, s := range sites {
+		maxVal := 0.0
+		for _, p := range survivors {
+			if p.values[dim] > maxVal {
+				maxVal = p.values[dim]
+			}
+		}
+		for _, e := range s.PrefixFrom(depth, maxVal) {
+			stats.PrefixEntries++
+			p := extended[e.ID]
+			if p == nil {
+				p = &partial{values: make([]float64, d), prob: e.Prob}
+				extended[e.ID] = p
+			}
+			p.values[dim] = e.Value
+			p.mask |= 1 << dim
+		}
+	}
+
+	// Exact evaluation (eq. 3) of every candidate against the assembled
+	// dominator pool. Only fully assembled tuples can dominate a
+	// candidate: a dominator is below the candidate on every dimension,
+	// so it appears in every extended prefix.
+	var out []uncertain.SkylineMember
+	for id, cand := range survivors {
+		prob := cand.prob
+		cp := geom.Point(cand.values)
+		for oid, other := range extended {
+			if oid == id || other.mask != fullMask {
+				continue
+			}
+			if geom.Point(other.values).Dominates(cp) {
+				prob *= 1 - other.prob
+			}
+		}
+		if prob >= q {
+			out = append(out, uncertain.SkylineMember{
+				Tuple: uncertain.Tuple{ID: id, Point: cp.Clone(), Prob: cand.prob},
+				Prob:  prob,
+			})
+		}
+	}
+	uncertain.SortMembers(out)
+	return out, stats, nil
+}
+
+// Split projects db into one ListSite per dimension — the vertical
+// deployment constructor.
+func Split(db uncertain.DB) ([]*ListSite, error) {
+	d := db.Dims()
+	if d == 0 {
+		return nil, errors.New("vertical: empty database")
+	}
+	sites := make([]*ListSite, d)
+	for dim := 0; dim < d; dim++ {
+		s, err := NewListSite(dim, db)
+		if err != nil {
+			return nil, err
+		}
+		sites[dim] = s
+	}
+	return sites, nil
+}
+
+// BaselineEntries is the cost of the naive vertical strategy: ship every
+// list in full, i.e. N·d entries.
+func BaselineEntries(sites []*ListSite) int {
+	total := 0
+	for _, s := range sites {
+		total += s.Len()
+	}
+	return total
+}

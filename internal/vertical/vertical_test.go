@@ -1,0 +1,303 @@
+package vertical
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/geom"
+	"repro/internal/uncertain"
+)
+
+func randomDB(r *rand.Rand, n, d int) uncertain.DB {
+	db := make(uncertain.DB, n)
+	for i := range db {
+		p := make(geom.Point, d)
+		for j := range p {
+			p[j] = r.Float64()
+		}
+		db[i] = uncertain.Tuple{ID: uncertain.TupleID(i + 1), Point: p, Prob: 0.05 + 0.95*r.Float64()}
+	}
+	return db
+}
+
+func TestListSiteBasics(t *testing.T) {
+	db := uncertain.DB{
+		{ID: 1, Point: geom.Point{3, 9}, Prob: 0.5},
+		{ID: 2, Point: geom.Point{1, 8}, Prob: 0.6},
+		{ID: 3, Point: geom.Point{2, 7}, Prob: 0.7},
+	}
+	s, err := NewListSite(0, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 3 || s.Dim() != 0 {
+		t.Fatalf("Len/Dim = %d/%d", s.Len(), s.Dim())
+	}
+	// Sorted ascending by value: ids 2, 3, 1.
+	wantOrder := []uncertain.TupleID{2, 3, 1}
+	for i, want := range wantOrder {
+		if got := s.At(i).ID; got != want {
+			t.Fatalf("At(%d).ID = %d, want %d", i, got, want)
+		}
+	}
+	e, ok := s.Lookup(3)
+	if !ok || e.Value != 2 || e.Prob != 0.7 {
+		t.Fatalf("Lookup(3) = %v, %v", e, ok)
+	}
+	if _, ok := s.Lookup(99); ok {
+		t.Fatal("Lookup of missing tuple must fail")
+	}
+	// Prefix semantics.
+	if got := s.PrefixFrom(0, 2); len(got) != 2 {
+		t.Fatalf("PrefixFrom(0, 2) = %v", got)
+	}
+	if got := s.PrefixFrom(1, 2); len(got) != 1 || got[0].ID != 3 {
+		t.Fatalf("PrefixFrom(1, 2) = %v", got)
+	}
+	if got := s.PrefixFrom(3, 100); got != nil {
+		t.Fatalf("exhausted PrefixFrom = %v", got)
+	}
+	if _, err := NewListSite(5, db); err == nil {
+		t.Fatal("out-of-range dimension must fail")
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	if _, _, err := Query(nil, 0.3); err == nil {
+		t.Error("no sites must fail")
+	}
+	db := randomDB(rand.New(rand.NewSource(1)), 10, 2)
+	sites, err := Split(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Query(sites, 0); err == nil {
+		t.Error("q=0 must fail")
+	}
+	if _, _, err := Query(sites, 1.5); err == nil {
+		t.Error("q>1 must fail")
+	}
+	short, err := NewListSite(0, db[:5])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Query([]*ListSite{short, sites[1]}, 0.3); err != ErrDimensionMismatch {
+		t.Errorf("mismatched lists: err = %v", err)
+	}
+	if _, err := Split(uncertain.DB{}); err == nil {
+		t.Error("empty db Split must fail")
+	}
+}
+
+func TestQueryEmptyRelation(t *testing.T) {
+	empty, err := NewListSite(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sky, stats, err := Query([]*ListSite{empty}, 0.3)
+	if err != nil || len(sky) != 0 || stats.Entries() != 0 {
+		t.Fatalf("empty relation: %v %v %v", sky, stats, err)
+	}
+}
+
+// The headline property: VDSUD returns exactly the centralized answer.
+func TestQueryMatchesOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 60; trial++ {
+		n := 20 + r.Intn(300)
+		d := 1 + r.Intn(4)
+		db := randomDB(r, n, d)
+		q := []float64{0.1, 0.3, 0.5, 0.8}[r.Intn(4)]
+		sites, err := Split(db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, stats, err := Query(sites, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := db.Skyline(q, nil)
+		if !uncertain.MembersEqual(got, want, 1e-9) {
+			t.Fatalf("trial %d (n=%d d=%d q=%v): %d members, oracle %d (stats %+v)",
+				trial, n, d, q, len(got), len(want), stats)
+		}
+		// The answer must carry the original points and probabilities.
+		byID := map[uncertain.TupleID]uncertain.Tuple{}
+		for _, tu := range db {
+			byID[tu.ID] = tu
+		}
+		for _, m := range got {
+			orig := byID[m.Tuple.ID]
+			if !m.Tuple.Point.Equal(orig.Point) || m.Tuple.Prob != orig.Prob {
+				t.Fatalf("trial %d: reassembled tuple %v differs from original %v", trial, m.Tuple, orig)
+			}
+		}
+	}
+}
+
+func TestQuerySavesBandwidthOnEasyData(t *testing.T) {
+	// Correlated data concentrates dominators near the origin, so the
+	// phase-1 bound fires after a shallow scan and VDSUD ships far fewer
+	// entries than the N·d baseline.
+	db, err := gen.Generate(gen.Config{
+		N: 5000, Dims: 3, Values: gen.Correlated, Probs: gen.UniformProb, Seed: 92,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sites, err := Split(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := Query(sites, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := db.Skyline(0.3, nil)
+	if !uncertain.MembersEqual(got, want, 1e-9) {
+		t.Fatalf("answer mismatch: %d vs %d", len(got), len(want))
+	}
+	baseline := BaselineEntries(sites)
+	if stats.Entries() >= baseline/2 {
+		t.Errorf("VDSUD moved %d entries, baseline %d — expected at least 2x saving",
+			stats.Entries(), baseline)
+	}
+	if stats.ScanDepth >= sites[0].Len() {
+		t.Error("phase-1 bound never fired on easy data")
+	}
+}
+
+func TestQueryHighProbabilityDominatorStopsScanFast(t *testing.T) {
+	// One near-certain tuple at the origin should terminate discovery
+	// almost immediately.
+	db := randomDB(rand.New(rand.NewSource(93)), 2000, 2)
+	db = append(db, uncertain.Tuple{ID: 90_001, Point: geom.Point{0, 0}, Prob: 0.999})
+	sites, err := Split(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := Query(sites, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ScanDepth > len(db)/10 {
+		t.Errorf("scan depth %d of %d — dominator should have cut it short", stats.ScanDepth, len(db))
+	}
+	want := db.Skyline(0.3, nil)
+	if !uncertain.MembersEqual(got, want, 1e-9) {
+		t.Fatalf("answer mismatch: %d vs %d", len(got), len(want))
+	}
+}
+
+func TestQueryDuplicateValues(t *testing.T) {
+	// Heavy ties across both dimensions stress the strict-frontier logic.
+	r := rand.New(rand.NewSource(94))
+	for trial := 0; trial < 30; trial++ {
+		n := 30 + r.Intn(100)
+		db := make(uncertain.DB, n)
+		for i := range db {
+			db[i] = uncertain.Tuple{
+				ID:    uncertain.TupleID(i + 1),
+				Point: geom.Point{float64(r.Intn(5)), float64(r.Intn(5))},
+				Prob:  0.05 + 0.95*r.Float64(),
+			}
+		}
+		sites, err := Split(db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := Query(sites, 0.3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := db.Skyline(0.3, nil)
+		if !uncertain.MembersEqual(got, want, 1e-9) {
+			t.Fatalf("trial %d: duplicate-value mismatch (%d vs %d)", trial, len(got), len(want))
+		}
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	db := randomDB(rand.New(rand.NewSource(95)), 500, 3)
+	sites, err := Split(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stats, err := Query(sites, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SortedEntries != stats.ScanDepth*3 {
+		t.Errorf("sorted entries %d != depth %d × dims", stats.SortedEntries, stats.ScanDepth)
+	}
+	if stats.Candidates == 0 || stats.Entries() == 0 {
+		t.Errorf("stats look empty: %+v", stats)
+	}
+	if got := stats.Entries(); got != stats.SortedEntries+stats.RandomEntries+stats.PrefixEntries {
+		t.Errorf("Entries() = %d, want the sum", got)
+	}
+	if BaselineEntries(sites) != 1500 {
+		t.Errorf("BaselineEntries = %d, want 1500", BaselineEntries(sites))
+	}
+}
+
+func TestQueryMonotoneInThreshold(t *testing.T) {
+	db := randomDB(rand.New(rand.NewSource(96)), 400, 3)
+	sites, err := Split(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev map[uncertain.TupleID]bool
+	for _, q := range []float64{0.2, 0.4, 0.6, 0.8} {
+		got, _, err := Query(sites, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur := map[uncertain.TupleID]bool{}
+		for _, m := range got {
+			cur[m.Tuple.ID] = true
+			if m.Prob < q {
+				t.Fatalf("q=%v: member below threshold", q)
+			}
+		}
+		if prev != nil {
+			for id := range cur {
+				if !prev[id] {
+					t.Fatalf("q=%v: lost monotonicity for %d", q, id)
+				}
+			}
+		}
+		prev = cur
+	}
+}
+
+func TestQueryCertainData(t *testing.T) {
+	// With all probabilities 1, q=1 must yield the certain skyline.
+	r := rand.New(rand.NewSource(97))
+	db := make(uncertain.DB, 200)
+	pts := make([]geom.Point, len(db))
+	for i := range db {
+		p := geom.Point{r.Float64(), r.Float64()}
+		db[i] = uncertain.Tuple{ID: uncertain.TupleID(i + 1), Point: p, Prob: 1}
+		pts[i] = p
+	}
+	sites, err := Split(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := Query(sites, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := uncertain.CertainSkyline(pts, nil)
+	if len(got) != len(want) {
+		t.Fatalf("certain special case: %d vs %d", len(got), len(want))
+	}
+	for _, m := range got {
+		if math.Abs(m.Prob-1) > 1e-12 {
+			t.Fatalf("certain member with probability %v", m.Prob)
+		}
+	}
+}
