@@ -2,19 +2,25 @@
 
 GO ?= go
 
-.PHONY: all build test race bench verify examples figures clean
+.PHONY: all check build vet test race bench verify examples figures clean
 
-all: build test
+all: check
+
+# The default gate: compile, vet, full test suite, then the race detector
+# over the concurrency-heavy packages.
+check: build vet test race
 
 build:
 	$(GO) build ./...
+
+vet:
 	$(GO) vet ./...
 
 test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/transport ./internal/core ./internal/stream
+	$(GO) test -race ./internal/obs ./internal/transport ./internal/core ./internal/stream
 
 # Full benchmark sweep (several minutes). Writes bench_output.txt.
 bench:

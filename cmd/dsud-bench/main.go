@@ -6,8 +6,12 @@
 //
 //	dsud-bench -exp fig8 [-n 60000] [-queries 2] [-sites 60] [-seed 1]
 //	dsud-bench -exp all -paper       # full 2M-tuple paper scale (slow)
+//	dsud-bench -exp fig12 -trace-out phases.txt   # also dump phase timings
 //
 // Experiments: fig8 fig9 fig10 fig11 fig12 fig13 fig14 eq6, or "all".
+// With -trace-out the progressiveness experiments (fig12/fig13) re-run each
+// workload with a query trace attached and write per-phase timing tables
+// (To-Server, Feedback-Select, Server-Delivery, Local-Pruning) to the file.
 package main
 
 import (
@@ -31,6 +35,8 @@ func main() {
 		seed    = flag.Int64("seed", 1, "generation seed")
 		paper   = flag.Bool("paper", false, "use the paper's full Table 3 scale (N=2,000,000, 10 queries)")
 		format  = flag.String("format", "table", "output format: table|csv")
+
+		traceOut = flag.String("trace-out", "", "write per-phase timing tables for fig12/fig13 runs to this file")
 	)
 	flag.Parse()
 	if *exp == "" {
@@ -51,6 +57,18 @@ func main() {
 	if *exp == "all" {
 		ids = experiments.IDs()
 	}
+
+	var traceFile *os.File
+	if *traceOut != "" {
+		var err error
+		traceFile, err = os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dsud-bench: trace-out: %v\n", err)
+			os.Exit(1)
+		}
+		defer traceFile.Close()
+	}
+
 	for _, id := range ids {
 		start := time.Now()
 		figs, err := experiments.Run(ctx, id, scale)
@@ -72,6 +90,20 @@ func main() {
 		}
 		if *format != "csv" {
 			fmt.Printf("(%s completed in %v at N=%d, %d repetition(s))\n\n", id, time.Since(start).Round(time.Millisecond), scale.N, scale.Queries)
+		}
+		if traceFile != nil && (id == "fig12" || id == "fig13") {
+			tables, err := experiments.TracePhases(ctx, id, scale)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dsud-bench: %s trace: %v\n", id, err)
+				os.Exit(1)
+			}
+			for _, table := range tables {
+				if err := table.Render(traceFile); err != nil {
+					fmt.Fprintf(os.Stderr, "dsud-bench: trace-out: %v\n", err)
+					os.Exit(1)
+				}
+			}
+			fmt.Printf("(%s phase-timing tables appended to %s)\n\n", id, *traceOut)
 		}
 	}
 }

@@ -12,11 +12,14 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
 
 	"repro/dsq"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -29,6 +32,9 @@ func main() {
 		quiet = flag.Bool("quiet", false, "suppress per-tuple output")
 		topk  = flag.Int("topk", 0, "return only the K most probable answers (0 = all)")
 		trace = flag.Bool("trace", false, "print every protocol step")
+		stats = flag.Bool("stats", false, "print the per-phase timing table after the query")
+
+		debugAddr = flag.String("debug-addr", "", "optional debug address serving /metrics, /vars, /healthz and /debug/pprof/")
 	)
 	flag.Parse()
 	if *addrs == "" || *dims <= 0 {
@@ -65,6 +71,17 @@ func main() {
 	}
 	defer cluster.Close()
 
+	if *debugAddr != "" {
+		reg := dsq.NewMetrics()
+		cluster.Instrument(reg)
+		lis, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fatalf("debug listen: %v", err)
+		}
+		fmt.Printf("debug endpoint on http://%s/metrics\n", lis.Addr())
+		go http.Serve(lis, obs.DebugMux(reg, nil))
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
@@ -77,7 +94,7 @@ func main() {
 			fmt.Printf("skyline %s  P=%.4f  (site %d)\n", res.Tuple.Point, res.GlobalProb, res.Site)
 		}
 	}
-	report, err := dsq.Query(ctx, cluster, opts)
+	report, qstats, err := dsq.QueryWithStats(ctx, cluster, opts)
 	if err != nil {
 		fatalf("query: %v", err)
 	}
@@ -87,6 +104,12 @@ func main() {
 		bw.Tuples(), bw.TuplesUp, bw.TuplesDown, bw.Messages, bw.Bytes)
 	fmt.Printf("iterations: %d, broadcasts: %d, expunged: %d, locally pruned: %d\n",
 		report.Iterations, report.Broadcasts, report.Expunged, report.PrunedLocal)
+	if *stats {
+		fmt.Println()
+		if err := qstats.Trace.WriteTable(os.Stdout); err != nil {
+			fatalf("stats: %v", err)
+		}
+	}
 }
 
 func fatalf(format string, args ...interface{}) {

@@ -5,6 +5,9 @@
 // Usage:
 //
 //	dsud-site -data /tmp/parts/site-0.dsud -addr 127.0.0.1:7101 -id 0
+//
+// With -debug-addr the daemon additionally serves /metrics (Prometheus),
+// /vars (JSON), /healthz, /status and /debug/pprof/ on that address.
 package main
 
 import (
@@ -16,16 +19,18 @@ import (
 	"os/signal"
 
 	"repro/internal/dataset"
+	"repro/internal/obs"
 	"repro/internal/site"
 	"repro/internal/transport"
 )
 
 func main() {
 	var (
-		data     = flag.String("data", "", "partition file written by dsud-gen (required)")
-		addr     = flag.String("addr", "127.0.0.1:0", "listen address")
-		httpAddr = flag.String("http", "", "optional ops address serving GET /status as JSON")
-		id       = flag.Int("id", 0, "site index (diagnostics only)")
+		data      = flag.String("data", "", "partition file written by dsud-gen (required)")
+		addr      = flag.String("addr", "127.0.0.1:0", "listen address")
+		httpAddr  = flag.String("http", "", "optional ops address serving GET /status as JSON")
+		debugAddr = flag.String("debug-addr", "", "optional debug address serving /metrics, /vars, /healthz, /status and /debug/pprof/")
+		id        = flag.Int("id", 0, "site index (diagnostics only)")
 	)
 	flag.Parse()
 	if *data == "" {
@@ -38,6 +43,12 @@ func main() {
 		fatalf("%v", err)
 	}
 	eng := site.New(*id, part, dims, 0)
+
+	var reg *obs.Registry
+	if *debugAddr != "" {
+		reg = obs.NewRegistry()
+		eng.Instrument(reg)
+	}
 
 	lis, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -55,6 +66,16 @@ func main() {
 		}
 		fmt.Printf("dsud-site %d ops endpoint on http://%s/status\n", *id, opsLis.Addr())
 		go http.Serve(opsLis, mux)
+	}
+
+	if *debugAddr != "" {
+		mux := obs.DebugMux(reg, map[string]http.Handler{"/status": eng.StatusHandler()})
+		dbgLis, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fatalf("debug listen: %v", err)
+		}
+		fmt.Printf("dsud-site %d debug endpoint on http://%s/metrics\n", *id, dbgLis.Addr())
+		go http.Serve(dbgLis, mux)
 	}
 
 	done := make(chan error, 1)

@@ -35,6 +35,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/stream"
 	"repro/internal/transport"
 	"repro/internal/uncertain"
@@ -232,6 +233,20 @@ type (
 	Event = core.Event
 	// EventKind labels protocol steps.
 	EventKind = core.EventKind
+	// Trace collects one query's phase timings, event tallies and
+	// time-to-result latencies (attach via Options.Trace, or use
+	// QueryWithStats). Safe to Summary() while the query runs.
+	Trace = core.Trace
+	// TraceSummary is a point-in-time snapshot of a Trace.
+	TraceSummary = core.TraceSummary
+	// Phase names one coordinator-side protocol phase.
+	Phase = core.Phase
+	// PhaseStat is the span count and total wall time of one phase.
+	PhaseStat = core.PhaseStat
+	// Metrics is a process-wide metrics registry: counters, gauges and
+	// histograms with Prometheus text and JSON exposition. Pass it to
+	// Cluster.Instrument and serve Metrics.Handler() at /metrics.
+	Metrics = obs.Registry
 )
 
 // Protocol event kinds.
@@ -248,7 +263,64 @@ const (
 	EventReport = core.EventReport
 	// EventReject: a broadcast tuple fell short of the threshold.
 	EventReject = core.EventReject
+	// EventRefill: a site was asked for its next representative.
+	EventRefill = core.EventRefill
+	// EventFeedbackSelect: the coordinator picked the next feedback tuple.
+	EventFeedbackSelect = core.EventFeedbackSelect
 )
+
+// Protocol phases, for indexing TraceSummary.Phases.
+const (
+	// PhaseToServer: representatives shipping up (Init + refills).
+	PhaseToServer = core.PhaseToServer
+	// PhaseFeedbackSelect: bound recomputation, expunging and selection.
+	PhaseFeedbackSelect = core.PhaseFeedbackSelect
+	// PhaseServerDelivery: the Evaluate broadcast round trips.
+	PhaseServerDelivery = core.PhaseServerDelivery
+	// PhaseLocalPruning: folding the sites' factors into the verdict.
+	PhaseLocalPruning = core.PhaseLocalPruning
+)
+
+// NewTrace returns an empty per-query trace for Options.Trace.
+func NewTrace() *Trace { return core.NewTrace() }
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// QueryStats aggregates one query's observability record: the per-phase
+// timing trace and the bandwidth meter delta, alongside the algorithm
+// that ran.
+type QueryStats struct {
+	// Algorithm is the algorithm that executed (the default resolved).
+	Algorithm Algorithm
+	// Trace holds phase spans, event tallies, iteration count and the
+	// time-to-first/k-th-result series.
+	Trace TraceSummary
+	// Bandwidth is the tuple/message/byte cost of this query.
+	Bandwidth BandwidthSnapshot
+}
+
+// QueryWithStats is Query plus a populated QueryStats. If opts.Trace is
+// nil a private trace is attached for the duration of the call;
+// otherwise the caller's trace is used (and remains readable live).
+func QueryWithStats(ctx context.Context, cluster *Cluster, opts Options) (*Report, *QueryStats, error) {
+	if opts.Trace == nil {
+		opts.Trace = core.NewTrace()
+	}
+	rep, err := core.Run(ctx, cluster, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	algo := opts.Algorithm
+	if algo == 0 {
+		algo = EDSUD
+	}
+	return rep, &QueryStats{
+		Algorithm: algo,
+		Trace:     opts.Trace.Summary(),
+		Bandwidth: rep.Bandwidth,
+	}, nil
+}
 
 // PartitionWorkloadAngular splits db over m sites by angular sectors
 // (the paper's reference [21]); compared with the random split it trims

@@ -1,0 +1,102 @@
+package dsq_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/dsq"
+)
+
+func TestQueryWithStats(t *testing.T) {
+	parts, union := workload(t, 600, 3, 5)
+	cluster, err := dsq.NewLocalCluster(parts, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	rep, stats, err := dsq.QueryWithStats(context.Background(), cluster, dsq.Options{Threshold: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := union.Skyline(0.3, nil)
+	if len(rep.Skyline) != len(want) {
+		t.Fatalf("answer size %d, central oracle %d", len(rep.Skyline), len(want))
+	}
+	if stats.Algorithm != dsq.EDSUD {
+		t.Fatalf("algorithm = %v, want the resolved default EDSUD", stats.Algorithm)
+	}
+
+	tr := stats.Trace
+	if !tr.Done {
+		t.Error("trace must be finished after QueryWithStats returns")
+	}
+	if tr.Elapsed <= 0 {
+		t.Error("elapsed must be positive")
+	}
+	for _, p := range []dsq.Phase{dsq.PhaseToServer, dsq.PhaseFeedbackSelect, dsq.PhaseServerDelivery, dsq.PhaseLocalPruning} {
+		if tr.Phases[p].Spans == 0 || tr.Phases[p].Total <= 0 {
+			t.Errorf("phase %v not timed: %+v", p, tr.Phases[p])
+		}
+	}
+	if tr.TimeToFirst() <= 0 {
+		t.Error("time-to-first must be positive when results were reported")
+	}
+	if got := tr.Events[dsq.EventReport]; got != len(rep.Skyline) {
+		t.Errorf("trace reports %d, answer has %d", got, len(rep.Skyline))
+	}
+	if got := tr.Events[dsq.EventFeedbackSelect]; got != rep.Broadcasts {
+		t.Errorf("trace feedback-selects %d, broadcasts %d", got, rep.Broadcasts)
+	}
+	if stats.Bandwidth.Tuples() != rep.Bandwidth.Tuples() {
+		t.Errorf("stats bandwidth %d, report %d", stats.Bandwidth.Tuples(), rep.Bandwidth.Tuples())
+	}
+
+	// A caller-provided trace is used rather than replaced, staying
+	// readable after the call.
+	own := dsq.NewTrace()
+	_, stats2, err := dsq.QueryWithStats(context.Background(), cluster, dsq.Options{
+		Threshold: 0.3, Algorithm: dsq.DSUD, Trace: own,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if own.Summary().Events[dsq.EventBroadcast] != stats2.Trace.Events[dsq.EventBroadcast] {
+		t.Error("caller trace and returned stats disagree")
+	}
+	if stats2.Algorithm != dsq.DSUD {
+		t.Fatalf("algorithm = %v, want DSUD", stats2.Algorithm)
+	}
+}
+
+func TestMetricsThroughFacade(t *testing.T) {
+	parts, _ := workload(t, 300, 2, 3)
+	cluster, err := dsq.NewLocalCluster(parts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	reg := dsq.NewMetrics()
+	cluster.Instrument(reg)
+	if _, err := dsq.Query(context.Background(), cluster, dsq.Options{Threshold: 0.3}); err != nil {
+		t.Fatal(err)
+	}
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		`dsud_queries_total{algorithm="e-dsud"} 1`,
+		`dsud_rpc_requests_total{kind="evaluate",outcome="ok",site="0"}`,
+		"dsud_rpc_duration_seconds_bucket",
+		"dsud_transport_messages_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}

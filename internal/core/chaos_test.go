@@ -59,13 +59,15 @@ func TestQuerySurvivesLostResponses(t *testing.T) {
 			engines[i] = site.New(i, part, 3, 0)
 		}
 		clients := make([]transport.Client, len(parts))
+		retriers := make([]*transport.RetryClient, len(parts))
 		for i := range clients {
 			eng := engines[i]
 			r := rand.New(rand.NewSource(int64(trial*100 + i)))
 			dial := func() (transport.Client, error) {
 				return &chaosClient{eng: eng, r: r, p: 0.1}, nil
 			}
-			clients[i] = transport.Retry(dial, 50)
+			retriers[i] = transport.Retry(dial, 50)
+			clients[i] = retriers[i]
 		}
 		cluster, err := NewClusterFromClients(clients, 3)
 		if err != nil {
@@ -81,6 +83,28 @@ func TestQuerySurvivesLostResponses(t *testing.T) {
 				t.Fatalf("trial %d %v: chaos corrupted the answer (%d vs %d)",
 					trial, algo, len(rep.Skyline), len(want))
 			}
+		}
+		// The right answer alone doesn't prove the fault path was
+		// exercised: the retry accounting must show the machinery worked.
+		// With p=0.1 per response across two full query runs per trial,
+		// at least one site certainly lost responses — and every loss must
+		// have been repaired by a retry over a redialled connection, never
+		// by giving up.
+		var total transport.RetrySnapshot
+		for i, rc := range retriers {
+			s := rc.Stats()
+			if s.Failures != 0 {
+				t.Fatalf("trial %d site %d: %d calls exhausted retries: %+v", trial, i, s.Failures, s)
+			}
+			if s.Retries < s.Redials {
+				t.Fatalf("trial %d site %d: redials without retries: %+v", trial, i, s)
+			}
+			total.Calls += s.Calls
+			total.Retries += s.Retries
+			total.Redials += s.Redials
+		}
+		if total.Retries == 0 || total.Redials == 0 {
+			t.Fatalf("trial %d: chaos at p=0.1 produced no retries (%+v) — the fault injection is dead", trial, total)
 		}
 		cluster.Close()
 	}

@@ -6,10 +6,12 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/site"
 	"repro/internal/transport"
 	"repro/internal/uncertain"
@@ -29,6 +31,37 @@ type Cluster struct {
 	// sessions counts queries within this cluster.
 	sessionBase uint64
 	sessions    atomic.Uint64
+
+	// obsQueries counts completed queries per algorithm, populated by
+	// Instrument (nil entries no-op when uninstrumented).
+	obsQueries [int(SDSUD) + 1]*obs.Counter
+}
+
+// Instrument wires the cluster into reg: every site client gains per-RPC
+// latency histograms and outcome counters (dsud_rpc_*), the shared
+// bandwidth meter is exposed (dsud_transport_*), and completed queries
+// are counted per algorithm (dsud_queries_total). Call once, before the
+// first query; a nil registry is a no-op. Concurrent queries may share
+// the instrumented cluster as usual.
+func (c *Cluster) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	for i, cl := range c.clients {
+		c.clients[i] = transport.Instrumented(cl, reg, strconv.Itoa(i))
+	}
+	transport.ExposeMeter(reg, c.meter)
+	reg.Describe("dsud_queries_total", "Completed queries by algorithm.")
+	for _, a := range []Algorithm{Baseline, DSUD, EDSUD, SDSUD} {
+		c.obsQueries[a] = reg.Counter("dsud_queries_total", "algorithm", a.String())
+	}
+}
+
+// countQuery tallies one completed query (nil-safe when uninstrumented).
+func (c *Cluster) countQuery(a Algorithm) {
+	if int(a) >= 0 && int(a) < len(c.obsQueries) {
+		c.obsQueries[a].Inc()
+	}
 }
 
 // view is one query's (or one maintainer's) handle on the cluster: the

@@ -69,9 +69,14 @@ type Options struct {
 	// skyline tuple is discovered — the paper's progressiveness hook.
 	OnResult func(Result)
 	// OnEvent, when non-nil, receives every protocol step (to-server,
-	// expunge, broadcast, prune, report, reject) for tracing and
-	// debugging. Purely observational.
+	// expunge, feedback-select, broadcast, prune, report, reject, refill)
+	// for tracing and debugging. Purely observational.
 	OnEvent func(Event)
+	// Trace, when non-nil, collects per-phase span timings, event tallies
+	// and time-to-result latencies for this query. Run resets it at query
+	// start; read Trace.Summary during or after the run. Purely
+	// observational — a nil Trace costs one pointer test per span site.
+	Trace *Trace
 	// MaxResults, when positive, stops the query as soon as that many
 	// qualified tuples have been reported. The tuples delivered are the
 	// first confirmed (not necessarily the k most probable); combined
@@ -214,6 +219,9 @@ type Report struct {
 	// Expunged counts candidates e-DSUD discarded by the Corollary-2
 	// bound without broadcasting (always 0 for DSUD/Baseline).
 	Expunged int
+	// Refills counts Next requests issued to top a site's slot back up
+	// after its representative was popped (broadcast or expunged).
+	Refills int
 	// PrunedLocal sums local skyline tuples discarded by feedback pruning
 	// across all sites.
 	PrunedLocal int

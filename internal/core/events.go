@@ -28,6 +28,15 @@ const (
 	// EventReject: a broadcast tuple's exact global probability fell
 	// short of the threshold.
 	EventReject
+	// EventRefill: the home site of a popped (broadcast or expunged)
+	// tuple was asked for its next representative. Count is 1 when a
+	// representative arrived (followed by its own EventToServer) and 0
+	// when the site's local skyline is exhausted.
+	EventRefill
+	// EventFeedbackSelect: the coordinator picked the next feedback tuple
+	// from its queue (for e-DSUD, the maximum Corollary-2 bound in G).
+	// Prob carries the winning bound; exactly one per broadcast.
+	EventFeedbackSelect
 )
 
 func (k EventKind) String() string {
@@ -44,6 +53,10 @@ func (k EventKind) String() string {
 		return "report"
 	case EventReject:
 		return "reject"
+	case EventRefill:
+		return "refill"
+	case EventFeedbackSelect:
+		return "feedback-select"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -75,13 +88,19 @@ func (e Event) String() string {
 	switch e.Kind {
 	case EventPrune:
 		return fmt.Sprintf("[%03d] prune: %d local skyline tuples dropped", e.Iteration, e.Count)
+	case EventRefill:
+		if e.Count == 0 {
+			return fmt.Sprintf("[%03d] refill site=%d exhausted", e.Iteration, e.Site)
+		}
+		return fmt.Sprintf("[%03d] refill site=%d", e.Iteration, e.Site)
 	default:
 		return fmt.Sprintf("[%03d] %s site=%d %s p=%.4g", e.Iteration, e.Kind, e.Site, e.Tuple, e.Prob)
 	}
 }
 
-// emit delivers an event if a listener is attached.
+// emit delivers an event to the trace and listener, if attached.
 func (o *Options) emit(e Event) {
+	o.Trace.observe(e)
 	if o.OnEvent != nil {
 		o.OnEvent(e)
 	}

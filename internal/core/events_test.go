@@ -11,7 +11,7 @@ import (
 )
 
 func TestEventKindStrings(t *testing.T) {
-	kinds := []EventKind{EventToServer, EventExpunge, EventBroadcast, EventPrune, EventReport, EventReject}
+	kinds := []EventKind{EventToServer, EventExpunge, EventBroadcast, EventPrune, EventReport, EventReject, EventRefill, EventFeedbackSelect}
 	seen := map[string]bool{}
 	for _, k := range kinds {
 		s := k.String()
@@ -31,6 +31,18 @@ func TestEventKindStrings(t *testing.T) {
 	if !strings.Contains(e.String(), "report") {
 		t.Errorf("report event renders %q", e)
 	}
+	e = Event{Kind: EventRefill, Iteration: 2, Site: 1, Count: 0}
+	if !strings.Contains(e.String(), "refill") || !strings.Contains(e.String(), "exhausted") {
+		t.Errorf("exhausted refill renders %q", e)
+	}
+	e = Event{Kind: EventRefill, Iteration: 2, Site: 1, Count: 1}
+	if !strings.Contains(e.String(), "refill") || strings.Contains(e.String(), "exhausted") {
+		t.Errorf("delivering refill renders %q", e)
+	}
+	e = Event{Kind: EventFeedbackSelect, Iteration: 4, Site: 0, Prob: 0.7}
+	if !strings.Contains(e.String(), "feedback-select") {
+		t.Errorf("feedback-select event renders %q", e)
+	}
 }
 
 // The event stream must be internally consistent with the report counters
@@ -40,17 +52,25 @@ func TestEventStreamConsistency(t *testing.T) {
 	for _, algo := range []Algorithm{DSUD, EDSUD} {
 		counts := map[EventKind]int{}
 		pruneTotal := 0
+		refillDelivered := 0
+		initialToServer := 0
 		var reported []uncertain.SkylineMember
 		rep := runAlgo(t, parts, 3, Options{
 			Threshold: 0.3,
 			Algorithm: algo,
 			OnEvent: func(e Event) {
 				counts[e.Kind]++
-				if e.Kind == EventPrune {
+				switch e.Kind {
+				case EventPrune:
 					pruneTotal += e.Count
-				}
-				if e.Kind == EventReport {
+				case EventReport:
 					reported = append(reported, uncertain.SkylineMember{Tuple: e.Tuple, Prob: e.Prob})
+				case EventRefill:
+					refillDelivered += e.Count
+				case EventToServer:
+					if e.Iteration == 0 {
+						initialToServer++
+					}
 				}
 			},
 		})
@@ -69,6 +89,22 @@ func TestEventStreamConsistency(t *testing.T) {
 		if counts[EventReport]+counts[EventReject] != rep.Broadcasts {
 			t.Errorf("%v: every broadcast must end in report or reject (%d+%d vs %d)",
 				algo, counts[EventReport], counts[EventReject], rep.Broadcasts)
+		}
+		if counts[EventFeedbackSelect] != rep.Broadcasts {
+			t.Errorf("%v: %d feedback-select events, report says %d broadcasts",
+				algo, counts[EventFeedbackSelect], rep.Broadcasts)
+		}
+		if counts[EventRefill] != rep.Refills {
+			t.Errorf("%v: %d refill events, report says %d", algo, counts[EventRefill], rep.Refills)
+		}
+		// Every representative reached the coordinator either in the
+		// initial broadcast or via a delivering refill.
+		if counts[EventToServer] != initialToServer+refillDelivered {
+			t.Errorf("%v: %d to-server events vs %d initial + %d refilled",
+				algo, counts[EventToServer], initialToServer, refillDelivered)
+		}
+		if initialToServer > len(parts) {
+			t.Errorf("%v: %d initial to-server events from %d sites", algo, initialToServer, len(parts))
 		}
 		// Every to-server event is one up-tuple; together with broadcasts
 		// they are the whole tuple bandwidth.

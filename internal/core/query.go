@@ -24,6 +24,8 @@ func Run(ctx context.Context, c *Cluster, opts Options) (*Report, error) {
 		opts.Algorithm = EDSUD
 	}
 	start := time.Now()
+	opts.Trace.begin(start)
+	defer opts.Trace.finish()
 	v := c.newView()
 	bytesBefore := c.meter.Snapshot().Bytes
 
@@ -42,6 +44,7 @@ func Run(ctx context.Context, c *Cluster, opts Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	c.countQuery(opts.Algorithm)
 	uncertain.SortMembers(rep.Skyline)
 	if opts.TopK > 0 && len(rep.Skyline) > opts.TopK {
 		rep.Skyline = rep.Skyline[:opts.TopK]
@@ -59,7 +62,9 @@ func Run(ctx context.Context, c *Cluster, opts Options) (*Report, error) {
 // runBaseline ships every partition to the coordinator and solves eq. 5
 // centrally over a bulk-loaded PR-tree.
 func runBaseline(ctx context.Context, c *view, opts Options, start time.Time) (*Report, error) {
+	sp := opts.Trace.StartSpan(PhaseToServer)
 	resps, err := c.broadcast(ctx, -1, &transport.Request{Kind: transport.KindShipAll})
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -76,6 +81,7 @@ func runBaseline(ctx context.Context, c *view, opts Options, start time.Time) (*
 	index.LocalSkylineFunc(opts.Threshold, opts.Dims, func(m uncertain.SkylineMember) bool {
 		rep.Skyline = append(rep.Skyline, m)
 		rep.Sites[m.Tuple.ID] = sites[m.Tuple.ID]
+		opts.emit(Event{Kind: EventReport, Site: sites[m.Tuple.ID], Tuple: m.Tuple, Prob: m.Prob})
 		rep.Progress = append(rep.Progress, ProgressPoint{
 			Reported: len(rep.Skyline),
 			Tuples:   c.meter.Snapshot().Tuples(),
@@ -146,7 +152,9 @@ func runDSUD(ctx context.Context, c *view, opts Options, enhanced bool, start ti
 
 	// To-Server phase, first iteration: every site initialises and ships
 	// its first representative (§4 step 1).
+	sp := opts.Trace.StartSpan(PhaseToServer)
 	resps, err := c.broadcast(ctx, -1, &transport.Request{Kind: transport.KindInit, Query: query, Session: sid})
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -160,19 +168,29 @@ func runDSUD(ctx context.Context, c *view, opts Options, enhanced bool, start ti
 		}
 	}
 
-	// refill asks site i for its next representative and enqueues it.
+	// refill asks site i for its next representative and enqueues it
+	// (the To-Server phase of later iterations).
 	refill := func(i int) error {
+		sp := opts.Trace.StartSpan(PhaseToServer)
+		defer sp.End()
 		resp, err := c.call(ctx, i, &transport.Request{Kind: transport.KindNext, Session: sid})
 		if err != nil {
 			return err
 		}
-		if !resp.Exhausted {
-			queue = append(queue, queued{site: i, rep: resp.Rep, bound: resp.Rep.LocalProb})
-			opts.emit(Event{
-				Kind: EventToServer, Iteration: rep.Iterations,
-				Site: i, Tuple: resp.Rep.Tuple, Prob: resp.Rep.LocalProb,
-			})
+		rep.Refills++
+		if resp.Exhausted {
+			opts.emit(Event{Kind: EventRefill, Iteration: rep.Iterations, Site: i, Count: 0})
+			return nil
 		}
+		opts.emit(Event{
+			Kind: EventRefill, Iteration: rep.Iterations,
+			Site: i, Tuple: resp.Rep.Tuple, Prob: resp.Rep.LocalProb, Count: 1,
+		})
+		queue = append(queue, queued{site: i, rep: resp.Rep, bound: resp.Rep.LocalProb})
+		opts.emit(Event{
+			Kind: EventToServer, Iteration: rep.Iterations,
+			Site: i, Tuple: resp.Rep.Tuple, Prob: resp.Rep.LocalProb,
+		})
 		return nil
 	}
 
@@ -198,6 +216,7 @@ func runDSUD(ctx context.Context, c *view, opts Options, enhanced bool, start ti
 			return nil, err
 		}
 		rep.Iterations++
+		sel := opts.Trace.StartSpan(PhaseFeedbackSelect)
 		useBounds := enhanced || opts.Policy == PolicyMaxBound
 		recomputeBounds(queue, useBounds, opts.Dims)
 		applySynopsisBounds(queue, synopses)
@@ -218,7 +237,12 @@ func runDSUD(ctx context.Context, c *view, opts Options, enhanced bool, start ti
 							Kind: EventExpunge, Iteration: rep.Iterations,
 							Site: victim.site, Tuple: victim.rep.Tuple, Prob: victim.bound,
 						})
-						if err := refill(victim.site); err != nil {
+						// The refill is To-Server work; keep it out of the
+						// selection phase's clock.
+						sel.Pause()
+						err := refill(victim.site)
+						sel.Resume()
+						if err != nil {
 							return nil, err
 						}
 						dropped = true
@@ -233,6 +257,7 @@ func runDSUD(ctx context.Context, c *view, opts Options, enhanced bool, start ti
 				applySynopsisBounds(queue, synopses)
 			}
 			if len(queue) == 0 {
+				sel.End()
 				break
 			}
 		}
@@ -244,6 +269,7 @@ func runDSUD(ctx context.Context, c *view, opts Options, enhanced bool, start ti
 		head := queue[best]
 		lastSite = head.site
 		queue = append(queue[:best], queue[best+1:]...)
+		sel.End()
 
 		// Corollary 1 termination for DSUD: every unseen tuple's global
 		// probability is bounded by the head's local probability.
@@ -255,13 +281,19 @@ func runDSUD(ctx context.Context, c *view, opts Options, enhanced bool, start ti
 		if opts.TopK > 0 && len(rep.Skyline) >= opts.TopK && head.bound < working {
 			break
 		}
+		opts.emit(Event{
+			Kind: EventFeedbackSelect, Iteration: rep.Iterations,
+			Site: head.site, Tuple: head.rep.Tuple, Prob: head.bound,
+		})
 
 		// Server-Delivery phase: broadcast the feedback to the other
 		// sites, collect eq. 9 factors (Lemma 1) and prune remotely.
 		feed := transport.Feedback{Tuple: head.rep.Tuple, HomeLocalProb: head.rep.LocalProb}
+		sd := opts.Trace.StartSpan(PhaseServerDelivery)
 		evals, err := c.broadcast(ctx, head.site, &transport.Request{
 			Kind: transport.KindEvaluate, Feed: feed, Session: sid,
 		})
+		sd.End()
 		if err != nil {
 			return nil, err
 		}
@@ -270,6 +302,9 @@ func runDSUD(ctx context.Context, c *view, opts Options, enhanced bool, start ti
 			Kind: EventBroadcast, Iteration: rep.Iterations,
 			Site: head.site, Tuple: head.rep.Tuple, Prob: head.rep.LocalProb,
 		})
+		// Local-Pruning phase, coordinator side: fold the sites' eq. 9
+		// factors and prune counts into the verdict.
+		lp := opts.Trace.StartSpan(PhaseLocalPruning)
 		global := head.rep.LocalProb
 		prunedNow := 0
 		for i, resp := range evals {
@@ -299,6 +334,7 @@ func runDSUD(ctx context.Context, c *view, opts Options, enhanced bool, start ti
 				opts.OnResult(Result{Tuple: head.rep.Tuple, GlobalProb: global, Site: head.site})
 			}
 			if opts.MaxResults > 0 && len(rep.Skyline) >= opts.MaxResults {
+				lp.End()
 				return rep, nil
 			}
 		} else {
@@ -307,6 +343,7 @@ func runDSUD(ctx context.Context, c *view, opts Options, enhanced bool, start ti
 				Site: head.site, Tuple: head.rep.Tuple, Prob: global,
 			})
 		}
+		lp.End()
 		// The home site ships its next representative (To-Server phase of
 		// the following iteration).
 		if err := refill(head.site); err != nil {

@@ -1,0 +1,290 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"text/tabwriter"
+	"time"
+)
+
+// Phase names the coordinator-side phases of the §5.2 protocol loop, for
+// per-query span timing.
+type Phase int
+
+// Protocol phases, in the paper's vocabulary.
+const (
+	// PhaseToServer covers shipping representatives up: the Init broadcast
+	// and every Next refill.
+	PhaseToServer Phase = iota
+	// PhaseFeedbackSelect covers the coordinator's candidate bookkeeping:
+	// Corollary-2 bound recomputation, synopsis tightening, the expunge
+	// sweep (minus its nested refills) and the feedback selection itself.
+	PhaseFeedbackSelect
+	// PhaseServerDelivery covers the Evaluate broadcast round trips.
+	PhaseServerDelivery
+	// PhaseLocalPruning covers aggregating the sites' eq. 9 factors and
+	// prune counts and settling the verdict (report or reject).
+	PhaseLocalPruning
+	numPhases
+)
+
+func (p Phase) String() string {
+	switch p {
+	case PhaseToServer:
+		return "to-server"
+	case PhaseFeedbackSelect:
+		return "feedback-select"
+	case PhaseServerDelivery:
+		return "server-delivery"
+	case PhaseLocalPruning:
+		return "local-pruning"
+	default:
+		return fmt.Sprintf("Phase(%d)", int(p))
+	}
+}
+
+// Phases lists every phase in protocol order, for iteration.
+func Phases() []Phase {
+	return []Phase{PhaseToServer, PhaseFeedbackSelect, PhaseServerDelivery, PhaseLocalPruning}
+}
+
+// PhaseStat accumulates the spans attributed to one phase.
+type PhaseStat struct {
+	// Spans is the number of measured intervals.
+	Spans int
+	// Total is the summed wall time of those intervals.
+	Total time.Duration
+}
+
+// Trace collects one query's timing and protocol tallies. Attach a fresh
+// (or reused) Trace via Options.Trace; Run resets it at query start,
+// feeds it every Event, and the phase spans accrue as the loop executes.
+// All methods are safe for concurrent use, so Summary can be read from
+// another goroutine while the query is still running (live
+// introspection). A nil *Trace is inert: every method no-ops, and the
+// query loop pays a single pointer test per would-be span.
+type Trace struct {
+	mu      sync.Mutex
+	started bool
+	start   time.Time
+	end     time.Time // zero until the query finishes
+	phases  [numPhases]PhaseStat
+	tallies map[EventKind]int
+	// iterations mirrors the highest Iteration stamp seen on any event.
+	iterations  int
+	prunedLocal int
+	// reports holds the offset from query start of every EventReport, in
+	// arrival order — the raw series behind time-to-first / time-to-k-th.
+	reports []time.Duration
+}
+
+// NewTrace returns an empty trace ready to attach to Options.Trace.
+func NewTrace() *Trace { return &Trace{} }
+
+// begin (re)arms the trace at query start. Reuse across queries is safe:
+// each Run wipes the previous query's data.
+func (t *Trace) begin(start time.Time) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.started = true
+	t.start = start
+	t.end = time.Time{}
+	t.phases = [numPhases]PhaseStat{}
+	t.tallies = make(map[EventKind]int)
+	t.iterations = 0
+	t.prunedLocal = 0
+	t.reports = t.reports[:0]
+}
+
+// finish stamps the query end time.
+func (t *Trace) finish() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.end = time.Now()
+}
+
+// observe ingests one protocol event (called from Options.emit).
+func (t *Trace) observe(e Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.tallies == nil {
+		t.tallies = make(map[EventKind]int)
+	}
+	t.tallies[e.Kind]++
+	if e.Iteration > t.iterations {
+		t.iterations = e.Iteration
+	}
+	switch e.Kind {
+	case EventPrune:
+		t.prunedLocal += e.Count
+	case EventReport:
+		t.reports = append(t.reports, time.Since(t.start))
+	}
+}
+
+// addSpan credits d to phase p.
+func (t *Trace) addSpan(p Phase, d time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.phases[p].Spans++
+	t.phases[p].Total += d
+}
+
+// Span is one in-flight phase interval. The zero/nil Span is inert, so
+// callers never branch: tr.StartSpan(...).End() is correct whether or not
+// tr is nil. Pause/Resume exclude nested foreign-phase work (e.g. the
+// refills triggered mid-expunge) from the measurement.
+type Span struct {
+	tr      *Trace
+	phase   Phase
+	t0      time.Time
+	acc     time.Duration
+	running bool
+}
+
+// StartSpan opens a span against phase p; nil traces return a nil span.
+func (t *Trace) StartSpan(p Phase) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{tr: t, phase: p, t0: time.Now(), running: true}
+}
+
+// Pause suspends the clock (no-op when nil or already paused).
+func (s *Span) Pause() {
+	if s == nil || !s.running {
+		return
+	}
+	s.acc += time.Since(s.t0)
+	s.running = false
+}
+
+// Resume restarts the clock (no-op when nil or already running).
+func (s *Span) Resume() {
+	if s == nil || s.running {
+		return
+	}
+	s.t0 = time.Now()
+	s.running = true
+}
+
+// End closes the span and credits the accumulated time to its phase.
+// Idempotent: a second End adds nothing.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.Pause()
+	if s.tr != nil {
+		s.tr.addSpan(s.phase, s.acc)
+		s.tr = nil
+	}
+}
+
+// TraceSummary is a point-in-time copy of a Trace. Phase totals need not
+// sum to Elapsed: spans measure the coordinator's attributable work, and
+// untimed glue (sorting the final answer, context plumbing) falls outside
+// every phase.
+type TraceSummary struct {
+	// Elapsed is time since query start (running) or total duration
+	// (finished).
+	Elapsed time.Duration
+	// Done reports whether the query has finished.
+	Done bool
+	// Phases holds the per-phase span statistics, indexed by Phase.
+	Phases [numPhases]PhaseStat
+	// Iterations is the number of coordinator loop iterations so far.
+	Iterations int
+	// Events tallies every protocol event kind observed.
+	Events map[EventKind]int
+	// PrunedLocal sums the sites' feedback-prune counts.
+	PrunedLocal int
+	// ReportTimes holds the offset from query start of each reported
+	// result, in arrival order.
+	ReportTimes []time.Duration
+}
+
+// Summary snapshots the trace. Safe to call while the query runs.
+func (t *Trace) Summary() TraceSummary {
+	if t == nil {
+		return TraceSummary{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := TraceSummary{
+		Done:        !t.end.IsZero(),
+		Iterations:  t.iterations,
+		PrunedLocal: t.prunedLocal,
+		Events:      make(map[EventKind]int, len(t.tallies)),
+		ReportTimes: append([]time.Duration(nil), t.reports...),
+	}
+	copy(s.Phases[:], t.phases[:])
+	for k, n := range t.tallies {
+		s.Events[k] = n
+	}
+	switch {
+	case !t.started:
+	case s.Done:
+		s.Elapsed = t.end.Sub(t.start)
+	default:
+		s.Elapsed = time.Since(t.start)
+	}
+	return s
+}
+
+// TimeToFirst returns the latency of the first reported result, or 0 when
+// nothing has been reported yet.
+func (s TraceSummary) TimeToFirst() time.Duration {
+	if len(s.ReportTimes) == 0 {
+		return 0
+	}
+	return s.ReportTimes[0]
+}
+
+// TimeToKth returns the latency of the k-th reported result (1-based), or
+// 0 when fewer than k results have arrived.
+func (s TraceSummary) TimeToKth(k int) time.Duration {
+	if k < 1 || len(s.ReportTimes) < k {
+		return 0
+	}
+	return s.ReportTimes[k-1]
+}
+
+// WriteTable renders the summary as an aligned phase-timing table — the
+// format dsud-bench's -trace-out emits for the Fig. 12/13 runs.
+func (s TraceSummary) WriteTable(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "phase\tspans\ttotal\tmean\n")
+	for _, p := range Phases() {
+		st := s.Phases[p]
+		mean := time.Duration(0)
+		if st.Spans > 0 {
+			mean = st.Total / time.Duration(st.Spans)
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%s\n", p, st.Spans, st.Total, mean)
+	}
+	fmt.Fprintf(tw, "elapsed\t\t%s\t\n", s.Elapsed)
+	kinds := make([]EventKind, 0, len(s.Events))
+	for k := range s.Events {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	for _, k := range kinds {
+		fmt.Fprintf(tw, "events.%s\t%d\t\t\n", k, s.Events[k])
+	}
+	if ttf := s.TimeToFirst(); ttf > 0 {
+		fmt.Fprintf(tw, "time-to-first\t\t%s\t\n", ttf)
+	}
+	return tw.Flush()
+}

@@ -96,31 +96,7 @@ type config struct {
 
 // runOnce generates the workload, partitions it, and runs one algorithm.
 func runOnce(ctx context.Context, cfg config, algo core.Algorithm) (*core.Report, error) {
-	dims := cfg.d
-	if cfg.values == gen.NYSE {
-		dims = 2
-	}
-	db, err := gen.Generate(gen.Config{
-		N: cfg.n, Dims: dims, Values: cfg.values,
-		Probs: cfg.probs, Mu: cfg.mu, Sigma: cfg.sigma, Seed: cfg.seed,
-	})
-	if err != nil {
-		return nil, err
-	}
-	parts, err := gen.Partition(db, cfg.m, cfg.seed+1)
-	if err != nil {
-		return nil, err
-	}
-	cluster, err := core.NewLocalCluster(parts, dims, 0)
-	if err != nil {
-		return nil, err
-	}
-	defer cluster.Close()
-	return core.Run(ctx, cluster, core.Options{
-		Threshold: cfg.q,
-		Dims:      cfg.subspace,
-		Algorithm: algo,
-	})
+	return runOnceTraced(ctx, cfg, algo, nil)
 }
 
 // averageBandwidth runs the configuration scale.Queries times with
@@ -335,19 +311,32 @@ func progressSeries(name string, trace []core.ProgressPoint, y func(core.Progres
 // bandwidth (12a/12b) and CPU runtime (12c/12d) as functions of the
 // number of skyline tuples reported, for Independent and Anticorrelated.
 func Fig12(ctx context.Context, scale Scale) ([]Figure, error) {
-	return progressFigures(ctx, scale, "fig12", []progressCase{
-		{label: "independent", values: gen.Independent, probs: gen.UniformProb},
-		{label: "anticorrelated", values: gen.Anticorrelated, probs: gen.UniformProb},
-	})
+	return progressFigures(ctx, scale, "fig12", progressCases("fig12"))
 }
 
 // Fig13 reproduces the NYSE progressiveness study with uniform and
 // Gaussian (mu = 0.5, sigma = 0.2) probability assignments.
 func Fig13(ctx context.Context, scale Scale) ([]Figure, error) {
-	return progressFigures(ctx, scale, "fig13", []progressCase{
-		{label: "uniform", values: gen.NYSE, probs: gen.UniformProb},
-		{label: "gaussian", values: gen.NYSE, probs: gen.GaussianProb, mu: 0.5, sigma: 0.2},
-	})
+	return progressFigures(ctx, scale, "fig13", progressCases("fig13"))
+}
+
+// progressCases lists the workload cases behind each progressiveness
+// figure (nil for any other experiment id).
+func progressCases(id string) []progressCase {
+	switch id {
+	case "fig12":
+		return []progressCase{
+			{label: "independent", values: gen.Independent, probs: gen.UniformProb},
+			{label: "anticorrelated", values: gen.Anticorrelated, probs: gen.UniformProb},
+		}
+	case "fig13":
+		return []progressCase{
+			{label: "uniform", values: gen.NYSE, probs: gen.UniformProb},
+			{label: "gaussian", values: gen.NYSE, probs: gen.GaussianProb, mu: 0.5, sigma: 0.2},
+		}
+	default:
+		return nil
+	}
 }
 
 type progressCase struct {

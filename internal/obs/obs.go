@@ -1,0 +1,467 @@
+// Package obs is the repository's dependency-free observability substrate:
+// counters, gauges and fixed-bucket histograms behind a concurrency-safe
+// Registry, with Prometheus text-format exposition (expose.go) and an
+// expvar-style JSON dump. The paper's evaluation (§7) is entirely about
+// measuring the protocol — tuples shipped, progressive delivery over time,
+// per-phase cost — and this package is where those measurements live when
+// the system runs as a real service rather than a benchmark harness.
+//
+// Design rules:
+//
+//   - Zero cost when disabled. Every constructor and every mutating method
+//     is nil-safe: a nil *Registry hands out nil instruments, and a nil
+//     *Counter/*Gauge/*Histogram mutator is a single predictable branch.
+//     Instrumented code therefore never guards call sites.
+//   - Lock-free hot path. Instruments are plain atomics; the registry
+//     mutex is touched only at registration and exposition time.
+//   - No dependencies. Exposition is hand-rolled against the Prometheus
+//     text format (version 0.0.4), which is a stable, trivial grammar.
+package obs
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// kind discriminates instrument families.
+type kind int
+
+const (
+	kindCounter kind = iota + 1
+	kindGauge
+	kindGaugeFunc
+	kindCounterFunc
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter, kindCounterFunc:
+		return "counter"
+	case kindGauge, kindGaugeFunc:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return "untyped"
+	}
+}
+
+// Counter is a monotonically increasing event count.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one. Nil-safe.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increases the counter by n (negative n is ignored: counters are
+// monotone). Nil-safe.
+func (c *Counter) Add(n int64) {
+	if c == nil || n < 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous level that can move both ways.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v. Nil-safe.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add shifts the gauge by delta. Nil-safe.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+delta)) {
+			return
+		}
+	}
+}
+
+// Value returns the current level (0 for nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket cumulative histogram in the Prometheus
+// style: Buckets holds the inclusive upper bounds (ascending), counts[i]
+// the observations <= Buckets[i], and an implicit +Inf bucket catches the
+// rest. Observation values are typically latencies in seconds.
+type Histogram struct {
+	buckets []float64
+	counts  []atomic.Uint64 // len(buckets)+1; last is +Inf
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// DefLatencyBuckets spans in-process calls (tens of microseconds) through
+// WAN round trips (seconds) — the range the DSUD transports actually
+// produce.
+var DefLatencyBuckets = []float64{
+	10e-6, 25e-6, 50e-6, 100e-6, 250e-6, 500e-6,
+	1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3, 250e-3, 500e-3,
+	1, 2.5, 5,
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	bs := append([]float64(nil), buckets...)
+	sort.Float64s(bs)
+	return &Histogram{buckets: bs, counts: make([]atomic.Uint64, len(bs)+1)}
+}
+
+// Observe records one value. Nil-safe.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Buckets are few (≤ ~20); a linear scan beats binary search's branch
+	// misses at this size.
+	i := 0
+	for i < len(h.buckets) && v > h.buckets[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram.
+type HistogramSnapshot struct {
+	// Buckets holds the upper bounds; Counts[i] the cumulative count of
+	// observations <= Buckets[i]; the final Count includes the +Inf tail.
+	Buckets []float64
+	Counts  []uint64 // cumulative, len(Buckets)+1 (last = Count)
+	Count   uint64
+	Sum     float64
+}
+
+// Snapshot copies the histogram state (zero value for nil). The returned
+// counts are cumulative, as Prometheus exposes them.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Buckets: append([]float64(nil), h.buckets...),
+		Counts:  make([]uint64, len(h.buckets)+1),
+		Count:   h.count.Load(),
+		Sum:     math.Float64frombits(h.sumBits.Load()),
+	}
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		s.Counts[i] = cum
+	}
+	return s
+}
+
+// instrument is one registered series: an instrument plus its identity.
+type instrument struct {
+	labels string // rendered {k="v",...} or ""
+	ctr    *Counter
+	gauge  *Gauge
+	fn     func() float64
+	hist   *Histogram
+}
+
+// family groups every labelled series of one metric name.
+type family struct {
+	name string
+	help string
+	kind kind
+	// series in registration order; exposition sorts by label string.
+	series []*instrument
+	byKey  map[string]*instrument
+}
+
+// Registry holds the process's metric families. The zero value is NOT
+// ready — use NewRegistry — but a nil *Registry is fully usable as a
+// disabled registry: every lookup returns a nil instrument.
+type Registry struct {
+	mu   sync.RWMutex
+	fams map[string]*family
+	// order preserves registration order of families for stable exposition
+	// (exposition additionally sorts, so this is a determinism backstop).
+	order []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+// labelString renders variadic k, v pairs as a canonical Prometheus label
+// block. Pairs are sorted by key so equivalent label sets unify.
+func labelString(kv []string) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	if len(kv)%2 != 0 {
+		kv = append(kv, "INVALID")
+	}
+	type pair struct{ k, v string }
+	pairs := make([]pair, 0, len(kv)/2)
+	for i := 0; i+1 < len(kv); i += 2 {
+		pairs = append(pairs, pair{kv[i], kv[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(p.v))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// lookup returns (or creates) the series for name+labels with the wanted
+// kind. A name registered under a different kind yields a detached
+// instrument: functional for the caller, excluded from exposition, so a
+// naming collision can never emit invalid Prometheus text.
+func (r *Registry) lookup(name string, k kind, kv []string) *instrument {
+	key := labelString(kv)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.fams[name]
+	if f == nil {
+		f = &family{name: name, kind: k, byKey: make(map[string]*instrument)}
+		r.fams[name] = f
+		r.order = append(r.order, name)
+	}
+	if f.kind == 0 {
+		f.kind = k // help-only stub from SetHelp: adopt the kind
+	}
+	if f.kind != k {
+		return newInstrument(k, "", nil) // detached; see doc comment
+	}
+	if ins := f.byKey[key]; ins != nil {
+		return ins
+	}
+	ins := newInstrument(k, key, nil)
+	f.byKey[key] = ins
+	f.series = append(f.series, ins)
+	return ins
+}
+
+func newInstrument(k kind, labels string, buckets []float64) *instrument {
+	ins := &instrument{labels: labels}
+	switch k {
+	case kindCounter:
+		ins.ctr = &Counter{}
+	case kindGauge:
+		ins.gauge = &Gauge{}
+	case kindHistogram:
+		ins.hist = newHistogram(buckets)
+	}
+	return ins
+}
+
+// Counter returns the counter series name{labels}, creating it on first
+// use. Labels are alternating key, value strings. Nil-safe: a nil registry
+// returns a nil (no-op) counter.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, kindCounter, labels).ctr
+}
+
+// Gauge returns the gauge series name{labels}. Nil-safe.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, kindGauge, labels).gauge
+}
+
+// Histogram returns the histogram series name{labels} with the given
+// bucket upper bounds (nil selects DefLatencyBuckets). Buckets are fixed
+// at first registration; later calls with different buckets return the
+// existing series. Nil-safe.
+func (r *Registry) Histogram(name string, buckets []float64, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if buckets == nil {
+		buckets = DefLatencyBuckets
+	}
+	key := labelString(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.fams[name]
+	if f == nil {
+		f = &family{name: name, kind: kindHistogram, byKey: make(map[string]*instrument)}
+		r.fams[name] = f
+		r.order = append(r.order, name)
+	}
+	if f.kind == 0 {
+		f.kind = kindHistogram
+	}
+	if f.kind != kindHistogram {
+		return newHistogram(buckets)
+	}
+	if ins := f.byKey[key]; ins != nil {
+		return ins.hist
+	}
+	ins := newInstrument(kindHistogram, key, buckets)
+	ins.hist = newHistogram(buckets)
+	f.byKey[key] = ins
+	f.series = append(f.series, ins)
+	return ins.hist
+}
+
+// GaugeFunc registers a gauge whose value is read at exposition time —
+// the right shape for "current sessions" or "partition size" style levels
+// that already live in the instrumented component. Re-registering the
+// same name+labels replaces the function. Nil-safe.
+func (r *Registry) GaugeFunc(name string, fn func() float64, labels ...string) {
+	r.registerFunc(name, kindGaugeFunc, fn, labels)
+}
+
+// CounterFunc registers a monotone total read at exposition time (e.g. a
+// transport.Meter counter that the component maintains itself). Nil-safe.
+func (r *Registry) CounterFunc(name string, fn func() float64, labels ...string) {
+	r.registerFunc(name, kindCounterFunc, fn, labels)
+}
+
+func (r *Registry) registerFunc(name string, k kind, fn func() float64, labels []string) {
+	if r == nil || fn == nil {
+		return
+	}
+	key := labelString(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.fams[name]
+	if f == nil {
+		f = &family{name: name, kind: k, byKey: make(map[string]*instrument)}
+		r.fams[name] = f
+		r.order = append(r.order, name)
+	}
+	if f.kind == 0 {
+		f.kind = k
+	}
+	if f.kind != k {
+		return
+	}
+	ins := &instrument{labels: key, fn: fn}
+	if old := f.byKey[key]; old != nil {
+		// Replace rather than mutate: instruments are immutable after
+		// publication so exposition can read them without the lock.
+		for i := range f.series {
+			if f.series[i] == old {
+				f.series[i] = ins
+				break
+			}
+		}
+		f.byKey[key] = ins
+		return
+	}
+	f.byKey[key] = ins
+	f.series = append(f.series, ins)
+}
+
+// SetHelp attaches a HELP string to a metric family (exposed in the
+// Prometheus text format). Nil-safe.
+func (r *Registry) SetHelp(name, help string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f := r.fams[name]; f != nil {
+		f.help = help
+	} else {
+		r.fams[name] = &family{name: name, help: help, byKey: make(map[string]*instrument)}
+		r.order = append(r.order, name)
+	}
+}
+
+// Describe registers help text for several families at once: pairs of
+// name, help. Nil-safe.
+func (r *Registry) Describe(pairs ...string) {
+	for i := 0; i+1 < len(pairs); i += 2 {
+		r.SetHelp(pairs[i], pairs[i+1])
+	}
+}
+
+// famSnap is an exposition-time snapshot of one family: identity fields
+// plus a copy of the series slice taken under the registry lock. The
+// instruments themselves are immutable after publication, so reading them
+// lock-free afterwards is safe.
+type famSnap struct {
+	name   string
+	help   string
+	kind   kind
+	series []*instrument
+}
+
+// families returns a sorted snapshot of the family set for exposition.
+func (r *Registry) families() []famSnap {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	out := make([]famSnap, 0, len(r.fams))
+	for _, f := range r.fams {
+		if len(f.series) == 0 {
+			continue // help-only stub with no series yet
+		}
+		out = append(out, famSnap{
+			name:   f.name,
+			help:   f.help,
+			kind:   f.kind,
+			series: append([]*instrument(nil), f.series...),
+		})
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// sortedSeries returns the snapshot's series sorted by label string.
+func (f famSnap) sortedSeries() []*instrument {
+	out := append([]*instrument(nil), f.series...)
+	sort.Slice(out, func(i, j int) bool { return out[i].labels < out[j].labels })
+	return out
+}

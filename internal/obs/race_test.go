@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"io"
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrency hammers one registry with parallel writers
+// (counter increments, gauge moves, histogram observations, new-series
+// registration) while readers snapshot and expose continuously. Run under
+// -race this is the package's memory-model proof; the final counts prove
+// no increment was lost.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	const (
+		writers = 8
+		perG    = 2000
+	)
+	var wg sync.WaitGroup
+
+	// Writers: half hit a shared series, half register goroutine-private
+	// series (exercising the registration path concurrently).
+	shared := r.Counter("race_shared_total")
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			lbl := []string{"g", string(rune('a' + g))}
+			own := r.Counter("race_private_total", lbl...)
+			gauge := r.Gauge("race_level", lbl...)
+			hist := r.Histogram("race_seconds", nil, lbl...)
+			for i := 0; i < perG; i++ {
+				shared.Inc()
+				own.Inc()
+				gauge.Add(1)
+				hist.Observe(float64(i%10) / 1000)
+				if i%100 == 0 {
+					// Re-lookup must unify with the existing series.
+					r.Counter("race_private_total", lbl...).Inc()
+				}
+			}
+		}(g)
+	}
+
+	// Readers: exposition and snapshots while writes are in flight.
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := r.WritePrometheus(io.Discard); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := r.WriteJSON(io.Discard); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	if got := shared.Value(); got != writers*perG {
+		t.Fatalf("shared counter lost increments: %d, want %d", got, writers*perG)
+	}
+	for g := 0; g < writers; g++ {
+		lbl := []string{"g", string(rune('a' + g))}
+		want := int64(perG + perG/100)
+		if got := r.Counter("race_private_total", lbl...).Value(); got != want {
+			t.Fatalf("writer %d counter = %d, want %d", g, got, want)
+		}
+		if got := r.Gauge("race_level", lbl...).Value(); got != float64(perG) {
+			t.Fatalf("writer %d gauge = %v, want %d", g, got, perG)
+		}
+		if got := r.Histogram("race_seconds", nil, lbl...).Snapshot().Count; got != perG {
+			t.Fatalf("writer %d histogram count = %d, want %d", g, got, perG)
+		}
+	}
+}
+
+// TestHistogramConcurrentSum verifies the CAS-accumulated sum under
+// contention: parallel observers of a constant value must sum exactly.
+func TestHistogramConcurrentSum(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("race_sum_seconds", []float64{1})
+	const (
+		writers = 8
+		perG    = 5000
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != writers*perG {
+		t.Fatalf("count = %d, want %d", s.Count, writers*perG)
+	}
+	if want := 0.5 * writers * perG; s.Sum != want {
+		t.Fatalf("sum = %v, want %v", s.Sum, want)
+	}
+}

@@ -1,0 +1,78 @@
+package site
+
+import (
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/transport"
+)
+
+// maxKind mirrors the transport Kind enum bound for array-indexed per-kind
+// instruments (index 0 unused; kinds start at 1).
+const maxKind = int(transport.KindReplicate)
+
+// Instrument registers the engine's operational metrics with reg and
+// starts measuring request handling. Gauges read live engine state at
+// scrape time; the per-kind counters and handle-latency histograms are
+// pre-registered so even an idle daemon exposes the full series set.
+// Call once, before serving traffic. A nil registry is a no-op, and an
+// uninstrumented engine pays nothing on the request path.
+func (e *Engine) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Describe(
+		"dsud_site_tuples", "Tuples currently stored in the site's partition.",
+		"dsud_site_sessions", "Live query sessions at the site.",
+		"dsud_site_replica_size", "Tuples in the site's SKY(H) replica (0 when replication is off).",
+		"dsud_site_local_skyline_unshipped", "Local skyline tuples not yet shipped, summed over live sessions.",
+		"dsud_site_requests_total", "Requests executed by the site, by kind (replays served from the dedup cache not included).",
+		"dsud_site_replays_total", "Retried requests answered from the dedup cache without re-execution.",
+		"dsud_site_handle_seconds", "Request execution time at the site, by kind.",
+		"dsud_site_pruned_total", "Local skyline tuples discarded by Observation-2 feedback pruning.",
+	)
+	reg.GaugeFunc("dsud_site_tuples", func() float64 { return float64(e.Len()) })
+	reg.GaugeFunc("dsud_site_sessions", func() float64 { return float64(e.Sessions()) })
+	reg.GaugeFunc("dsud_site_replica_size", func() float64 {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		return float64(len(e.replica))
+	})
+	reg.GaugeFunc("dsud_site_local_skyline_unshipped", func() float64 {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		sum := 0
+		for _, s := range e.sessions {
+			sum += len(s.sky)
+		}
+		return float64(sum)
+	})
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for k := 1; k <= maxKind; k++ {
+		kind := transport.Kind(k).String()
+		e.obsReqs[k] = reg.Counter("dsud_site_requests_total", "kind", kind)
+		e.obsLat[k] = reg.Histogram("dsud_site_handle_seconds", nil, "kind", kind)
+	}
+	e.obsReplays = reg.Counter("dsud_site_replays_total")
+	e.obsPruned = reg.Counter("dsud_site_pruned_total")
+	e.obsOn = true
+}
+
+// timedDispatch executes one request, recording per-kind count and
+// latency when the engine is instrumented. Called with e.mu held.
+func (e *Engine) timedDispatch(req *transport.Request) (*transport.Response, error) {
+	if !e.obsOn {
+		return e.dispatch(req)
+	}
+	k := int(req.Kind)
+	if k < 1 || k > maxKind {
+		return e.dispatch(req)
+	}
+	start := time.Now()
+	resp, err := e.dispatch(req)
+	e.obsLat[k].Observe(time.Since(start).Seconds())
+	e.obsReqs[k].Inc()
+	return resp, err
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/prtree"
 	"repro/internal/synopsis"
 	"repro/internal/transport"
@@ -53,6 +54,14 @@ type Engine struct {
 	// (transport.Request.Client): the last processed sequence number and
 	// its outcome. Sequence zero disables dedup (unsequenced callers).
 	dedup map[uint64]*dedupState
+
+	// Observability hooks, populated by Instrument; zero-valued (and paid
+	// for by a single flag check) when the engine is uninstrumented.
+	obsOn      bool
+	obsReqs    [maxKind + 1]*obs.Counter
+	obsLat     [maxKind + 1]*obs.Histogram
+	obsReplays *obs.Counter
+	obsPruned  *obs.Counter
 }
 
 // dedupState is one client's retry bookkeeping.
@@ -119,17 +128,18 @@ func (e *Engine) Handle(ctx context.Context, req *transport.Request) (*transport
 			// A retry of the request we just served: replay the cached
 			// outcome instead of re-executing (Next and the update
 			// operations are not idempotent).
+			e.obsReplays.Inc()
 			return st.lastResp, st.lastErr
 		}
 		if req.Seq < st.lastSeq {
 			return nil, fmt.Errorf("site %d: stale sequence %d from client %d (last %d)",
 				e.id, req.Seq, req.Client, st.lastSeq)
 		}
-		resp, err := e.dispatch(req)
+		resp, err := e.timedDispatch(req)
 		st.lastSeq, st.lastResp, st.lastErr = req.Seq, resp, err
 		return resp, err
 	}
-	return e.dispatch(req)
+	return e.timedDispatch(req)
 }
 
 func (e *Engine) dispatch(req *transport.Request) (*transport.Response, error) {
@@ -235,6 +245,7 @@ func (e *Engine) handleEvaluate(req *transport.Request) (*transport.Response, er
 		}
 		s.sky = kept
 		s.pruned += pruned
+		e.obsPruned.Add(int64(pruned))
 	}
 	return &transport.Response{CrossProb: cross, Pruned: pruned}, nil
 }

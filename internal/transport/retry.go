@@ -7,6 +7,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // DialFunc opens a fresh connection to a site.
@@ -19,11 +22,15 @@ type DialFunc func() (Client, error)
 // to attempts tries. Combined with the sites' sequence-number dedup this
 // yields exactly-once request execution across connection failures — the
 // property the non-idempotent Next request needs.
-func Retry(dial DialFunc, attempts int) Client {
+//
+// The returned client keeps fault-tolerance accounting (see
+// RetryClient.Stats) so chaos tests and operators can observe how hard
+// the retry machinery is working, not just whether the answer survived.
+func Retry(dial DialFunc, attempts int) *RetryClient {
 	if attempts < 1 {
 		attempts = 1
 	}
-	return &retryClient{dial: dial, attempts: attempts, client: newClientID()}
+	return &RetryClient{dial: dial, attempts: attempts, client: newClientID()}
 }
 
 // newClientID draws a random nonzero identifier so independent
@@ -42,7 +49,37 @@ func newClientID() uint64 {
 	}
 }
 
-type retryClient struct {
+// RetrySnapshot is a point-in-time copy of a RetryClient's fault-
+// tolerance accounting, in the style of Meter.Snapshot.
+type RetrySnapshot struct {
+	// Calls counts Call invocations.
+	Calls int64
+	// Retries counts re-sends after a failed attempt (a call that
+	// succeeds first time contributes zero).
+	Retries int64
+	// Redials counts connections dialled beyond each call's first need —
+	// i.e. dials caused by a discarded connection.
+	Redials int64
+	// DialErrors counts dial attempts that themselves failed.
+	DialErrors int64
+	// Failures counts calls that exhausted every attempt.
+	Failures int64
+}
+
+// Sub returns the delta s − earlier, for measuring a phase.
+func (s RetrySnapshot) Sub(earlier RetrySnapshot) RetrySnapshot {
+	return RetrySnapshot{
+		Calls:      s.Calls - earlier.Calls,
+		Retries:    s.Retries - earlier.Retries,
+		Redials:    s.Redials - earlier.Redials,
+		DialErrors: s.DialErrors - earlier.DialErrors,
+		Failures:   s.Failures - earlier.Failures,
+	}
+}
+
+// RetryClient is the concrete retrying client returned by Retry. It
+// implements Client.
+type RetryClient struct {
 	mu       sync.Mutex
 	dial     DialFunc
 	attempts int
@@ -50,14 +87,61 @@ type retryClient struct {
 	client   uint64
 	seq      uint64
 	closed   bool
+	dialed   bool // true once the current call chain has dialled at least once
+
+	calls      atomic.Int64
+	retries    atomic.Int64
+	redials    atomic.Int64
+	dialErrors atomic.Int64
+	failures   atomic.Int64
+
+	// registry mirrors (nil when unobserved); kept alongside the atomics
+	// so Stats works without a registry and the registry sees live totals.
+	ctrRetries    *obs.Counter
+	ctrRedials    *obs.Counter
+	ctrDialErrors *obs.Counter
+	ctrFailures   *obs.Counter
 }
 
-func (c *retryClient) Call(ctx context.Context, req *Request) (*Response, error) {
+// Stats returns the current fault-tolerance counters. Safe to call
+// concurrently with Call.
+func (c *RetryClient) Stats() RetrySnapshot {
+	return RetrySnapshot{
+		Calls:      c.calls.Load(),
+		Retries:    c.retries.Load(),
+		Redials:    c.redials.Load(),
+		DialErrors: c.dialErrors.Load(),
+		Failures:   c.failures.Load(),
+	}
+}
+
+// Observe mirrors the retry counters into reg under the site label, so a
+// scrape shows how unreliable each link is. Call once, before traffic.
+// Nil-safe.
+func (c *RetryClient) Observe(reg *obs.Registry, site string) *RetryClient {
+	if reg == nil {
+		return c
+	}
+	reg.Describe(
+		"dsud_retry_retries_total", "Request re-sends after a failed attempt, by site.",
+		"dsud_retry_redials_total", "Connections redialled after a discard, by site.",
+		"dsud_retry_dial_errors_total", "Dial attempts that failed, by site.",
+		"dsud_retry_failures_total", "Calls that exhausted every attempt, by site.",
+	)
+	c.ctrRetries = reg.Counter("dsud_retry_retries_total", "site", site)
+	c.ctrRedials = reg.Counter("dsud_retry_redials_total", "site", site)
+	c.ctrDialErrors = reg.Counter("dsud_retry_dial_errors_total", "site", site)
+	c.ctrFailures = reg.Counter("dsud_retry_failures_total", "site", site)
+	return c
+}
+
+func (c *RetryClient) Call(ctx context.Context, req *Request) (*Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
 		return nil, ErrClosed
 	}
+	c.calls.Add(1)
 	c.seq++
 	stamped := *req
 	stamped.Seq = c.seq
@@ -68,9 +152,22 @@ func (c *retryClient) Call(ctx context.Context, req *Request) (*Response, error)
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		if attempt > 0 {
+			c.retries.Add(1)
+			c.ctrRetries.Inc()
+		}
 		if c.cur == nil {
+			if c.dialed {
+				// Not the first dial this connection's lifetime: the
+				// previous one was discarded, so this is a redial.
+				c.redials.Add(1)
+				c.ctrRedials.Inc()
+			}
 			client, err := c.dial()
+			c.dialed = true
 			if err != nil {
+				c.dialErrors.Add(1)
+				c.ctrDialErrors.Inc()
 				lastErr = err
 				continue
 			}
@@ -88,10 +185,12 @@ func (c *retryClient) Call(ctx context.Context, req *Request) (*Response, error)
 		c.cur.Close()
 		c.cur = nil
 	}
+	c.failures.Add(1)
+	c.ctrFailures.Inc()
 	return nil, fmt.Errorf("transport: %d attempt(s) failed: %w", c.attempts, lastErr)
 }
 
-func (c *retryClient) Close() error {
+func (c *RetryClient) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.closed = true
