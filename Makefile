@@ -48,4 +48,5 @@ figures:
 
 clean:
 	rm -f bench_output.txt test_output.txt experiments_output.txt
+	rm -f BENCH_dsud.json *.trace.json *.log
 	rm -rf bin

@@ -36,7 +36,8 @@ func main() {
 		paper   = flag.Bool("paper", false, "use the paper's full Table 3 scale (N=2,000,000, 10 queries)")
 		format  = flag.String("format", "table", "output format: table|csv")
 
-		traceOut = flag.String("trace-out", "", "write per-phase timing tables for fig12/fig13 runs to this file")
+		traceOut  = flag.String("trace-out", "", "write per-phase timing tables for fig12/fig13 runs to this file")
+		benchJSON = flag.String("bench-json", "BENCH_dsud.json", "write a machine-readable per-algorithm cost summary (wall time, tuples, wire bytes over loopback TCP) to this file (empty = off)")
 	)
 	flag.Parse()
 	if *exp == "" {
@@ -104,6 +105,26 @@ func main() {
 				}
 			}
 			fmt.Printf("(%s phase-timing tables appended to %s)\n\n", id, *traceOut)
+		}
+	}
+
+	if *benchJSON != "" {
+		f, err := os.Create(*benchJSON)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dsud-bench: bench-json: %v\n", err)
+			os.Exit(1)
+		}
+		if err := experiments.BenchSummary(ctx, scale, f); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "dsud-bench: bench-json: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "dsud-bench: bench-json: %v\n", err)
+			os.Exit(1)
+		}
+		if *format != "csv" {
+			fmt.Printf("(per-algorithm cost summary written to %s)\n", *benchJSON)
 		}
 	}
 }

@@ -34,7 +34,11 @@ func main() {
 		trace = flag.Bool("trace", false, "print every protocol step")
 		stats = flag.Bool("stats", false, "print the per-phase timing table after the query")
 
-		debugAddr = flag.String("debug-addr", "", "optional debug address serving /metrics, /vars, /healthz and /debug/pprof/")
+		debugAddr   = flag.String("debug-addr", "", "optional debug address serving /metrics, /vars, /healthz and /debug/pprof/")
+		traceExport = flag.String("trace-export", "", "write the merged cross-site timeline as Chrome trace-event JSON to this file (load in Perfetto or chrome://tracing)")
+		logLevel    = flag.String("log-level", "", "structured log level: debug|info|warn|error (empty = logging off)")
+		logFormat   = flag.String("log-format", "text", "structured log format: text|json")
+		slowQuery   = flag.Duration("slow-query", 0, "log queries at least this slow at Warn with a phase breakdown (0 = off; needs -log-level)")
 	)
 	flag.Parse()
 	if *addrs == "" || *dims <= 0 {
@@ -86,6 +90,23 @@ func main() {
 	defer stop()
 
 	opts := dsq.Options{Threshold: *q, Dims: subspace, Algorithm: algorithm, TopK: *topk}
+	if *logLevel != "" {
+		level, err := dsq.ParseLogLevel(*logLevel)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		logger, err := dsq.NewLogger(os.Stderr, *logFormat, level)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		opts.Logger = logger
+		opts.SlowQuery = *slowQuery
+	}
+	if *traceExport != "" {
+		// A caller-owned trace turns on sampling: every RPC carries the
+		// trace context and the sites' spans come back for the timeline.
+		opts.Trace = dsq.NewTrace()
+	}
 	if *trace {
 		opts.OnEvent = func(e dsq.Event) { fmt.Println(e) }
 	}
@@ -109,6 +130,21 @@ func main() {
 		if err := qstats.Trace.WriteTable(os.Stdout); err != nil {
 			fatalf("stats: %v", err)
 		}
+	}
+	if *traceExport != "" {
+		f, err := os.Create(*traceExport)
+		if err != nil {
+			fatalf("trace export: %v", err)
+		}
+		if err := qstats.Trace.WriteChromeTrace(f); err != nil {
+			f.Close()
+			fatalf("trace export: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("trace export: %v", err)
+		}
+		fmt.Printf("trace %s: %d spans (%d from sites) -> %s\n",
+			dsq.QueryID(qstats.Trace.TraceID), len(qstats.Trace.Timeline), qstats.Trace.SiteSpans(), *traceExport)
 	}
 }
 

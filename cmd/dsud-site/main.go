@@ -31,6 +31,9 @@ func main() {
 		httpAddr  = flag.String("http", "", "optional ops address serving GET /status as JSON")
 		debugAddr = flag.String("debug-addr", "", "optional debug address serving /metrics, /vars, /healthz, /status and /debug/pprof/")
 		id        = flag.Int("id", 0, "site index (diagnostics only)")
+		logLevel  = flag.String("log-level", "", "structured log level: debug|info|warn|error (empty = logging off)")
+		logFormat = flag.String("log-format", "text", "structured log format: text|json")
+		slowReq   = flag.Duration("slow-request", 0, "log requests at least this slow at Warn (0 = off; needs -log-level)")
 	)
 	flag.Parse()
 	if *data == "" {
@@ -43,6 +46,18 @@ func main() {
 		fatalf("%v", err)
 	}
 	eng := site.New(*id, part, dims, 0)
+
+	if *logLevel != "" {
+		level, err := obs.ParseLogLevel(*logLevel)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		logger, err := obs.NewLogger(os.Stderr, *logFormat, level)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		eng.SetLogger(logger.With("site", *id), *slowReq)
+	}
 
 	var reg *obs.Registry
 	if *debugAddr != "" {

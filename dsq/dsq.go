@@ -31,6 +31,8 @@ package dsq
 
 import (
 	"context"
+	"io"
+	"log/slog"
 
 	"repro/internal/core"
 	"repro/internal/gen"
@@ -247,7 +249,28 @@ type (
 	// histograms with Prometheus text and JSON exposition. Pass it to
 	// Cluster.Instrument and serve Metrics.Handler() at /metrics.
 	Metrics = obs.Registry
+	// SpanRecord is one completed span on a cross-site timeline
+	// (TraceSummary.Timeline): coordinator phases and site-side work,
+	// clock-normalised into coordinator time, each carrying its slice of
+	// the bandwidth ledger. Export the whole timeline with
+	// TraceSummary.WriteChromeTrace (Perfetto-loadable JSON).
+	SpanRecord = obs.SpanRecord
 )
+
+// QueryID renders a trace identifier as the 16-hex-digit query_id used
+// to correlate coordinator logs, site logs and exported timelines.
+func QueryID(traceID uint64) string { return obs.QueryID(traceID) }
+
+// NewLogger builds a structured logger writing to w in the given format
+// ("text" or "json") at the given minimum level. Attach it via
+// Options.Logger and site Engine.SetLogger for query-ID-correlated logs.
+func NewLogger(w io.Writer, format string, level slog.Level) (*slog.Logger, error) {
+	return obs.NewLogger(w, format, level)
+}
+
+// ParseLogLevel parses "debug", "info", "warn" or "error" (empty =
+// info) into a slog level, for wiring -log-level style flags.
+func ParseLogLevel(s string) (slog.Level, error) { return obs.ParseLogLevel(s) }
 
 // Protocol event kinds.
 const (

@@ -1,0 +1,235 @@
+package codec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/obs"
+)
+
+// Span-batch wire format. Sites piggyback their completed spans on every
+// sampled RPC response as one opaque []byte field (transport.Response
+// .TraceBlob); encoding it here — rather than letting gob reflect over
+// the span structs — keeps the hot wire format compact, versioned and
+// fuzzable, and gives old peers a clean story: a peer that predates the
+// field simply never sets it, and DecodeSpanBatch(nil) is defined as "no
+// spans". The layout is:
+//
+//	magic "DSQT" | version u8
+//	trace-context: traceID uvarint | parent uvarint | flags u8 (bit0 = sampled)
+//	siteID varint | siteClock varint
+//	count uvarint
+//	count × ( id uvarint | parent uvarint | nameLen uvarint | name bytes
+//	          | site varint | start varint | end varint
+//	          | tuples varint | bytes varint )
+//	crc32(everything above) u32
+//
+// Timestamps and the ledger ride as signed varints: span times are
+// deltas from SiteClock (small, often negative), so they encode in a few
+// bytes instead of nine.
+var traceMagic = [4]byte{'D', 'S', 'Q', 'T'}
+
+const traceVersion = 1
+
+// Decode-side sanity bounds: a hostile (but well-formed) header must not
+// force large allocations.
+const (
+	maxBatchSpans = 1 << 16
+	maxSpanName   = 256
+)
+
+// AppendTraceContext appends the trace-context wire fields to dst.
+func AppendTraceContext(dst []byte, tc obs.TraceContext) []byte {
+	dst = binary.AppendUvarint(dst, tc.TraceID)
+	dst = binary.AppendUvarint(dst, tc.Parent)
+	var flags byte
+	if tc.Sampled {
+		flags |= 1
+	}
+	return append(dst, flags)
+}
+
+// decodeTraceContext consumes a trace context from data, returning the
+// remainder.
+func decodeTraceContext(data []byte) (obs.TraceContext, []byte, error) {
+	var tc obs.TraceContext
+	var n int
+	if tc.TraceID, n = binary.Uvarint(data); n <= 0 {
+		return tc, nil, fmt.Errorf("%w: trace id", ErrCorrupt)
+	}
+	data = data[n:]
+	if tc.Parent, n = binary.Uvarint(data); n <= 0 {
+		return tc, nil, fmt.Errorf("%w: trace parent", ErrCorrupt)
+	}
+	data = data[n:]
+	if len(data) < 1 {
+		return tc, nil, fmt.Errorf("%w: trace flags", ErrCorrupt)
+	}
+	tc.Sampled = data[0]&1 != 0
+	return tc, data[1:], nil
+}
+
+// DecodeTraceContext decodes wire fields written by AppendTraceContext,
+// returning the number of bytes consumed.
+func DecodeTraceContext(data []byte) (obs.TraceContext, int, error) {
+	tc, rest, err := decodeTraceContext(data)
+	if err != nil {
+		return obs.TraceContext{}, 0, err
+	}
+	return tc, len(data) - len(rest), nil
+}
+
+// AppendSpanBatch appends the encoded batch to dst. A nil batch encodes
+// to nothing (dst unchanged), mirroring DecodeSpanBatch's treatment of
+// empty input.
+func AppendSpanBatch(dst []byte, b *obs.SpanBatch) []byte {
+	if b == nil {
+		return dst
+	}
+	start := len(dst)
+	dst = append(dst, traceMagic[:]...)
+	dst = append(dst, traceVersion)
+	dst = AppendTraceContext(dst, b.Ctx)
+	dst = binary.AppendVarint(dst, int64(b.SiteID))
+	dst = binary.AppendVarint(dst, b.SiteClock)
+	dst = binary.AppendUvarint(dst, uint64(len(b.Spans)))
+	for i := range b.Spans {
+		s := &b.Spans[i]
+		dst = binary.AppendUvarint(dst, s.ID)
+		dst = binary.AppendUvarint(dst, s.Parent)
+		name := s.Name
+		if len(name) > maxSpanName {
+			name = name[:maxSpanName]
+		}
+		dst = binary.AppendUvarint(dst, uint64(len(name)))
+		dst = append(dst, name...)
+		dst = binary.AppendVarint(dst, int64(s.Site))
+		dst = binary.AppendVarint(dst, s.Start-b.SiteClock)
+		dst = binary.AppendVarint(dst, s.End-b.SiteClock)
+		dst = binary.AppendVarint(dst, s.Tuples)
+		dst = binary.AppendVarint(dst, s.Bytes)
+	}
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], crc32.ChecksumIEEE(dst[start:]))
+	return append(dst, tail[:]...)
+}
+
+// DecodeSpanBatch decodes a batch written by AppendSpanBatch. Empty input
+// — the field a pre-tracing peer never sets — decodes to (nil, nil), so
+// callers need no version negotiation; any other malformed input returns
+// ErrCorrupt.
+func DecodeSpanBatch(data []byte) (*obs.SpanBatch, error) {
+	if len(data) == 0 {
+		return nil, nil
+	}
+	if len(data) < len(traceMagic)+1+4 {
+		return nil, fmt.Errorf("%w: span batch truncated", ErrCorrupt)
+	}
+	payload, tail := data[:len(data)-4], data[len(data)-4:]
+	if binary.LittleEndian.Uint32(tail) != crc32.ChecksumIEEE(payload) {
+		return nil, fmt.Errorf("%w: span batch checksum mismatch", ErrCorrupt)
+	}
+	if [4]byte(payload[:4]) != traceMagic {
+		return nil, fmt.Errorf("%w: span batch magic", ErrCorrupt)
+	}
+	if payload[4] != traceVersion {
+		return nil, fmt.Errorf("codec: unsupported span batch version %d", payload[4])
+	}
+	rest := payload[5:]
+
+	b := &obs.SpanBatch{}
+	var err error
+	if b.Ctx, rest, err = decodeTraceContext(rest); err != nil {
+		return nil, err
+	}
+	readVarint := func(what string) (int64, error) {
+		v, n := binary.Varint(rest)
+		if n <= 0 {
+			return 0, fmt.Errorf("%w: span batch %s", ErrCorrupt, what)
+		}
+		rest = rest[n:]
+		return v, nil
+	}
+	readUvarint := func(what string) (uint64, error) {
+		v, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return 0, fmt.Errorf("%w: span batch %s", ErrCorrupt, what)
+		}
+		rest = rest[n:]
+		return v, nil
+	}
+	siteID, err := readVarint("site id")
+	if err != nil {
+		return nil, err
+	}
+	b.SiteID = int(siteID)
+	if b.SiteClock, err = readVarint("site clock"); err != nil {
+		return nil, err
+	}
+	count, err := readUvarint("span count")
+	if err != nil {
+		return nil, err
+	}
+	if count > maxBatchSpans {
+		return nil, fmt.Errorf("%w: implausible span count %d", ErrCorrupt, count)
+	}
+	// Cap the preallocation: the body must prove its length before a
+	// large header-driven allocation (the CRC does not authenticate).
+	prealloc := count
+	if prealloc > 1024 {
+		prealloc = 1024
+	}
+	b.Spans = make([]obs.SpanRecord, 0, prealloc)
+	for i := uint64(0); i < count; i++ {
+		var s obs.SpanRecord
+		if s.ID, err = readUvarint("span id"); err != nil {
+			return nil, err
+		}
+		if s.Parent, err = readUvarint("span parent"); err != nil {
+			return nil, err
+		}
+		nameLen, err := readUvarint("span name length")
+		if err != nil {
+			return nil, err
+		}
+		if nameLen > maxSpanName || uint64(len(rest)) < nameLen {
+			return nil, fmt.Errorf("%w: span name length %d", ErrCorrupt, nameLen)
+		}
+		s.Name = string(rest[:nameLen])
+		rest = rest[nameLen:]
+		site, err := readVarint("span site")
+		if err != nil {
+			return nil, err
+		}
+		s.Site = int(site)
+		if s.Start, err = readVarint("span start"); err != nil {
+			return nil, err
+		}
+		if s.End, err = readVarint("span end"); err != nil {
+			return nil, err
+		}
+		s.Start += b.SiteClock
+		s.End += b.SiteClock
+		if s.Tuples, err = readVarint("span tuples"); err != nil {
+			return nil, err
+		}
+		if s.Bytes, err = readVarint("span bytes"); err != nil {
+			return nil, err
+		}
+		b.Spans = append(b.Spans, s)
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing span batch bytes", ErrCorrupt, len(rest))
+	}
+	return b, nil
+}
+
+// TupleWireSize is the binary-encoded size of one tuple at the given
+// dimensionality — the unit the site-side bandwidth ledger uses to turn
+// tuple counts into approximate payload bytes (the ID's varint is
+// estimated at its sequential-ID cost of one byte, plus one byte of
+// framing).
+func TupleWireSize(dims int) int64 {
+	return int64(8*(dims+1)) + 2
+}

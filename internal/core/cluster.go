@@ -66,21 +66,23 @@ func (c *Cluster) countQuery(a Algorithm) {
 
 // view is one query's (or one maintainer's) handle on the cluster: the
 // same connections, wrapped with a private meter so per-query bandwidth
-// stays exact even when queries overlap.
+// stays exact even when queries overlap, plus the query's trace (nil
+// when untraced) whose context is stamped on every outgoing RPC.
 type view struct {
 	clients []transport.Client
 	meter   *transport.Meter
 	dims    int
+	tr      *Trace
 }
 
-// newView stacks a fresh meter over the shared clients.
-func (c *Cluster) newView() *view {
+// newView stacks a fresh meter over the shared clients. tr may be nil.
+func (c *Cluster) newView(tr *Trace) *view {
 	qm := &transport.Meter{}
 	clients := make([]transport.Client, len(c.clients))
 	for i, cl := range c.clients {
 		clients[i] = transport.Metered(cl, qm)
 	}
-	return &view{clients: clients, meter: qm, dims: c.dims}
+	return &view{clients: clients, meter: qm, dims: c.dims, tr: tr}
 }
 
 // nextSession allocates a globally unique session ID (never zero): a
@@ -203,8 +205,24 @@ func (c *Cluster) Close() error {
 	return first
 }
 
-// call performs one request against site i.
+// call performs one request against site i. When the view carries a
+// sampled trace, the request is stamped with the trace context — on a
+// private copy, because broadcast shares one *Request across goroutines
+// (the retry transport copies again for its own Seq stamp, so the two
+// compose) — and the send/receive wall clocks bracket the RPC for the
+// clock-offset estimate used when merging the piggybacked site spans.
 func (c *view) call(ctx context.Context, i int, req *transport.Request) (*transport.Response, error) {
+	if tc := c.tr.context(); tc.Traced() {
+		r2 := *req
+		r2.Trace = tc
+		sent := time.Now()
+		resp, err := c.clients[i].Call(ctx, &r2)
+		if err != nil {
+			return nil, fmt.Errorf("core: site %d %v: %w", i, req.Kind, err)
+		}
+		c.tr.mergeSiteBlob(i, resp.TraceBlob, sent, time.Now())
+		return resp, nil
+	}
 	resp, err := c.clients[i].Call(ctx, req)
 	if err != nil {
 		return nil, fmt.Errorf("core: site %d %v: %w", i, req.Kind, err)

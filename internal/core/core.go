@@ -8,6 +8,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"time"
 
 	"repro/internal/geom"
@@ -76,7 +77,18 @@ type Options struct {
 	// and time-to-result latencies for this query. Run resets it at query
 	// start; read Trace.Summary during or after the run. Purely
 	// observational — a nil Trace costs one pointer test per span site.
+	// When set, every RPC the query issues carries the trace context and
+	// the sites' piggybacked spans are merged into one cross-site
+	// timeline (Summary().Timeline).
 	Trace *Trace
+	// Logger, when non-nil, receives one structured record per query
+	// (Info on completion, Error on failure), correlated with site logs
+	// by query_id. Nil disables query logging entirely.
+	Logger *slog.Logger
+	// SlowQuery, when positive with Logger set, promotes queries that run
+	// at least this long to a Warn record carrying the per-phase time
+	// breakdown — the coordinator half of the slow-query log.
+	SlowQuery time.Duration
 	// MaxResults, when positive, stops the query as soon as that many
 	// qualified tuples have been reported. The tuples delivered are the
 	// first confirmed (not necessarily the k most probable); combined

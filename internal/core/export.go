@@ -1,0 +1,106 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/obs"
+)
+
+// Chrome trace-event export: the summary's merged timeline rendered in
+// the Trace Event Format (the JSON Perfetto and chrome://tracing load).
+// Each participant becomes one "process" — pid 0 is the coordinator,
+// pid i+1 is site i — so the cross-site timeline reads as parallel
+// swimlanes with the clock-normalised site spans aligned under the
+// coordinator phases that triggered them.
+
+// chromeEvent is one trace-event record. Complete events (ph "X") carry
+// ts/dur in microseconds; metadata events (ph "M") name the processes.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object form of the format.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent     `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	OtherData       map[string]string `json:"otherData,omitempty"`
+}
+
+// WriteChromeTrace writes the summary's timeline as Chrome trace-event
+// JSON. Timestamps are microseconds relative to the earliest span, so
+// the file is stable under clock epoch and loads with t=0 at query
+// start. An empty timeline still produces a valid (eventless) document.
+func (s TraceSummary) WriteChromeTrace(w io.Writer) error {
+	doc := chromeTrace{
+		TraceEvents:     []chromeEvent{},
+		DisplayTimeUnit: "ms",
+		OtherData: map[string]string{
+			"trace_id": obs.QueryID(s.TraceID),
+			"elapsed":  s.Elapsed.String(),
+		},
+	}
+	var t0 int64
+	for i, sp := range s.Timeline {
+		if i == 0 || sp.Start < t0 {
+			t0 = sp.Start
+		}
+	}
+	seenPid := map[int]bool{}
+	for _, sp := range s.Timeline {
+		pid := chromePid(sp.Site)
+		if !seenPid[pid] {
+			seenPid[pid] = true
+			doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+				Name: "process_name", Ph: "M", Pid: pid, Tid: 0,
+				Args: map[string]any{"name": chromeProcName(sp.Site)},
+			})
+		}
+		ev := chromeEvent{
+			Name: sp.Name,
+			Ph:   "X",
+			Ts:   float64(sp.Start-t0) / 1e3,
+			Dur:  float64(sp.Duration()) / 1e3,
+			Pid:  pid,
+			Tid:  1,
+			Args: map[string]any{
+				"span":   strconv.FormatUint(sp.ID, 16),
+				"parent": strconv.FormatUint(sp.Parent, 16),
+			},
+		}
+		if sp.Tuples != 0 {
+			ev.Args["tuples"] = sp.Tuples
+		}
+		if sp.Bytes != 0 {
+			ev.Args["bytes"] = sp.Bytes
+		}
+		doc.TraceEvents = append(doc.TraceEvents, ev)
+	}
+	for site, off := range s.ClockOffsets {
+		doc.OtherData["clock_offset_site_"+strconv.Itoa(site)] = off.String()
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+func chromePid(site int) int {
+	if site == obs.CoordinatorSite {
+		return 0
+	}
+	return site + 1
+}
+
+func chromeProcName(site int) string {
+	if site == obs.CoordinatorSite {
+		return "coordinator"
+	}
+	return fmt.Sprintf("site %d", site)
+}

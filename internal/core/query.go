@@ -4,6 +4,7 @@ import (
 	"context"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/prtree"
 	"repro/internal/synopsis"
 	"repro/internal/transport"
@@ -26,7 +27,7 @@ func Run(ctx context.Context, c *Cluster, opts Options) (*Report, error) {
 	start := time.Now()
 	opts.Trace.begin(start)
 	defer opts.Trace.finish()
-	v := c.newView()
+	v := c.newView(opts.Trace)
 	bytesBefore := c.meter.Snapshot().Bytes
 
 	var (
@@ -42,6 +43,7 @@ func Run(ctx context.Context, c *Cluster, opts Options) (*Report, error) {
 		rep, err = runDSUD(ctx, v, opts, true, start, c.nextSession())
 	}
 	if err != nil {
+		opts.logQuery(nil, err, time.Since(start))
 		return nil, err
 	}
 	c.countQuery(opts.Algorithm)
@@ -56,7 +58,45 @@ func Run(ctx context.Context, c *Cluster, opts Options) (*Report, error) {
 	// queries overlap.
 	rep.Bandwidth.Bytes = c.meter.Snapshot().Bytes - bytesBefore
 	rep.Elapsed = time.Since(start)
+	opts.logQuery(rep, nil, rep.Elapsed)
 	return rep, nil
+}
+
+// logQuery emits the query's structured log record: Error on failure,
+// Warn with the per-phase breakdown when the query crossed the
+// SlowQuery threshold, Info otherwise. query_id matches the trace
+// context on every RPC and the sites' request logs. No-op without a
+// logger.
+func (o Options) logQuery(rep *Report, err error, elapsed time.Duration) {
+	if o.Logger == nil {
+		return
+	}
+	qid := obs.QueryID(o.Trace.ID())
+	if err != nil {
+		o.Logger.Error("query failed",
+			"query_id", qid, "algorithm", o.Algorithm.String(),
+			"threshold", o.Threshold, "dur", elapsed, "err", err)
+		return
+	}
+	if o.SlowQuery > 0 && elapsed >= o.SlowQuery {
+		args := []any{
+			"query_id", qid, "algorithm", o.Algorithm.String(),
+			"threshold", o.Threshold, "dur", elapsed, "slow_threshold", o.SlowQuery,
+			"skyline", len(rep.Skyline), "iterations", rep.Iterations,
+			"tuples", rep.Bandwidth.Tuples(), "bytes", rep.Bandwidth.Bytes,
+		}
+		sum := o.Trace.Summary()
+		for _, p := range Phases() {
+			args = append(args, "phase_"+p.String(), sum.Phases[p].Total)
+		}
+		o.Logger.Warn("slow query", args...)
+		return
+	}
+	o.Logger.Info("query done",
+		"query_id", qid, "algorithm", o.Algorithm.String(),
+		"threshold", o.Threshold, "dur", elapsed,
+		"skyline", len(rep.Skyline), "iterations", rep.Iterations,
+		"tuples", rep.Bandwidth.Tuples(), "bytes", rep.Bandwidth.Bytes)
 }
 
 // runBaseline ships every partition to the coordinator and solves eq. 5

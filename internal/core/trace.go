@@ -7,6 +7,9 @@ import (
 	"sync"
 	"text/tabwriter"
 	"time"
+
+	"repro/internal/codec"
+	"repro/internal/obs"
 )
 
 // Phase names the coordinator-side phases of the §5.2 protocol loop, for
@@ -78,7 +81,33 @@ type Trace struct {
 	// reports holds the offset from query start of every EventReport, in
 	// arrival order — the raw series behind time-to-first / time-to-k-th.
 	reports []time.Duration
+
+	// Distributed-tracing state. traceID identifies the query on the
+	// wire; rootID is the coordinator's root span, under which both
+	// coordinator phase spans and site spans hang. timeline accumulates
+	// completed spans — coordinator spans as they End, site spans as
+	// their batches are merged (already normalised into the
+	// coordinator's clock). seen dedups replayed batches (the retry
+	// transport can deliver one response twice); offsets keeps the last
+	// estimated clock offset per site.
+	traceID  uint64
+	rootID   uint64
+	timeline []obs.SpanRecord
+	seen     map[spanKey]struct{}
+	offsets  map[int]time.Duration
+	dropped  int
+	badBlobs int
 }
+
+// spanKey identifies one site span for deduplication.
+type spanKey struct {
+	site int
+	id   uint64
+}
+
+// maxTimelineSpans bounds per-query span memory; beyond it spans are
+// counted in DroppedSpans instead of stored.
+const maxTimelineSpans = 16384
 
 // NewTrace returns an empty trace ready to attach to Options.Trace.
 func NewTrace() *Trace { return &Trace{} }
@@ -99,6 +128,13 @@ func (t *Trace) begin(start time.Time) {
 	t.iterations = 0
 	t.prunedLocal = 0
 	t.reports = t.reports[:0]
+	t.traceID = obs.NewSpanID()
+	t.rootID = obs.NewSpanID()
+	t.timeline = t.timeline[:0]
+	t.seen = nil
+	t.offsets = nil
+	t.dropped = 0
+	t.badBlobs = 0
 }
 
 // finish stamps the query end time.
@@ -133,12 +169,116 @@ func (t *Trace) observe(e Event) {
 	}
 }
 
-// addSpan credits d to phase p.
-func (t *Trace) addSpan(p Phase, d time.Duration) {
+// endSpan credits the span's accumulated time to its phase and records
+// its wall interval on the timeline. The wall interval includes paused
+// stretches (the timeline shows when the phase was open; the PhaseStat
+// totals show attributable work).
+func (t *Trace) endSpan(s *Span) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.phases[p].Spans++
-	t.phases[p].Total += d
+	t.phases[s.phase].Spans++
+	t.phases[s.phase].Total += s.acc
+	t.record(obs.SpanRecord{
+		ID:     s.id,
+		Parent: t.rootID,
+		Name:   s.phase.String(),
+		Site:   obs.CoordinatorSite,
+		Start:  s.wall0.UnixNano(),
+		End:    time.Now().UnixNano(),
+	})
+}
+
+// record appends one completed span to the timeline. Called with t.mu
+// held.
+func (t *Trace) record(r obs.SpanRecord) {
+	if len(t.timeline) >= maxTimelineSpans {
+		t.dropped++
+		return
+	}
+	t.timeline = append(t.timeline, r)
+}
+
+// context returns the trace context to stamp on outgoing RPCs. Nil-safe:
+// a nil (or unstarted) trace yields the unsampled zero value, so the
+// request path pays one pointer test and no allocation.
+func (t *Trace) context() obs.TraceContext {
+	if t == nil {
+		return obs.TraceContext{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.started {
+		return obs.TraceContext{}
+	}
+	return obs.TraceContext{TraceID: t.traceID, Parent: t.rootID, Sampled: true}
+}
+
+// ID returns the query's trace identifier (0 for nil or unstarted).
+func (t *Trace) ID() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.traceID
+}
+
+// mergeSiteBlob decodes a piggybacked span batch and merges it. Corrupt
+// blobs are counted, never fatal: tracing must not fail a query.
+func (t *Trace) mergeSiteBlob(site int, blob []byte, sent, recv time.Time) {
+	if t == nil || len(blob) == 0 {
+		return
+	}
+	batch, err := codec.DecodeSpanBatch(blob)
+	if err != nil || batch == nil {
+		t.mu.Lock()
+		t.badBlobs++
+		t.mu.Unlock()
+		return
+	}
+	t.MergeSiteSpans(site, batch, sent, recv)
+}
+
+// MergeSiteSpans folds one site's completed spans into the trace,
+// normalising the site's clock into the coordinator's: the batch's
+// SiteClock (site time at encode) is paired with the coordinator's
+// send/receive timestamps around the carrying RPC, and the NTP-style
+// midpoint estimate offset = SiteClock − (sent+recv)/2 is subtracted
+// from every span. Offsets of either sign are handled, batches from a
+// different trace (stale retries) are dropped, replayed spans are
+// deduplicated by (site, span ID), and merging after the query has
+// finished still lands the spans — late batches must not be lost.
+// Nil-safe.
+func (t *Trace) MergeSiteSpans(site int, batch *obs.SpanBatch, sent, recv time.Time) {
+	if t == nil || batch == nil {
+		return
+	}
+	mid := sent.UnixNano() + recv.Sub(sent).Nanoseconds()/2
+	offset := batch.SiteClock - mid
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if batch.Ctx.TraceID != 0 && batch.Ctx.TraceID != t.traceID {
+		t.dropped += len(batch.Spans)
+		return
+	}
+	if t.offsets == nil {
+		t.offsets = make(map[int]time.Duration)
+	}
+	t.offsets[site] = time.Duration(offset)
+	if t.seen == nil {
+		t.seen = make(map[spanKey]struct{})
+	}
+	for _, s := range batch.Spans {
+		key := spanKey{site: site, id: s.ID}
+		if _, dup := t.seen[key]; dup {
+			continue
+		}
+		t.seen[key] = struct{}{}
+		s.Site = site // the coordinator's numbering is authoritative
+		s.Start -= offset
+		s.End -= offset
+		t.record(s)
+	}
 }
 
 // Span is one in-flight phase interval. The zero/nil Span is inert, so
@@ -148,6 +288,8 @@ func (t *Trace) addSpan(p Phase, d time.Duration) {
 type Span struct {
 	tr      *Trace
 	phase   Phase
+	id      uint64
+	wall0   time.Time
 	t0      time.Time
 	acc     time.Duration
 	running bool
@@ -158,7 +300,8 @@ func (t *Trace) StartSpan(p Phase) *Span {
 	if t == nil {
 		return nil
 	}
-	return &Span{tr: t, phase: p, t0: time.Now(), running: true}
+	now := time.Now()
+	return &Span{tr: t, phase: p, id: obs.NewSpanID(), wall0: now, t0: now, running: true}
 }
 
 // Pause suspends the clock (no-op when nil or already paused).
@@ -187,7 +330,7 @@ func (s *Span) End() {
 	}
 	s.Pause()
 	if s.tr != nil {
-		s.tr.addSpan(s.phase, s.acc)
+		s.tr.endSpan(s)
 		s.tr = nil
 	}
 }
@@ -213,6 +356,34 @@ type TraceSummary struct {
 	// ReportTimes holds the offset from query start of each reported
 	// result, in arrival order.
 	ReportTimes []time.Duration
+
+	// TraceID is the query's wire-level trace identifier, as carried in
+	// every RPC's trace context and every correlated log record.
+	TraceID uint64
+	// Timeline holds every completed span — the root query span, the
+	// coordinator's phase spans (Site == obs.CoordinatorSite) and the
+	// merged site spans (Site >= 0, clock-normalised into coordinator
+	// time) — sorted by start time. Empty unless the trace was sampled.
+	Timeline []obs.SpanRecord
+	// ClockOffsets holds the last NTP-style clock-offset estimate per
+	// site (site clock minus coordinator clock; negative when the site's
+	// clock runs behind).
+	ClockOffsets map[int]time.Duration
+	// DroppedSpans counts spans discarded by the timeline cap or by
+	// stale-trace filtering; BadBlobs counts undecodable span batches.
+	DroppedSpans int
+	BadBlobs     int
+}
+
+// SiteSpans returns how many timeline spans originated at local sites.
+func (s TraceSummary) SiteSpans() int {
+	n := 0
+	for _, sp := range s.Timeline {
+		if sp.Site >= 0 {
+			n++
+		}
+	}
+	return n
 }
 
 // Summary snapshots the trace. Safe to call while the query runs.
@@ -223,11 +394,14 @@ func (t *Trace) Summary() TraceSummary {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	s := TraceSummary{
-		Done:        !t.end.IsZero(),
-		Iterations:  t.iterations,
-		PrunedLocal: t.prunedLocal,
-		Events:      make(map[EventKind]int, len(t.tallies)),
-		ReportTimes: append([]time.Duration(nil), t.reports...),
+		Done:         !t.end.IsZero(),
+		Iterations:   t.iterations,
+		PrunedLocal:  t.prunedLocal,
+		Events:       make(map[EventKind]int, len(t.tallies)),
+		ReportTimes:  append([]time.Duration(nil), t.reports...),
+		TraceID:      t.traceID,
+		DroppedSpans: t.dropped,
+		BadBlobs:     t.badBlobs,
 	}
 	copy(s.Phases[:], t.phases[:])
 	for k, n := range t.tallies {
@@ -239,6 +413,28 @@ func (t *Trace) Summary() TraceSummary {
 		s.Elapsed = t.end.Sub(t.start)
 	default:
 		s.Elapsed = time.Since(t.start)
+	}
+	if t.started && (len(t.timeline) > 0 || s.Done) {
+		rootEnd := t.end
+		if rootEnd.IsZero() {
+			rootEnd = time.Now()
+		}
+		s.Timeline = make([]obs.SpanRecord, 0, len(t.timeline)+1)
+		s.Timeline = append(s.Timeline, obs.SpanRecord{
+			ID:    t.rootID,
+			Name:  "query",
+			Site:  obs.CoordinatorSite,
+			Start: t.start.UnixNano(),
+			End:   rootEnd.UnixNano(),
+		})
+		s.Timeline = append(s.Timeline, t.timeline...)
+		sort.SliceStable(s.Timeline, func(i, j int) bool { return s.Timeline[i].Start < s.Timeline[j].Start })
+	}
+	if len(t.offsets) > 0 {
+		s.ClockOffsets = make(map[int]time.Duration, len(t.offsets))
+		for site, off := range t.offsets {
+			s.ClockOffsets[site] = off
+		}
 	}
 	return s
 }

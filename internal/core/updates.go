@@ -59,7 +59,7 @@ func NewMaintainer(ctx context.Context, c *Cluster, opts Options) (*Maintainer, 
 	}
 	m := &Maintainer{
 		cluster: c,
-		view:    c.newView(),
+		view:    c.newView(nil),
 		opts:    opts,
 		sky:     make(map[uncertain.TupleID]uncertain.SkylineMember, len(rep.Skyline)),
 		sites:   make(map[uncertain.TupleID]int, len(rep.Skyline)),

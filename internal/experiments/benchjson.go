@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/site"
+	"repro/internal/transport"
+)
+
+// Machine-readable benchmark summary (dsud-bench -bench-json): one
+// apples-to-apples run of every algorithm on the same workload, over
+// loopback TCP so the byte counters measure the real framed wire rather
+// than the in-process shortcut.
+
+// benchCapN bounds the summary's cardinality: the JSON exists to track
+// relative algorithm cost per commit, not to reproduce the paper's 2M
+// scale, so the driver caps runaway -n values for this artifact only.
+const benchCapN = 20000
+
+// AlgoBench is one algorithm's measured cost on the bench workload.
+type AlgoBench struct {
+	Algorithm  string  `json:"algorithm"`
+	WallMillis float64 `json:"wall_ms"`
+	Skyline    int     `json:"skyline"`
+	TuplesUp   int64   `json:"tuples_up"`
+	TuplesDown int64   `json:"tuples_down"`
+	Tuples     int64   `json:"tuples_total"`
+	Messages   int64   `json:"messages"`
+	WireBytes  int64   `json:"wire_bytes"`
+	Iterations int     `json:"iterations"`
+}
+
+// BenchResult is the full JSON document.
+type BenchResult struct {
+	N          int         `json:"n"`
+	Dims       int         `json:"dims"`
+	Sites      int         `json:"sites"`
+	Threshold  float64     `json:"threshold"`
+	Seed       int64       `json:"seed"`
+	Transport  string      `json:"transport"`
+	Algorithms []AlgoBench `json:"algorithms"`
+}
+
+// BenchSummary runs every algorithm once on a shared workload over
+// loopback TCP sites and writes the BenchResult JSON to w. The workload
+// derives from scale but N is capped at benchCapN (and the site count
+// at 8) so the artifact stays cheap next to the figure runs it rides
+// along with.
+func BenchSummary(ctx context.Context, scale Scale, w io.Writer) error {
+	n := scale.N
+	if n <= 0 || n > benchCapN {
+		n = benchCapN
+	}
+	m := scale.sites()
+	if m > 8 {
+		m = 8
+	}
+	db, err := gen.Generate(gen.Config{
+		N: n, Dims: DefaultDims, Values: gen.Independent,
+		Probs: gen.UniformProb, Seed: scale.Seed,
+	})
+	if err != nil {
+		return err
+	}
+	parts, err := gen.Partition(db, m, scale.Seed+1)
+	if err != nil {
+		return err
+	}
+
+	// Serve each partition over real loopback TCP so transport bytes are
+	// the framed wire, then point one remote cluster at the daemons.
+	addrs := make([]string, len(parts))
+	servers := make([]*transport.Server, len(parts))
+	for i, part := range parts {
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		srv := transport.NewServer(site.New(i, part, DefaultDims, 0), nil)
+		go srv.Serve(lis)
+		addrs[i] = lis.Addr().String()
+		servers[i] = srv
+	}
+	defer func() {
+		for _, srv := range servers {
+			srv.Close()
+		}
+	}()
+
+	result := BenchResult{
+		N: n, Dims: DefaultDims, Sites: m,
+		Threshold: DefaultThreshold, Seed: scale.Seed,
+		Transport: "loopback-tcp",
+	}
+	for _, algo := range []core.Algorithm{core.Baseline, core.DSUD, core.EDSUD, core.SDSUD} {
+		cluster, err := core.NewRemoteCluster(addrs, DefaultDims)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		rep, err := core.Run(ctx, cluster, core.Options{
+			Threshold: DefaultThreshold,
+			Algorithm: algo,
+		})
+		closeErr := cluster.Close()
+		if err != nil {
+			return err
+		}
+		if closeErr != nil {
+			return closeErr
+		}
+		bw := rep.Bandwidth
+		result.Algorithms = append(result.Algorithms, AlgoBench{
+			Algorithm:  algo.String(),
+			WallMillis: float64(time.Since(start).Microseconds()) / 1e3,
+			Skyline:    len(rep.Skyline),
+			TuplesUp:   bw.TuplesUp,
+			TuplesDown: bw.TuplesDown,
+			Tuples:     bw.Tuples(),
+			Messages:   bw.Messages,
+			WireBytes:  bw.Bytes,
+			Iterations: rep.Iterations,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(result)
+}

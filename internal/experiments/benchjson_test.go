@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+// The bench artifact must be valid JSON covering all four algorithms
+// with real loopback-TCP wire bytes.
+func TestBenchSummary(t *testing.T) {
+	var buf bytes.Buffer
+	scale := Scale{N: 800, Queries: 1, Seed: 5, Sites: 3}
+	if err := BenchSummary(context.Background(), scale, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var res BenchResult
+	if err := json.Unmarshal(buf.Bytes(), &res); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if res.N != 800 || res.Sites != 3 || res.Transport != "loopback-tcp" {
+		t.Fatalf("header %+v", res)
+	}
+	if len(res.Algorithms) != 4 {
+		t.Fatalf("%d algorithms, want 4", len(res.Algorithms))
+	}
+	sky := res.Algorithms[0].Skyline
+	for _, a := range res.Algorithms {
+		if a.WireBytes == 0 {
+			t.Errorf("%s: no wire bytes measured over TCP", a.Algorithm)
+		}
+		if a.Tuples != a.TuplesUp+a.TuplesDown {
+			t.Errorf("%s: tuple total %d != up %d + down %d", a.Algorithm, a.Tuples, a.TuplesUp, a.TuplesDown)
+		}
+		if a.Skyline != sky {
+			t.Errorf("%s: skyline size %d differs from %d — algorithms disagree", a.Algorithm, a.Skyline, sky)
+		}
+	}
+}
+
+// Oversized -n must be capped for the artifact, not obeyed.
+func TestBenchSummaryCapsN(t *testing.T) {
+	var buf bytes.Buffer
+	if err := BenchSummary(context.Background(), Scale{N: 10_000_000, Queries: 1, Seed: 1, Sites: 2}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var res BenchResult
+	if err := json.Unmarshal(buf.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.N != benchCapN {
+		t.Fatalf("N = %d, want cap %d", res.N, benchCapN)
+	}
+}

@@ -1,0 +1,101 @@
+// Distributed-tracing primitives. The coordinator stamps every RPC with a
+// TraceContext; sites record SpanRecords around their own work and
+// piggyback them, as a SpanBatch, on the response. The types here are the
+// shared vocabulary — the coordinator-side merge (clock-offset
+// normalisation, timeline assembly) lives in internal/core, and the
+// compact wire encoding in internal/codec, so this package stays
+// dependency-free.
+package obs
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+)
+
+// TraceContext is the trace context every RPC carries from the
+// coordinator to a site. The zero value means "untraced": sites must not
+// record spans, allocate, or attach anything to the response.
+type TraceContext struct {
+	// TraceID identifies the query this RPC belongs to (0 = untraced).
+	TraceID uint64
+	// Parent is the span ID of the coordinator-side span that issued the
+	// RPC; site spans attach beneath it.
+	Parent uint64
+	// Sampled is the sampling bit: only when set do sites time their
+	// phases and return a SpanBatch. Carrying it separately from TraceID
+	// lets a future coordinator trace a fraction of queries while still
+	// correlating logs for all of them.
+	Sampled bool
+}
+
+// Traced reports whether the context asks the receiver to record spans.
+func (tc TraceContext) Traced() bool { return tc.Sampled && tc.TraceID != 0 }
+
+// CoordinatorSite is the SpanRecord.Site value for coordinator-side spans.
+const CoordinatorSite = -1
+
+// SpanRecord is one completed span: a named interval on some
+// participant's clock, plus the bandwidth ledger attributed to it.
+// Timestamps are UnixNano on the *recorder's* clock; the coordinator
+// normalises site clocks into its own when merging.
+type SpanRecord struct {
+	// ID is unique within the trace; Parent links the span tree.
+	ID     uint64
+	Parent uint64
+	// Name is the phase name ("prtree-search", "obs2-prune", ...).
+	Name string
+	// Site is the recording site's index, or CoordinatorSite.
+	Site int
+	// Start and End are UnixNano timestamps on the recorder's clock.
+	Start int64
+	End   int64
+	// Tuples and Bytes are the bandwidth ledger for this span: tuples
+	// moved and payload bytes where the recorder can observe them. Zero
+	// for pure-compute spans.
+	Tuples int64
+	Bytes  int64
+}
+
+// Duration returns the span's length in nanoseconds (0 when malformed).
+func (s SpanRecord) Duration() int64 {
+	if s.End < s.Start {
+		return 0
+	}
+	return s.End - s.Start
+}
+
+// SpanBatch is the set of spans one site piggybacks on one RPC response.
+type SpanBatch struct {
+	// Ctx echoes the request's trace context (TraceID correlates the
+	// batch when responses are processed asynchronously).
+	Ctx TraceContext
+	// SiteID is the recording site's index.
+	SiteID int
+	// SiteClock is the site's UnixNano at batch-encode time. The
+	// coordinator pairs it with its own send/receive timestamps to
+	// estimate the clock offset (NTP-style midpoint) and map the batch
+	// into coordinator time.
+	SiteClock int64
+	// Spans holds the completed spans, in completion order.
+	Spans []SpanRecord
+}
+
+// Span IDs only need uniqueness within one trace, but they are drawn from
+// a process-wide sequence over a random base so two processes (or two
+// engines in one process) practically never collide.
+var (
+	spanSeq      atomic.Uint64
+	spanBaseOnce sync.Once
+	spanBase     uint64
+)
+
+// NewSpanID returns a fresh nonzero span (or trace) identifier.
+func NewSpanID() uint64 {
+	spanBaseOnce.Do(func() { spanBase = rand.Uint64() })
+	for {
+		if id := spanBase + spanSeq.Add(1); id != 0 {
+			return id
+		}
+	}
+}

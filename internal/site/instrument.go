@@ -1,8 +1,6 @@
 package site
 
 import (
-	"time"
-
 	"repro/internal/obs"
 	"repro/internal/transport"
 )
@@ -60,19 +58,3 @@ func (e *Engine) Instrument(reg *obs.Registry) {
 	e.obsOn = true
 }
 
-// timedDispatch executes one request, recording per-kind count and
-// latency when the engine is instrumented. Called with e.mu held.
-func (e *Engine) timedDispatch(req *transport.Request) (*transport.Response, error) {
-	if !e.obsOn {
-		return e.dispatch(req)
-	}
-	k := int(req.Kind)
-	if k < 1 || k > maxKind {
-		return e.dispatch(req)
-	}
-	start := time.Now()
-	resp, err := e.dispatch(req)
-	e.obsLat[k].Observe(time.Since(start).Seconds())
-	e.obsReqs[k].Inc()
-	return resp, err
-}

@@ -13,7 +13,9 @@ package site
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"sync"
+	"time"
 
 	"repro/internal/obs"
 	"repro/internal/prtree"
@@ -62,6 +64,14 @@ type Engine struct {
 	obsLat     [maxKind + 1]*obs.Histogram
 	obsReplays *obs.Counter
 	obsPruned  *obs.Counter
+
+	// cur collects the spans of the in-flight sampled request (nil for
+	// untraced requests; e.mu serialises dispatch, so one slot suffices).
+	cur *reqTrace
+	// logger and slowReq drive per-request structured logging; see
+	// SetLogger. Nil logger = no logging.
+	logger  *slog.Logger
+	slowReq time.Duration
 }
 
 // dedupState is one client's retry bookkeeping.
@@ -135,11 +145,11 @@ func (e *Engine) Handle(ctx context.Context, req *transport.Request) (*transport
 			return nil, fmt.Errorf("site %d: stale sequence %d from client %d (last %d)",
 				e.id, req.Seq, req.Client, st.lastSeq)
 		}
-		resp, err := e.timedDispatch(req)
+		resp, err := e.serve(req)
 		st.lastSeq, st.lastResp, st.lastErr = req.Seq, resp, err
 		return resp, err
 	}
-	return e.timedDispatch(req)
+	return e.serve(req)
 }
 
 func (e *Engine) dispatch(req *transport.Request) (*transport.Response, error) {
@@ -186,10 +196,10 @@ func (e *Engine) handleInit(req *transport.Request) (*transport.Response, error)
 	if _, exists := e.sessions[req.Session]; !exists && len(e.sessions) >= MaxSessions {
 		return nil, fmt.Errorf("site %d: session limit (%d) reached", e.id, MaxSessions)
 	}
-	e.sessions[req.Session] = &session{
-		query: req.Query,
-		sky:   e.index.LocalSkyline(req.Query.Threshold, req.Query.Dims),
-	}
+	sp := e.startSpan("prtree-search")
+	sky := e.index.LocalSkyline(req.Query.Threshold, req.Query.Dims)
+	sp.end(int64(len(sky)), 0)
+	e.sessions[req.Session] = &session{query: req.Query, sky: sky}
 	return e.handleNext(req)
 }
 
@@ -230,9 +240,12 @@ func (e *Engine) handleEvaluate(req *transport.Request) (*transport.Response, er
 	if s != nil {
 		dims = s.query.Dims
 	}
+	cp := e.startSpan("cross-prob")
 	cross := e.index.CrossSkyProb(feed.Tuple, dims)
+	cp.end(0, 0)
 	pruned := 0
 	if s != nil && !s.query.NoPrune && len(s.sky) > 0 {
+		sp := e.startSpan("obs2-prune")
 		homeFactor := feed.HomeLocalProb / feed.Tuple.Prob * (1 - feed.Tuple.Prob)
 		kept := s.sky[:0]
 		for _, cand := range s.sky {
@@ -246,6 +259,7 @@ func (e *Engine) handleEvaluate(req *transport.Request) (*transport.Response, er
 		s.sky = kept
 		s.pruned += pruned
 		e.obsPruned.Add(int64(pruned))
+		sp.end(int64(pruned), 0)
 	}
 	return &transport.Response{CrossProb: cross, Pruned: pruned}, nil
 }
@@ -293,6 +307,7 @@ func (e *Engine) handleInsert(req *transport.Request) (*transport.Response, erro
 
 // handleReplicate applies a delta to the site's SKY(H) replica.
 func (e *Engine) handleReplicate(req *transport.Request) (*transport.Response, error) {
+	sp := e.startSpan("replica-apply")
 	if e.replica == nil {
 		e.replica = make(map[uncertain.TupleID]uncertain.Tuple)
 	}
@@ -305,6 +320,7 @@ func (e *Engine) handleReplicate(req *transport.Request) (*transport.Response, e
 		}
 		e.replica[rep.Tuple.ID] = rep.Tuple.Clone()
 	}
+	sp.end(int64(len(req.Tuples)), 0)
 	return &transport.Response{Size: len(e.replica)}, nil
 }
 

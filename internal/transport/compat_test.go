@@ -1,0 +1,101 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/uncertain"
+)
+
+// Wire compatibility with peers that predate distributed tracing. Gob
+// matches struct fields by name, so a Request missing Trace (or a
+// Response missing TraceBlob) must decode cleanly in both directions:
+// new coordinator ↔ old site and old coordinator ↔ new site.
+
+// legacyRequest is the PR-1 Request shape, before the Trace field.
+type legacyRequest struct {
+	Seq     uint64
+	Client  uint64
+	Session uint64
+	Kind    Kind
+	Query   Query
+	Tuple   uncertain.Tuple
+}
+
+// legacyResponse is the PR-1 Response shape, before TraceBlob.
+type legacyResponse struct {
+	Rep       Representative
+	Exhausted bool
+	CrossProb float64
+	Pruned    int
+	Size      int
+}
+
+func gobRoundTrip(t *testing.T, in, out any) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(in); err != nil {
+		t.Fatalf("encode %T: %v", in, err)
+	}
+	if err := gob.NewDecoder(&buf).Decode(out); err != nil {
+		t.Fatalf("decode %T into %T: %v", in, out, err)
+	}
+}
+
+// An old coordinator's request (no Trace field) must decode into the new
+// Request as untraced.
+func TestRequestFromLegacyPeer(t *testing.T) {
+	old := legacyRequest{
+		Seq: 9, Client: 4, Session: 2, Kind: KindInit,
+		Query: Query{Threshold: 0.4, Dims: []int{0, 1}},
+	}
+	var got Request
+	gobRoundTrip(t, old, &got)
+	if got.Kind != KindInit || got.Seq != 9 || got.Query.Threshold != 0.4 {
+		t.Fatalf("legacy fields lost: %+v", got)
+	}
+	if got.Trace.Traced() {
+		t.Fatalf("legacy request must arrive untraced, got %+v", got.Trace)
+	}
+}
+
+// A new coordinator's traced request must decode at an old site (which
+// has no Trace field) without error, preserving the protocol fields.
+func TestRequestToLegacyPeer(t *testing.T) {
+	req := Request{
+		Seq: 3, Session: 8, Kind: KindNext,
+		Trace: obs.TraceContext{TraceID: 123, Parent: 456, Sampled: true},
+	}
+	var got legacyRequest
+	gobRoundTrip(t, req, &got)
+	if got.Kind != KindNext || got.Seq != 3 || got.Session != 8 {
+		t.Fatalf("protocol fields lost at legacy peer: %+v", got)
+	}
+}
+
+// An old site's response (no TraceBlob) must decode into the new
+// Response with a nil blob — which DecodeSpanBatch defines as "no
+// spans".
+func TestResponseFromLegacyPeer(t *testing.T) {
+	old := legacyResponse{CrossProb: 0.5, Pruned: 2, Size: 7}
+	var got Response
+	gobRoundTrip(t, old, &got)
+	if got.CrossProb != 0.5 || got.Pruned != 2 || got.Size != 7 {
+		t.Fatalf("legacy fields lost: %+v", got)
+	}
+	if got.TraceBlob != nil {
+		t.Fatalf("legacy response grew a blob: %v", got.TraceBlob)
+	}
+}
+
+// A new site's blob-carrying response must decode at an old coordinator.
+func TestResponseToLegacyPeer(t *testing.T) {
+	resp := Response{Pruned: 5, TraceBlob: []byte{1, 2, 3}}
+	var got legacyResponse
+	gobRoundTrip(t, resp, &got)
+	if got.Pruned != 5 {
+		t.Fatalf("protocol fields lost at legacy peer: %+v", got)
+	}
+}

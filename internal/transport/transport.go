@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/synopsis"
 	"repro/internal/uncertain"
 )
@@ -148,6 +149,13 @@ type Request struct {
 	// single-query session.
 	Session uint64
 
+	// Trace is the distributed-tracing context (zero value = untraced).
+	// When Trace.Sampled is set the site times its phases and piggybacks
+	// the completed spans on Response.TraceBlob. Gob encodes by field
+	// name, so peers that predate this field interoperate: they simply
+	// see (or send) the untraced zero value.
+	Trace obs.TraceContext
+
 	Kind  Kind
 	Query Query    // KindInit
 	Feed  Feedback // KindEvaluate, KindCandidates (the deleted tuple)
@@ -189,6 +197,12 @@ type Response struct {
 
 	// Synopsis answers KindSynopsis.
 	Synopsis *synopsis.Histogram
+
+	// TraceBlob carries the site's completed spans and per-phase
+	// bandwidth ledger for this request, encoded with
+	// codec.AppendSpanBatch. Nil unless the request's Trace was sampled;
+	// nil from peers that predate distributed tracing.
+	TraceBlob []byte
 }
 
 // Client is the coordinator's handle to one site.
