@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test race bench verify examples figures clean
+.PHONY: all check build vet test race bench bench-json bench-baseline benchdiff verify examples figures clean
 
 all: check
 
@@ -25,6 +25,22 @@ race:
 # Full benchmark sweep (several minutes). Writes bench_output.txt.
 bench:
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+# Small statistical cost artifact (schema v1, 5 iterations/algorithm)
+# at the smoke scale CI compares against. See docs/BENCHMARKING.md.
+BENCH_SMOKE = -exp eq6 -n 2000 -sites 4 -queries 1
+bench-json:
+	$(GO) run ./cmd/dsud-bench $(BENCH_SMOKE) -bench-json BENCH_dsud.json
+
+# Regenerate the committed smoke baseline (do this when a deliberate
+# cost change lands; commit the result).
+bench-baseline:
+	$(GO) run ./cmd/dsud-bench $(BENCH_SMOKE) -bench-json testdata/bench-baseline.json
+
+# Compare the latest artifact against the committed baseline with the
+# CI thresholds (tight on counts, loose on cross-machine wall time).
+benchdiff: bench-json
+	$(GO) run ./cmd/dsud-benchdiff -time-threshold 10 testdata/bench-baseline.json BENCH_dsud.json
 
 # Cross-check every engine against every oracle.
 verify:
@@ -49,4 +65,4 @@ figures:
 clean:
 	rm -f bench_output.txt test_output.txt experiments_output.txt
 	rm -f BENCH_dsud.json *.trace.json *.log
-	rm -rf bin
+	rm -rf bin profiles

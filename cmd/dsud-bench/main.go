@@ -7,11 +7,23 @@
 //	dsud-bench -exp fig8 [-n 60000] [-queries 2] [-sites 60] [-seed 1]
 //	dsud-bench -exp all -paper       # full 2M-tuple paper scale (slow)
 //	dsud-bench -exp fig12 -trace-out phases.txt   # also dump phase timings
+//	dsud-bench -exp fig8 -profile-dir profiles    # CPU/heap/mutex profiles
 //
 // Experiments: fig8 fig9 fig10 fig11 fig12 fig13 fig14 eq6, or "all".
 // With -trace-out the progressiveness experiments (fig12/fig13) re-run each
 // workload with a query trace attached and write per-phase timing tables
 // (To-Server, Feedback-Select, Server-Delivery, Local-Pruning) to the file.
+//
+// Every run also writes the schema-v1 BENCH_dsud.json artifact (see
+// docs/BENCHMARKING.md): per-algorithm wall time, tuples, messages and
+// real wire bytes over loopback TCP, as distributions over
+// -bench-warmup + -bench-iters repeated runs. Compare two artifacts with
+// dsud-benchdiff.
+//
+// With -profile-dir the process records cpu.pprof, heap.pprof and
+// mutex.pprof into the directory, and query execution is wrapped in
+// runtime/pprof labels so samples attribute to (algorithm, phase,
+// query_id): `go tool pprof -tags profiles/cpu.pprof`.
 package main
 
 import (
@@ -20,13 +32,23 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run carries the whole CLI so profile writers and other defers flush
+// before the exit code is set (os.Exit skips defers).
+func run() int {
 	var (
 		exp     = flag.String("exp", "", "experiment id ("+strings.Join(experiments.IDs(), ", ")+", or all)")
 		n       = flag.Int("n", experiments.DefaultScale.N, "global cardinality N")
@@ -36,13 +58,26 @@ func main() {
 		paper   = flag.Bool("paper", false, "use the paper's full Table 3 scale (N=2,000,000, 10 queries)")
 		format  = flag.String("format", "table", "output format: table|csv")
 
-		traceOut  = flag.String("trace-out", "", "write per-phase timing tables for fig12/fig13 runs to this file")
-		benchJSON = flag.String("bench-json", "BENCH_dsud.json", "write a machine-readable per-algorithm cost summary (wall time, tuples, wire bytes over loopback TCP) to this file (empty = off)")
+		traceOut    = flag.String("trace-out", "", "write per-phase timing tables for fig12/fig13 runs to this file")
+		benchJSON   = flag.String("bench-json", "BENCH_dsud.json", "write the machine-readable per-algorithm cost artifact (schema v1, see docs/BENCHMARKING.md) to this file (empty = off)")
+		benchIters  = flag.Int("bench-iters", 5, "measured runs per algorithm behind each bench-json distribution")
+		benchWarmup = flag.Int("bench-warmup", 1, "unmeasured warmup runs per algorithm before measuring (-1 = none)")
+		benchCap    = flag.Int("bench-cap", experiments.DefaultBenchCap, "cardinality cap for the bench-json artifact (-n above this is clamped)")
+		profileDir  = flag.String("profile-dir", "", "write cpu.pprof/heap.pprof/mutex.pprof here; enables per-phase pprof labels")
 	)
 	flag.Parse()
 	if *exp == "" {
 		flag.Usage()
-		os.Exit(2)
+		return 2
+	}
+
+	if *profileDir != "" {
+		stop, err := startProfiling(*profileDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dsud-bench: profile-dir: %v\n", err)
+			return 1
+		}
+		defer stop()
 	}
 
 	scale := experiments.Scale{N: *n, Queries: *queries, Seed: *seed, Sites: *sites}
@@ -51,8 +86,8 @@ func main() {
 		scale.Sites = *sites
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
 
 	ids := []string{*exp}
 	if *exp == "all" {
@@ -65,7 +100,7 @@ func main() {
 		traceFile, err = os.Create(*traceOut)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dsud-bench: trace-out: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		defer traceFile.Close()
 	}
@@ -75,7 +110,7 @@ func main() {
 		figs, err := experiments.Run(ctx, id, scale)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dsud-bench: %s: %v\n", id, err)
-			os.Exit(1)
+			return 1
 		}
 		for _, fig := range figs {
 			var err error
@@ -86,7 +121,7 @@ func main() {
 			}
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "dsud-bench: render: %v\n", err)
-				os.Exit(1)
+				return 1
 			}
 		}
 		if *format != "csv" {
@@ -96,12 +131,12 @@ func main() {
 			tables, err := experiments.TracePhases(ctx, id, scale)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "dsud-bench: %s trace: %v\n", id, err)
-				os.Exit(1)
+				return 1
 			}
 			for _, table := range tables {
 				if err := table.Render(traceFile); err != nil {
 					fmt.Fprintf(os.Stderr, "dsud-bench: trace-out: %v\n", err)
-					os.Exit(1)
+					return 1
 				}
 			}
 			fmt.Printf("(%s phase-timing tables appended to %s)\n\n", id, *traceOut)
@@ -109,22 +144,77 @@ func main() {
 	}
 
 	if *benchJSON != "" {
+		opts := experiments.BenchOptions{
+			CapN:       *benchCap,
+			Warmup:     *benchWarmup,
+			Iterations: *benchIters,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "dsud-bench: "+format, args...)
+			},
+		}
 		f, err := os.Create(*benchJSON)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dsud-bench: bench-json: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
-		if err := experiments.BenchSummary(ctx, scale, f); err != nil {
+		if err := experiments.BenchSummary(ctx, scale, opts, f); err != nil {
 			f.Close()
 			fmt.Fprintf(os.Stderr, "dsud-bench: bench-json: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		if err := f.Close(); err != nil {
 			fmt.Fprintf(os.Stderr, "dsud-bench: bench-json: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		if *format != "csv" {
-			fmt.Printf("(per-algorithm cost summary written to %s)\n", *benchJSON)
+			fmt.Printf("(per-algorithm cost artifact written to %s)\n", *benchJSON)
 		}
+	}
+	return 0
+}
+
+// startProfiling begins CPU profiling into dir and flips on the
+// per-phase pprof labels; the returned stop writes the heap and mutex
+// profiles and closes everything.
+func startProfiling(dir string) (stop func(), err error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	cpu, err := os.Create(filepath.Join(dir, "cpu.pprof"))
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(cpu); err != nil {
+		cpu.Close()
+		return nil, err
+	}
+	obs.SetProfiling(true)
+	runtime.SetMutexProfileFraction(5)
+	return func() {
+		pprof.StopCPUProfile()
+		cpu.Close()
+		writeProfile(dir, "heap.pprof", func(f *os.File) error {
+			runtime.GC() // materialise the live-heap numbers
+			return pprof.WriteHeapProfile(f)
+		})
+		writeProfile(dir, "mutex.pprof", func(f *os.File) error {
+			return pprof.Lookup("mutex").WriteTo(f, 0)
+		})
+		fmt.Fprintf(os.Stderr, "dsud-bench: profiles written to %s (inspect labels with `go tool pprof -tags %s`)\n",
+			dir, filepath.Join(dir, "cpu.pprof"))
+	}, nil
+}
+
+// writeProfile captures one named profile, reporting rather than failing
+// on error: a missing mutex profile must not sink the benchmark run.
+func writeProfile(dir, name string, write func(*os.File) error) {
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dsud-bench: %s: %v\n", name, err)
+		return
+	}
+	defer f.Close()
+	if err := write(f); err != nil {
+		fmt.Fprintf(os.Stderr, "dsud-bench: %s: %v\n", name, err)
 	}
 }

@@ -1,0 +1,80 @@
+// Command dsud-benchdiff compares two BENCH_dsud.json benchmark
+// artifacts (written by dsud-bench) and reports per-algorithm,
+// per-metric deltas as a markdown table suitable for a PR comment.
+//
+// Usage:
+//
+//	dsud-benchdiff [flags] old.json new.json
+//
+// A delta is significant when the relative median movement exceeds the
+// larger of a raw floor (-threshold for protocol counts, -time-threshold
+// for wall time) and -cv-scale × the worse coefficient of variation of
+// the two runs — so noisy series need a proportionally larger movement
+// to trip the gate, and deterministic counts are held to the tight
+// floor. Reads both v0 (point-estimate) and v1 (distribution) artifacts.
+//
+// Exit status: 0 when no metric regressed significantly, 1 on at least
+// one significant regression, 2 on usage or artifact errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/perf"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		threshold     = flag.Float64("threshold", 0.05, "relative significance floor for count metrics (0.05 = 5%)")
+		timeThreshold = flag.Float64("time-threshold", 0.25, "relative significance floor for wall-time metrics")
+		cvScale       = flag.Float64("cv-scale", 3, "noise scaling: limit = max(floor, cv-scale × max CV)")
+		quiet         = flag.Bool("quiet", false, "suppress the markdown table; exit status only")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: dsud-benchdiff [flags] old.json new.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		return 2
+	}
+
+	oldA, err := perf.ReadArtifactFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dsud-benchdiff: %v\n", err)
+		return 2
+	}
+	newA, err := perf.ReadArtifactFile(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dsud-benchdiff: %v\n", err)
+		return 2
+	}
+
+	deltas := perf.Diff(oldA, newA, perf.DiffOptions{
+		Threshold:     *threshold,
+		TimeThreshold: *timeThreshold,
+		CVScale:       *cvScale,
+	})
+	if len(deltas) == 0 {
+		fmt.Fprintf(os.Stderr, "dsud-benchdiff: the artifacts share no (algorithm, metric) pairs\n")
+		return 2
+	}
+	if !*quiet {
+		if err := perf.WriteMarkdown(os.Stdout, oldA, newA, deltas); err != nil {
+			fmt.Fprintf(os.Stderr, "dsud-benchdiff: %v\n", err)
+			return 2
+		}
+	}
+	if n := perf.Regressions(deltas); n > 0 {
+		fmt.Fprintf(os.Stderr, "dsud-benchdiff: %d significant regression(s)\n", n)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"context"
+	"runtime/pprof"
+	"strconv"
+
+	"repro/internal/obs"
+)
+
+// profLabels attributes CPU/heap/mutex profile samples to the query's
+// algorithm, protocol phase and query_id via runtime/pprof goroutine
+// labels. The labelled contexts are pre-built once per query, so phase
+// transitions inside the hot loop are a single SetGoroutineLabels call
+// — and goroutines spawned by broadcast inherit the current labels, so
+// the fan-out work is attributed to the phase that issued it.
+//
+// A nil *profLabels (profiling disabled, the production default) makes
+// every method a no-op: the query loop pays one pointer test and zero
+// allocations, guarded by TestProfLabelsZeroAllocWhenDisabled.
+type profLabels struct {
+	phase [numPhases]context.Context
+	base  context.Context
+}
+
+// newProfLabels returns nil unless obs.SetProfiling(true) was called.
+// qid is the query's session ID, the same identifier the sites see.
+func newProfLabels(ctx context.Context, algo Algorithm, qid uint64) *profLabels {
+	if !obs.Profiling() {
+		return nil
+	}
+	p := &profLabels{base: ctx}
+	id := strconv.FormatUint(qid, 10)
+	for ph := Phase(0); ph < numPhases; ph++ {
+		p.phase[ph] = pprof.WithLabels(ctx, pprof.Labels(
+			"algorithm", algo.String(),
+			"phase", ph.String(),
+			"query_id", id,
+		))
+	}
+	return p
+}
+
+// enter tags the calling goroutine with phase ph's labels.
+func (p *profLabels) enter(ph Phase) {
+	if p == nil {
+		return
+	}
+	pprof.SetGoroutineLabels(p.phase[ph])
+}
+
+// exit restores the goroutine's pre-query labels.
+func (p *profLabels) exit() {
+	if p == nil {
+		return
+	}
+	pprof.SetGoroutineLabels(p.base)
+}

@@ -25,6 +25,12 @@ func Run(ctx context.Context, c *Cluster, opts Options) (*Report, error) {
 		opts.Algorithm = EDSUD
 	}
 	start := time.Now()
+	sid := c.nextSession()
+	// When profiling (obs.SetProfiling), attribute samples on the
+	// coordinator goroutine — and everything broadcast spawns — to
+	// (algorithm, phase, query_id). Nil and free otherwise.
+	labels := newProfLabels(ctx, opts.Algorithm, sid)
+	defer labels.exit()
 	opts.Trace.begin(start)
 	defer opts.Trace.finish()
 	v := c.newView(opts.Trace)
@@ -36,11 +42,11 @@ func Run(ctx context.Context, c *Cluster, opts Options) (*Report, error) {
 	)
 	switch opts.Algorithm {
 	case Baseline:
-		rep, err = runBaseline(ctx, v, opts, start)
+		rep, err = runBaseline(ctx, v, opts, start, labels)
 	case DSUD:
-		rep, err = runDSUD(ctx, v, opts, false, start, c.nextSession())
+		rep, err = runDSUD(ctx, v, opts, false, start, sid, labels)
 	default: // EDSUD, SDSUD
-		rep, err = runDSUD(ctx, v, opts, true, start, c.nextSession())
+		rep, err = runDSUD(ctx, v, opts, true, start, sid, labels)
 	}
 	if err != nil {
 		opts.logQuery(nil, err, time.Since(start))
@@ -101,13 +107,16 @@ func (o Options) logQuery(rep *Report, err error, elapsed time.Duration) {
 
 // runBaseline ships every partition to the coordinator and solves eq. 5
 // centrally over a bulk-loaded PR-tree.
-func runBaseline(ctx context.Context, c *view, opts Options, start time.Time) (*Report, error) {
+func runBaseline(ctx context.Context, c *view, opts Options, start time.Time, labels *profLabels) (*Report, error) {
+	labels.enter(PhaseToServer)
 	sp := opts.Trace.StartSpan(PhaseToServer)
 	resps, err := c.broadcast(ctx, -1, &transport.Request{Kind: transport.KindShipAll})
 	sp.End()
 	if err != nil {
 		return nil, err
 	}
+	// The central solve is the baseline's analogue of local pruning.
+	labels.enter(PhaseLocalPruning)
 	var union uncertain.DB
 	sites := make(map[uncertain.TupleID]int)
 	for i, resp := range resps {
@@ -155,7 +164,7 @@ type queued struct {
 // feedback is the queue head by local skyline probability (DSUD); with
 // enhanced=true the Corollary-2 approximate bounds drive both the feedback
 // selection and the expunge-without-broadcast rule (e-DSUD).
-func runDSUD(ctx context.Context, c *view, opts Options, enhanced bool, start time.Time, sid uint64) (*Report, error) {
+func runDSUD(ctx context.Context, c *view, opts Options, enhanced bool, start time.Time, sid uint64, labels *profLabels) (*Report, error) {
 	rep := &Report{Sites: make(map[uncertain.TupleID]int)}
 	query := transport.Query{
 		Threshold: opts.Threshold,
@@ -176,6 +185,7 @@ func runDSUD(ctx context.Context, c *view, opts Options, enhanced bool, start ti
 	// the meter (one tuple-equivalent per occupied bucket).
 	var synopses []*synopsis.Histogram
 	if opts.Algorithm == SDSUD {
+		labels.enter(PhaseToServer)
 		grid := opts.SynopsisGrid
 		if grid == 0 {
 			grid = 8
@@ -192,6 +202,7 @@ func runDSUD(ctx context.Context, c *view, opts Options, enhanced bool, start ti
 
 	// To-Server phase, first iteration: every site initialises and ships
 	// its first representative (§4 step 1).
+	labels.enter(PhaseToServer)
 	sp := opts.Trace.StartSpan(PhaseToServer)
 	resps, err := c.broadcast(ctx, -1, &transport.Request{Kind: transport.KindInit, Query: query, Session: sid})
 	sp.End()
@@ -211,6 +222,7 @@ func runDSUD(ctx context.Context, c *view, opts Options, enhanced bool, start ti
 	// refill asks site i for its next representative and enqueues it
 	// (the To-Server phase of later iterations).
 	refill := func(i int) error {
+		labels.enter(PhaseToServer)
 		sp := opts.Trace.StartSpan(PhaseToServer)
 		defer sp.End()
 		resp, err := c.call(ctx, i, &transport.Request{Kind: transport.KindNext, Session: sid})
@@ -256,6 +268,7 @@ func runDSUD(ctx context.Context, c *view, opts Options, enhanced bool, start ti
 			return nil, err
 		}
 		rep.Iterations++
+		labels.enter(PhaseFeedbackSelect)
 		sel := opts.Trace.StartSpan(PhaseFeedbackSelect)
 		useBounds := enhanced || opts.Policy == PolicyMaxBound
 		recomputeBounds(queue, useBounds, opts.Dims)
@@ -282,6 +295,7 @@ func runDSUD(ctx context.Context, c *view, opts Options, enhanced bool, start ti
 						sel.Pause()
 						err := refill(victim.site)
 						sel.Resume()
+						labels.enter(PhaseFeedbackSelect)
 						if err != nil {
 							return nil, err
 						}
@@ -329,6 +343,7 @@ func runDSUD(ctx context.Context, c *view, opts Options, enhanced bool, start ti
 		// Server-Delivery phase: broadcast the feedback to the other
 		// sites, collect eq. 9 factors (Lemma 1) and prune remotely.
 		feed := transport.Feedback{Tuple: head.rep.Tuple, HomeLocalProb: head.rep.LocalProb}
+		labels.enter(PhaseServerDelivery)
 		sd := opts.Trace.StartSpan(PhaseServerDelivery)
 		evals, err := c.broadcast(ctx, head.site, &transport.Request{
 			Kind: transport.KindEvaluate, Feed: feed, Session: sid,
@@ -344,6 +359,7 @@ func runDSUD(ctx context.Context, c *view, opts Options, enhanced bool, start ti
 		})
 		// Local-Pruning phase, coordinator side: fold the sites' eq. 9
 		// factors and prune counts into the verdict.
+		labels.enter(PhaseLocalPruning)
 		lp := opts.Trace.StartSpan(PhaseLocalPruning)
 		global := head.rep.LocalProb
 		prunedNow := 0

@@ -2,64 +2,91 @@ package experiments
 
 import (
 	"context"
-	"encoding/json"
 	"io"
 	"net"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/gen"
+	"repro/internal/perf"
 	"repro/internal/site"
 	"repro/internal/transport"
 )
 
-// Machine-readable benchmark summary (dsud-bench -bench-json): one
-// apples-to-apples run of every algorithm on the same workload, over
-// loopback TCP so the byte counters measure the real framed wire rather
-// than the in-process shortcut.
+// Machine-readable benchmark artifact (dsud-bench -bench-json): every
+// algorithm measured on the same workload, over loopback TCP so the byte
+// counters measure the real framed wire rather than the in-process
+// shortcut. Since schema v1 each algorithm runs warmup + N measured
+// iterations and the artifact carries full per-metric distributions
+// (median/p95/stddev/CV) plus an environment fingerprint — see
+// internal/perf and docs/BENCHMARKING.md.
 
-// benchCapN bounds the summary's cardinality: the JSON exists to track
-// relative algorithm cost per commit, not to reproduce the paper's 2M
-// scale, so the driver caps runaway -n values for this artifact only.
-const benchCapN = 20000
+// DefaultBenchCap bounds the artifact's cardinality when BenchOptions
+// leaves CapN zero: the JSON exists to track relative algorithm cost per
+// commit, not to reproduce the paper's 2M scale, so runaway -n values
+// are clamped for this artifact only (dsud-bench -bench-cap overrides).
+const DefaultBenchCap = 20000
 
-// AlgoBench is one algorithm's measured cost on the bench workload.
-type AlgoBench struct {
-	Algorithm  string  `json:"algorithm"`
-	WallMillis float64 `json:"wall_ms"`
-	Skyline    int     `json:"skyline"`
-	TuplesUp   int64   `json:"tuples_up"`
-	TuplesDown int64   `json:"tuples_down"`
-	Tuples     int64   `json:"tuples_total"`
-	Messages   int64   `json:"messages"`
-	WireBytes  int64   `json:"wire_bytes"`
-	Iterations int     `json:"iterations"`
+// benchSites caps the artifact's site count; beyond 8 loopback daemons
+// the runs measure the test host's scheduler, not the algorithms.
+const benchSites = 8
+
+// BenchOptions tunes the artifact run.
+type BenchOptions struct {
+	// CapN bounds the workload cardinality (0 = DefaultBenchCap).
+	// Values of scale.N above the cap are clamped, and the clamp is
+	// reported through Logf.
+	CapN int
+	// Warmup is the number of unmeasured runs per algorithm (0 = default
+	// of 1; negative = no warmup).
+	Warmup int
+	// Iterations is the number of measured runs per algorithm behind
+	// each distribution (default 5; minimum 1).
+	Iterations int
+	// Logf, when non-nil, receives harness notices (clamped -n values,
+	// per-algorithm progress). fmt.Printf-compatible.
+	Logf func(format string, args ...any)
 }
 
-// BenchResult is the full JSON document.
-type BenchResult struct {
-	N          int         `json:"n"`
-	Dims       int         `json:"dims"`
-	Sites      int         `json:"sites"`
-	Threshold  float64     `json:"threshold"`
-	Seed       int64       `json:"seed"`
-	Transport  string      `json:"transport"`
-	Algorithms []AlgoBench `json:"algorithms"`
+func (o BenchOptions) withDefaults() BenchOptions {
+	if o.CapN <= 0 {
+		o.CapN = DefaultBenchCap
+	}
+	switch {
+	case o.Warmup < 0:
+		o.Warmup = 0
+	case o.Warmup == 0:
+		o.Warmup = 1
+	}
+	if o.Iterations < 1 {
+		o.Iterations = 5
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
 }
 
-// BenchSummary runs every algorithm once on a shared workload over
-// loopback TCP sites and writes the BenchResult JSON to w. The workload
-// derives from scale but N is capped at benchCapN (and the site count
-// at 8) so the artifact stays cheap next to the figure runs it rides
-// along with.
-func BenchSummary(ctx context.Context, scale Scale, w io.Writer) error {
+// BenchSummary measures every algorithm warmup+Iterations times on a
+// shared workload over loopback TCP sites and writes the schema-v1
+// perf.Artifact JSON to w. Each measured iteration opens a fresh
+// cluster connection so per-iteration wire bytes are exact; the workload
+// (and therefore every count metric) is identical across iterations, so
+// only wall time carries spread.
+func BenchSummary(ctx context.Context, scale Scale, opts BenchOptions, w io.Writer) error {
+	opts = opts.withDefaults()
 	n := scale.N
-	if n <= 0 || n > benchCapN {
-		n = benchCapN
+	if n <= 0 {
+		n = opts.CapN
+	}
+	if n > opts.CapN {
+		opts.Logf("bench-json: clamping -n %d to the artifact cap %d (raise with -bench-cap)\n", n, opts.CapN)
+		n = opts.CapN
 	}
 	m := scale.sites()
-	if m > 8 {
-		m = 8
+	if m > benchSites {
+		opts.Logf("bench-json: clamping site count %d to %d for the artifact\n", m, benchSites)
+		m = benchSites
 	}
 	db, err := gen.Generate(gen.Config{
 		N: n, Dims: DefaultDims, Values: gen.Independent,
@@ -93,42 +120,61 @@ func BenchSummary(ctx context.Context, scale Scale, w io.Writer) error {
 		}
 	}()
 
-	result := BenchResult{
-		N: n, Dims: DefaultDims, Sites: m,
-		Threshold: DefaultThreshold, Seed: scale.Seed,
-		Transport: "loopback-tcp",
+	artifact := &perf.Artifact{
+		Schema: perf.SchemaVersion,
+		Env:    perf.Fingerprint(),
+		Config: perf.RunConfig{
+			N: n, Dims: DefaultDims, Sites: m,
+			Threshold: DefaultThreshold, Seed: scale.Seed,
+			Transport: "loopback-tcp",
+			Warmup:    opts.Warmup, Iterations: opts.Iterations,
+		},
 	}
 	for _, algo := range []core.Algorithm{core.Baseline, core.DSUD, core.EDSUD, core.SDSUD} {
-		cluster, err := core.NewRemoteCluster(addrs, DefaultDims)
+		samples, err := perf.Collect(opts.Warmup, opts.Iterations, func() (perf.Sample, error) {
+			return benchIteration(ctx, addrs, algo)
+		})
 		if err != nil {
 			return err
 		}
-		start := time.Now()
-		rep, err := core.Run(ctx, cluster, core.Options{
-			Threshold: DefaultThreshold,
-			Algorithm: algo,
-		})
-		closeErr := cluster.Close()
-		if err != nil {
-			return err
-		}
-		if closeErr != nil {
-			return closeErr
-		}
-		bw := rep.Bandwidth
-		result.Algorithms = append(result.Algorithms, AlgoBench{
-			Algorithm:  algo.String(),
-			WallMillis: float64(time.Since(start).Microseconds()) / 1e3,
-			Skyline:    len(rep.Skyline),
-			TuplesUp:   bw.TuplesUp,
-			TuplesDown: bw.TuplesDown,
-			Tuples:     bw.Tuples(),
-			Messages:   bw.Messages,
-			WireBytes:  bw.Bytes,
-			Iterations: rep.Iterations,
-		})
+		res := perf.NewAlgoResult(algo.String(), samples)
+		artifact.Algorithms = append(artifact.Algorithms, res)
+		opts.Logf("bench-json: %s: %d+%d runs, median %.1fms, %d tuples\n",
+			algo, opts.Warmup, opts.Iterations,
+			res.Metric(perf.MetricWallMillis).Median,
+			int64(res.Metric(perf.MetricTuplesTotal).Median))
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(result)
+	return artifact.Write(w)
+}
+
+// benchIteration runs one algorithm once against the TCP sites and
+// returns its measured cost.
+func benchIteration(ctx context.Context, addrs []string, algo core.Algorithm) (perf.Sample, error) {
+	cluster, err := core.NewRemoteCluster(addrs, DefaultDims)
+	if err != nil {
+		return perf.Sample{}, err
+	}
+	start := time.Now()
+	rep, err := core.Run(ctx, cluster, core.Options{
+		Threshold: DefaultThreshold,
+		Algorithm: algo,
+	})
+	wall := time.Since(start)
+	closeErr := cluster.Close()
+	if err != nil {
+		return perf.Sample{}, err
+	}
+	if closeErr != nil {
+		return perf.Sample{}, closeErr
+	}
+	bw := rep.Bandwidth
+	return perf.Sample{
+		Wall:       wall,
+		TuplesUp:   bw.TuplesUp,
+		TuplesDown: bw.TuplesDown,
+		Messages:   bw.Messages,
+		WireBytes:  bw.Bytes,
+		Skyline:    len(rep.Skyline),
+		Rounds:     rep.Iterations,
+	}, nil
 }

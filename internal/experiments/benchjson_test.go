@@ -3,35 +3,57 @@ package experiments
 import (
 	"bytes"
 	"context"
-	"encoding/json"
+	"fmt"
+	"strings"
 	"testing"
+
+	"repro/internal/perf"
 )
 
-// The bench artifact must be valid JSON covering all four algorithms
-// with real loopback-TCP wire bytes.
+// The bench artifact must be a valid schema-v1 document covering all
+// four algorithms with real loopback-TCP wire bytes and full per-metric
+// distributions over the requested iterations.
 func TestBenchSummary(t *testing.T) {
 	var buf bytes.Buffer
 	scale := Scale{N: 800, Queries: 1, Seed: 5, Sites: 3}
-	if err := BenchSummary(context.Background(), scale, &buf); err != nil {
+	opts := BenchOptions{Warmup: -1, Iterations: 2}
+	if err := BenchSummary(context.Background(), scale, opts, &buf); err != nil {
 		t.Fatal(err)
 	}
-	var res BenchResult
-	if err := json.Unmarshal(buf.Bytes(), &res); err != nil {
-		t.Fatalf("artifact is not valid JSON: %v", err)
+	res, err := perf.ReadArtifact(buf.Bytes())
+	if err != nil {
+		t.Fatalf("artifact unreadable: %v", err)
 	}
-	if res.N != 800 || res.Sites != 3 || res.Transport != "loopback-tcp" {
-		t.Fatalf("header %+v", res)
+	if res.Schema != perf.SchemaVersion {
+		t.Fatalf("schema_version %d, want %d", res.Schema, perf.SchemaVersion)
+	}
+	if res.Config.N != 800 || res.Config.Sites != 3 || res.Config.Transport != "loopback-tcp" || res.Config.Iterations != 2 {
+		t.Fatalf("config %+v", res.Config)
+	}
+	if res.Env.GoVersion == "" || res.Env.NumCPU == 0 {
+		t.Fatalf("environment fingerprint missing: %+v", res.Env)
 	}
 	if len(res.Algorithms) != 4 {
 		t.Fatalf("%d algorithms, want 4", len(res.Algorithms))
 	}
 	sky := res.Algorithms[0].Skyline
 	for _, a := range res.Algorithms {
-		if a.WireBytes == 0 {
+		for _, name := range perf.MetricNames() {
+			d, ok := a.Metrics[name]
+			if !ok {
+				t.Fatalf("%s: metric %s missing", a.Algorithm, name)
+			}
+			if d.N != 2 {
+				t.Errorf("%s/%s: %d samples, want 2", a.Algorithm, name, d.N)
+			}
+		}
+		if a.Metric(perf.MetricWireBytes).Median == 0 {
 			t.Errorf("%s: no wire bytes measured over TCP", a.Algorithm)
 		}
-		if a.Tuples != a.TuplesUp+a.TuplesDown {
-			t.Errorf("%s: tuple total %d != up %d + down %d", a.Algorithm, a.Tuples, a.TuplesUp, a.TuplesDown)
+		up := a.Metric(perf.MetricTuplesUp).Median
+		down := a.Metric(perf.MetricTuplesDown).Median
+		if total := a.Metric(perf.MetricTuplesTotal).Median; total != up+down {
+			t.Errorf("%s: tuple total %v != up %v + down %v", a.Algorithm, total, up, down)
 		}
 		if a.Skyline != sky {
 			t.Errorf("%s: skyline size %d differs from %d — algorithms disagree", a.Algorithm, a.Skyline, sky)
@@ -39,17 +61,65 @@ func TestBenchSummary(t *testing.T) {
 	}
 }
 
-// Oversized -n must be capped for the artifact, not obeyed.
+// Oversized -n must be clamped to the (configurable) cap, and the clamp
+// must be reported, not silent.
 func TestBenchSummaryCapsN(t *testing.T) {
-	var buf bytes.Buffer
-	if err := BenchSummary(context.Background(), Scale{N: 10_000_000, Queries: 1, Seed: 1, Sites: 2}, &buf); err != nil {
+	var buf, log bytes.Buffer
+	opts := BenchOptions{
+		CapN: 500, Warmup: -1, Iterations: 1,
+		Logf: func(format string, args ...any) { fmt.Fprintf(&log, format, args...) },
+	}
+	if err := BenchSummary(context.Background(), Scale{N: 10_000_000, Queries: 1, Seed: 1, Sites: 2}, opts, &buf); err != nil {
 		t.Fatal(err)
 	}
-	var res BenchResult
-	if err := json.Unmarshal(buf.Bytes(), &res); err != nil {
+	res, err := perf.ReadArtifact(buf.Bytes())
+	if err != nil {
 		t.Fatal(err)
 	}
-	if res.N != benchCapN {
-		t.Fatalf("N = %d, want cap %d", res.N, benchCapN)
+	if res.Config.N != 500 {
+		t.Fatalf("N = %d, want cap 500", res.Config.N)
+	}
+	if !strings.Contains(log.String(), "clamping -n 10000000") {
+		t.Fatalf("clamp not logged:\n%s", log.String())
+	}
+}
+
+// Two runs with the same seed must agree on every deterministic metric
+// (tuples, messages, wire bytes, skyline, rounds) — only wall time may
+// differ. This is the guarantee benchdiff's CV-scaled rule rests on.
+func TestBenchSummaryDeterministic(t *testing.T) {
+	run := func() *perf.Artifact {
+		var buf bytes.Buffer
+		scale := Scale{N: 600, Queries: 1, Seed: 9, Sites: 3}
+		if err := BenchSummary(context.Background(), scale, BenchOptions{Warmup: -1, Iterations: 2}, &buf); err != nil {
+			t.Fatal(err)
+		}
+		a, err := perf.ReadArtifact(buf.Bytes())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	first, second := run(), run()
+	for _, fa := range first.Algorithms {
+		sa := second.Algo(fa.Algorithm)
+		if sa == nil {
+			t.Fatalf("%s missing from second run", fa.Algorithm)
+		}
+		if fa.Skyline != sa.Skyline || fa.Rounds != sa.Rounds {
+			t.Errorf("%s: skyline/rounds %d/%d vs %d/%d", fa.Algorithm, fa.Skyline, fa.Rounds, sa.Skyline, sa.Rounds)
+		}
+		for _, name := range perf.MetricNames() {
+			if perf.TimeMetric(name) {
+				continue
+			}
+			fd, sd := fa.Metric(name), sa.Metric(name)
+			if fd != sd {
+				t.Errorf("%s/%s: %+v vs %+v — deterministic metric drifted across same-seed runs", fa.Algorithm, name, fd, sd)
+			}
+			if fd.CV != 0 {
+				t.Errorf("%s/%s: CV %v across iterations of one fixed workload", fa.Algorithm, name, fd.CV)
+			}
+		}
 	}
 }

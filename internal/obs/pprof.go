@@ -1,0 +1,18 @@
+package obs
+
+import "sync/atomic"
+
+// profiling gates the runtime/pprof label machinery in the query loop.
+// Labels make profile samples attributable to (algorithm, phase,
+// query_id), but building a label set allocates; production queries that
+// nobody is profiling must not pay that. The gate is process-global
+// because profiles are: runtime/pprof captures every goroutine.
+var profiling atomic.Bool
+
+// SetProfiling enables (or disables) pprof label attribution for
+// subsequent queries. dsud-bench -profile-dir flips it on before the
+// profiled run; everything else leaves it off.
+func SetProfiling(on bool) { profiling.Store(on) }
+
+// Profiling reports whether pprof label attribution is enabled.
+func Profiling() bool { return profiling.Load() }

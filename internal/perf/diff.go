@@ -1,0 +1,198 @@
+package perf
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// Verdict classifies one metric's movement between two artifacts.
+type Verdict int
+
+// Verdicts. Lower is better for every bench metric, so Regression means
+// the new artifact's median is significantly higher.
+const (
+	WithinNoise Verdict = iota
+	Improvement
+	Regression
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case WithinNoise:
+		return "within-noise"
+	case Improvement:
+		return "improvement"
+	case Regression:
+		return "regression"
+	default:
+		return fmt.Sprintf("Verdict(%d)", int(v))
+	}
+}
+
+// DiffOptions tunes the significance rule. A delta is significant when
+// the relative median movement exceeds the larger of a raw floor
+// (Threshold for count metrics, TimeThreshold for wall time) and
+// CVScale × the worse of the two coefficients of variation — so noisy
+// series need a proportionally larger movement to trip the gate, and a
+// deterministic series (CV 0) falls back to the raw floor alone.
+type DiffOptions struct {
+	// Threshold is the relative floor for deterministic count metrics
+	// (default 0.05 = 5%).
+	Threshold float64
+	// TimeThreshold is the relative floor for wall-time metrics
+	// (default 0.25 = 25%); time is scheduler-noisy even on one machine.
+	TimeThreshold float64
+	// CVScale multiplies max(oldCV, newCV) into the significance limit
+	// (default 3).
+	CVScale float64
+}
+
+func (o DiffOptions) withDefaults() DiffOptions {
+	if o.Threshold == 0 {
+		o.Threshold = 0.05
+	}
+	if o.TimeThreshold == 0 {
+		o.TimeThreshold = 0.25
+	}
+	if o.CVScale == 0 {
+		o.CVScale = 3
+	}
+	return o
+}
+
+// MetricDelta is one (algorithm, metric) comparison.
+type MetricDelta struct {
+	Algorithm string
+	Metric    string
+	Old, New  Dist
+	// Rel is the relative median movement (new−old)/old; +Inf when the
+	// metric appeared from a zero baseline.
+	Rel float64
+	// Limit is the significance threshold this comparison was held to.
+	Limit float64
+	Verdict Verdict
+}
+
+// Diff compares two artifacts per algorithm and metric, in stable
+// (artifact, MetricNames) order. Algorithms or metrics present in only
+// one artifact are skipped — the harness always emits the full set, so
+// asymmetry only arises when diffing across harness versions, where a
+// hard failure would block the upgrade itself.
+func Diff(oldA, newA *Artifact, opts DiffOptions) []MetricDelta {
+	opts = opts.withDefaults()
+	var out []MetricDelta
+	for _, na := range newA.Algorithms {
+		oa := oldA.Algo(na.Algorithm)
+		if oa == nil {
+			continue
+		}
+		for _, metric := range MetricNames() {
+			od, ok := oa.Metrics[metric]
+			if !ok {
+				continue
+			}
+			nd, ok := na.Metrics[metric]
+			if !ok {
+				continue
+			}
+			out = append(out, compare(na.Algorithm, metric, od, nd, opts))
+		}
+	}
+	return out
+}
+
+func compare(algo, metric string, od, nd Dist, opts DiffOptions) MetricDelta {
+	d := MetricDelta{Algorithm: algo, Metric: metric, Old: od, New: nd}
+	floor := opts.Threshold
+	if TimeMetric(metric) {
+		floor = opts.TimeThreshold
+	}
+	d.Limit = math.Max(floor, opts.CVScale*math.Max(od.CV, nd.CV))
+	switch {
+	case od.Median == 0 && nd.Median == 0:
+		d.Rel = 0
+	case od.Median == 0:
+		d.Rel = math.Inf(1)
+	default:
+		d.Rel = (nd.Median - od.Median) / od.Median
+	}
+	switch {
+	case d.Rel > d.Limit:
+		d.Verdict = Regression
+	case -d.Rel > d.Limit:
+		d.Verdict = Improvement
+	}
+	return d
+}
+
+// Regressions counts deltas judged significant regressions.
+func Regressions(deltas []MetricDelta) int {
+	n := 0
+	for _, d := range deltas {
+		if d.Verdict == Regression {
+			n++
+		}
+	}
+	return n
+}
+
+// WriteMarkdown renders the comparison as a GitHub-flavoured markdown
+// report (suitable for a PR comment): an environment/config header, one
+// table row per (algorithm, metric), and a verdict summary line.
+func WriteMarkdown(w io.Writer, oldA, newA *Artifact, deltas []MetricDelta) error {
+	fmt.Fprintf(w, "### Benchmark comparison\n\n")
+	fmt.Fprintf(w, "old: %s · new: %s\n\n", describe(oldA), describe(newA))
+	if oldA.Config != newA.Config {
+		fmt.Fprintf(w, "> **warning**: run configurations differ (old %+v, new %+v) — deltas may reflect the workload, not the code.\n\n",
+			oldA.Config, newA.Config)
+	}
+	fmt.Fprintf(w, "| algorithm | metric | old median | new median | Δ | limit | verdict |\n")
+	fmt.Fprintf(w, "|---|---|---:|---:|---:|---:|---|\n")
+	for _, d := range deltas {
+		mark := ""
+		switch d.Verdict {
+		case Regression:
+			mark = " ❌"
+		case Improvement:
+			mark = " ✅"
+		}
+		fmt.Fprintf(w, "| %s | %s | %s | %s | %s | ±%.1f%% | %s%s |\n",
+			d.Algorithm, d.Metric, formatValue(d.Metric, d.Old.Median),
+			formatValue(d.Metric, d.New.Median), formatRel(d.Rel),
+			d.Limit*100, d.Verdict, mark)
+	}
+	reg, imp := Regressions(deltas), 0
+	for _, d := range deltas {
+		if d.Verdict == Improvement {
+			imp++
+		}
+	}
+	fmt.Fprintf(w, "\n%d comparison(s): %d regression(s), %d improvement(s), %d within noise.\n",
+		len(deltas), reg, imp, len(deltas)-reg-imp)
+	return nil
+}
+
+// describe labels one artifact for the report header.
+func describe(a *Artifact) string {
+	sha := a.Env.GitSHA
+	if sha == "" {
+		sha = "unknown-sha"
+	}
+	return fmt.Sprintf("`%s` (n=%d, %d iteration(s), %s/%s)",
+		sha, a.Config.N, a.Config.Iterations, a.Env.GOOS, a.Env.GOARCH)
+}
+
+func formatValue(metric string, v float64) string {
+	if TimeMetric(metric) {
+		return fmt.Sprintf("%.2fms", v)
+	}
+	return fmt.Sprintf("%.0f", v)
+}
+
+func formatRel(rel float64) string {
+	if math.IsInf(rel, 1) {
+		return "+∞"
+	}
+	return fmt.Sprintf("%+.1f%%", rel*100)
+}

@@ -1,0 +1,167 @@
+package perf
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// artifact builds a minimal one-algorithm artifact whose wall_ms and
+// tuples_total medians/CVs are given.
+func artifact(wall, wallCV, tuples, tuplesCV float64) *Artifact {
+	return &Artifact{
+		Schema: SchemaVersion,
+		Config: RunConfig{N: 1000, Dims: 3, Sites: 4, Seed: 1, Iterations: 5},
+		Algorithms: []AlgoResult{{
+			Algorithm: "e-dsud",
+			Skyline:   10,
+			Metrics: map[string]Dist{
+				MetricWallMillis:  {N: 5, Median: wall, Mean: wall, CV: wallCV},
+				MetricTuplesTotal: {N: 5, Median: tuples, Mean: tuples, CV: tuplesCV},
+			},
+		}},
+	}
+}
+
+func find(t *testing.T, deltas []MetricDelta, metric string) MetricDelta {
+	t.Helper()
+	for _, d := range deltas {
+		if d.Metric == metric {
+			return d
+		}
+	}
+	t.Fatalf("no delta for %s", metric)
+	return MetricDelta{}
+}
+
+// A 2x wall-time blowup on a quiet series is a regression.
+func TestDiffRegression(t *testing.T) {
+	old := artifact(100, 0.02, 5000, 0)
+	cur := artifact(200, 0.02, 5000, 0)
+	deltas := Diff(old, cur, DiffOptions{})
+	d := find(t, deltas, MetricWallMillis)
+	if d.Verdict != Regression {
+		t.Fatalf("wall verdict %v, want regression (%+v)", d.Verdict, d)
+	}
+	if !approx(d.Rel, 1.0) {
+		t.Errorf("rel %v, want 1.0", d.Rel)
+	}
+	if Regressions(deltas) != 1 {
+		t.Errorf("Regressions = %d, want 1", Regressions(deltas))
+	}
+	if find(t, deltas, MetricTuplesTotal).Verdict != WithinNoise {
+		t.Error("unchanged tuples flagged")
+	}
+}
+
+// A halved metric is an improvement, and never trips the exit gate.
+func TestDiffImprovement(t *testing.T) {
+	old := artifact(100, 0.02, 5000, 0)
+	cur := artifact(100, 0.02, 2500, 0)
+	deltas := Diff(old, cur, DiffOptions{})
+	if d := find(t, deltas, MetricTuplesTotal); d.Verdict != Improvement {
+		t.Fatalf("verdict %v, want improvement", d.Verdict)
+	}
+	if Regressions(deltas) != 0 {
+		t.Error("improvement counted as regression")
+	}
+}
+
+// Identical artifacts are entirely within noise.
+func TestDiffIdentical(t *testing.T) {
+	old := artifact(100, 0.05, 5000, 0)
+	deltas := Diff(old, old, DiffOptions{})
+	if len(deltas) == 0 {
+		t.Fatal("no comparisons")
+	}
+	for _, d := range deltas {
+		if d.Verdict != WithinNoise {
+			t.Errorf("%s: verdict %v on identical artifacts", d.Metric, d.Verdict)
+		}
+	}
+}
+
+// The CV-scaled rule: a +30% wall movement on a CV=0.15 series is inside
+// 3×CV = 45% and must NOT be significant, while the same movement on a
+// count metric with CV=0 (floor 5%) must be.
+func TestDiffCVScaling(t *testing.T) {
+	old := artifact(100, 0.15, 5000, 0)
+	cur := artifact(130, 0.15, 6500, 0)
+	deltas := Diff(old, cur, DiffOptions{})
+	if d := find(t, deltas, MetricWallMillis); d.Verdict != WithinNoise {
+		t.Errorf("noisy wall +30%% flagged as %v (limit %.2f)", d.Verdict, d.Limit)
+	}
+	if d := find(t, deltas, MetricTuplesTotal); d.Verdict != Regression {
+		t.Errorf("deterministic tuples +30%% judged %v", d.Verdict)
+	}
+}
+
+// Zero-baseline handling: 0 → 0 is quiet, 0 → x is a regression.
+func TestDiffZeroBaseline(t *testing.T) {
+	old := artifact(100, 0, 0, 0)
+	same := artifact(100, 0, 0, 0)
+	if d := find(t, Diff(old, same, DiffOptions{}), MetricTuplesTotal); d.Verdict != WithinNoise {
+		t.Errorf("0→0 judged %v", d.Verdict)
+	}
+	grew := artifact(100, 0, 50, 0)
+	d := find(t, Diff(old, grew, DiffOptions{}), MetricTuplesTotal)
+	if d.Verdict != Regression || !math.IsInf(d.Rel, 1) {
+		t.Errorf("0→50 judged %v rel %v", d.Verdict, d.Rel)
+	}
+}
+
+// v0 artifacts (point estimates) must diff against v1 ones.
+func TestDiffV0AgainstV1(t *testing.T) {
+	v0 := []byte(`{"n":1000,"dims":3,"sites":4,"threshold":0.3,"seed":1,
+		"transport":"loopback-tcp","algorithms":[
+		{"algorithm":"e-dsud","wall_ms":100,"skyline":10,"tuples_up":900,
+		 "tuples_down":600,"tuples_total":1500,"messages":40,"wire_bytes":9000,
+		 "iterations":12}]}`)
+	old, err := ReadArtifact(v0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old.Schema != SchemaVersion || old.Config.N != 1000 {
+		t.Fatalf("upgraded artifact %+v", old)
+	}
+	alg := old.Algo("e-dsud")
+	if alg == nil || alg.Rounds != 12 || alg.Metric(MetricTuplesTotal).Median != 1500 {
+		t.Fatalf("upgraded algo %+v", alg)
+	}
+	cur := artifact(100, 0, 3000, 0)
+	if d := find(t, Diff(old, cur, DiffOptions{}), MetricTuplesTotal); d.Verdict != Regression {
+		t.Fatalf("v0→v1 2× tuples judged %v", d.Verdict)
+	}
+}
+
+func TestReadArtifactRejectsFuture(t *testing.T) {
+	if _, err := ReadArtifact([]byte(`{"schema_version": 99}`)); err == nil {
+		t.Fatal("future schema accepted")
+	}
+	if _, err := ReadArtifact([]byte(`not json`)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+// The markdown report carries the table, the verdict marks and the
+// config-mismatch warning.
+func TestWriteMarkdown(t *testing.T) {
+	old := artifact(100, 0.02, 5000, 0)
+	cur := artifact(200, 0.02, 5000, 0)
+	cur.Config.N = 2000 // force the mismatch warning
+	deltas := Diff(old, cur, DiffOptions{})
+	var buf bytes.Buffer
+	if err := WriteMarkdown(&buf, old, cur, deltas); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"| algorithm | metric |", "| e-dsud | wall_ms |", "regression ❌",
+		"run configurations differ", "1 regression(s)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package perf
+
+import (
+	"os/exec"
+	"runtime"
+	"strings"
+)
+
+// Env fingerprints the machine and toolchain that produced an artifact.
+// Comparisons across different fingerprints are still allowed (benchdiff
+// only warns): count metrics are machine-independent for a fixed seed,
+// and the wall-time thresholds are expected to be loosened cross-machine.
+type Env struct {
+	// GitSHA is the commit the artifact was built from (empty when the
+	// build did not happen inside a git checkout).
+	GitSHA    string `json:"git_sha,omitempty"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+}
+
+// Fingerprint captures the current environment. The git lookup is best
+// effort: any failure (no git binary, not a checkout) leaves GitSHA
+// empty rather than failing the benchmark run.
+func Fingerprint() Env {
+	env := Env{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+	if out, err := exec.Command("git", "rev-parse", "--short=12", "HEAD").Output(); err == nil {
+		env.GitSHA = strings.TrimSpace(string(out))
+	}
+	return env
+}

@@ -1,0 +1,78 @@
+package perf
+
+import (
+	"fmt"
+	"time"
+)
+
+// Sample is one measured iteration of one algorithm on a fixed workload.
+type Sample struct {
+	Wall       time.Duration
+	TuplesUp   int64
+	TuplesDown int64
+	Messages   int64
+	WireBytes  int64
+	// Skyline and Rounds are invariants of the (workload, algorithm)
+	// pair; Collect verifies they agree across iterations.
+	Skyline int
+	Rounds  int
+}
+
+// Collect runs warmup unmeasured iterations followed by n measured ones
+// and returns the measured samples. The warmup runs absorb one-time
+// costs (page cache, TCP slow start, allocator growth) so the measured
+// distribution reflects steady state. Iteration invariants (skyline
+// size, feedback rounds) must agree across measured runs — disagreement
+// means the workload is not fixed and the distribution would be
+// meaningless, so it is an error, not noise.
+func Collect(warmup, n int, run func() (Sample, error)) ([]Sample, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("perf: need at least 1 measured iteration, got %d", n)
+	}
+	for i := 0; i < warmup; i++ {
+		if _, err := run(); err != nil {
+			return nil, fmt.Errorf("perf: warmup %d: %w", i, err)
+		}
+	}
+	samples := make([]Sample, 0, n)
+	for i := 0; i < n; i++ {
+		s, err := run()
+		if err != nil {
+			return nil, fmt.Errorf("perf: iteration %d: %w", i, err)
+		}
+		if i > 0 {
+			if s.Skyline != samples[0].Skyline {
+				return nil, fmt.Errorf("perf: iteration %d skyline %d != iteration 0 skyline %d (workload not fixed)", i, s.Skyline, samples[0].Skyline)
+			}
+			if s.Rounds != samples[0].Rounds {
+				return nil, fmt.Errorf("perf: iteration %d rounds %d != iteration 0 rounds %d (workload not fixed)", i, s.Rounds, samples[0].Rounds)
+			}
+		}
+		samples = append(samples, s)
+	}
+	return samples, nil
+}
+
+// NewAlgoResult summarises measured samples into per-metric
+// distributions. Panics on an empty slice (Collect never returns one).
+func NewAlgoResult(algorithm string, samples []Sample) AlgoResult {
+	series := map[string][]float64{}
+	for _, s := range samples {
+		series[MetricWallMillis] = append(series[MetricWallMillis], float64(s.Wall.Microseconds())/1e3)
+		series[MetricTuplesUp] = append(series[MetricTuplesUp], float64(s.TuplesUp))
+		series[MetricTuplesDown] = append(series[MetricTuplesDown], float64(s.TuplesDown))
+		series[MetricTuplesTotal] = append(series[MetricTuplesTotal], float64(s.TuplesUp+s.TuplesDown))
+		series[MetricMessages] = append(series[MetricMessages], float64(s.Messages))
+		series[MetricWireBytes] = append(series[MetricWireBytes], float64(s.WireBytes))
+	}
+	res := AlgoResult{
+		Algorithm: algorithm,
+		Skyline:   samples[0].Skyline,
+		Rounds:    samples[0].Rounds,
+		Metrics:   make(map[string]Dist, len(series)),
+	}
+	for name, xs := range series {
+		res.Metrics[name] = Summarize(xs)
+	}
+	return res
+}

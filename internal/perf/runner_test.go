@@ -1,0 +1,74 @@
+package perf
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// Collect runs warmups unmeasured and returns exactly n samples.
+func TestCollectWarmupAndCount(t *testing.T) {
+	calls := 0
+	samples, err := Collect(2, 3, func() (Sample, error) {
+		calls++
+		return Sample{Wall: time.Duration(calls) * time.Millisecond, Skyline: 5, Rounds: 7}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 5 {
+		t.Fatalf("run called %d times, want 5 (2 warmup + 3 measured)", calls)
+	}
+	if len(samples) != 3 {
+		t.Fatalf("%d samples, want 3", len(samples))
+	}
+	// The warmup runs (calls 1, 2) must not be in the measured set.
+	if samples[0].Wall != 3*time.Millisecond {
+		t.Errorf("first measured sample %v includes warmup", samples[0].Wall)
+	}
+}
+
+// Iteration-invariant fields must agree; a drifting skyline is an error.
+func TestCollectRejectsUnstableInvariants(t *testing.T) {
+	n := 0
+	_, err := Collect(0, 3, func() (Sample, error) {
+		n++
+		return Sample{Skyline: n}, nil
+	})
+	if err == nil {
+		t.Fatal("unstable skyline accepted")
+	}
+}
+
+func TestCollectPropagatesErrors(t *testing.T) {
+	boom := errors.New("boom")
+	if _, err := Collect(1, 1, func() (Sample, error) { return Sample{}, boom }); !errors.Is(err, boom) {
+		t.Fatalf("warmup error lost: %v", err)
+	}
+	if _, err := Collect(0, 0, func() (Sample, error) { return Sample{}, nil }); err == nil {
+		t.Fatal("zero measured iterations accepted")
+	}
+}
+
+// NewAlgoResult summarises each metric series and keeps the invariants.
+func TestNewAlgoResult(t *testing.T) {
+	samples := []Sample{
+		{Wall: 10 * time.Millisecond, TuplesUp: 100, TuplesDown: 50, Messages: 20, WireBytes: 900, Skyline: 4, Rounds: 9},
+		{Wall: 20 * time.Millisecond, TuplesUp: 100, TuplesDown: 50, Messages: 20, WireBytes: 900, Skyline: 4, Rounds: 9},
+	}
+	res := NewAlgoResult("dsud", samples)
+	if res.Algorithm != "dsud" || res.Skyline != 4 || res.Rounds != 9 {
+		t.Fatalf("header %+v", res)
+	}
+	if got := res.Metric(MetricWallMillis); !approx(got.Median, 15) || got.N != 2 {
+		t.Errorf("wall dist %+v", got)
+	}
+	if got := res.Metric(MetricTuplesTotal); !approx(got.Median, 150) || got.CV != 0 {
+		t.Errorf("tuples_total dist %+v", got)
+	}
+	for _, name := range MetricNames() {
+		if _, ok := res.Metrics[name]; !ok {
+			t.Errorf("metric %s missing", name)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+// Package perf is the repository's statistical benchmark layer: a
+// repeated-run sample collector, summary distributions (median / p95 /
+// stddev / CV), the versioned BENCH_dsud.json artifact schema with an
+// environment fingerprint, and a noise-aware artifact differ. The paper's
+// claims are comparative costs (figs. 8–14), so every artifact carries
+// full per-metric distributions rather than point estimates — a single
+// run cannot distinguish a regression from scheduler noise.
+package perf
+
+import (
+	"math"
+	"sort"
+)
+
+// Dist summarises one metric's sample distribution. All fields derive
+// from the raw samples; Median and P95 use linear interpolation between
+// order statistics (the numpy default), Stddev is the sample standard
+// deviation (0 when n < 2), and CV = Stddev/Mean (0 when Mean == 0).
+type Dist struct {
+	N      int     `json:"n"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	Mean   float64 `json:"mean"`
+	Median float64 `json:"median"`
+	P95    float64 `json:"p95"`
+	Stddev float64 `json:"stddev"`
+	CV     float64 `json:"cv"`
+}
+
+// Summarize computes the distribution of xs. An empty slice yields the
+// zero Dist.
+func Summarize(xs []float64) Dist {
+	if len(xs) == 0 {
+		return Dist{}
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	d := Dist{
+		N:      len(sorted),
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		Median: Percentile(sorted, 0.50),
+		P95:    Percentile(sorted, 0.95),
+	}
+	var sum float64
+	for _, x := range sorted {
+		sum += x
+	}
+	d.Mean = sum / float64(len(sorted))
+	if len(sorted) > 1 {
+		var ss float64
+		for _, x := range sorted {
+			dev := x - d.Mean
+			ss += dev * dev
+		}
+		d.Stddev = math.Sqrt(ss / float64(len(sorted)-1))
+	}
+	if d.Mean != 0 {
+		d.CV = d.Stddev / d.Mean
+	}
+	return d
+}
+
+// Percentile returns the p-th quantile (p in [0,1]) of an ascending
+// sorted slice, linearly interpolating between the two nearest order
+// statistics. Panics on an empty slice; callers summarising real runs
+// always have at least one sample.
+func Percentile(sorted []float64, p float64) float64 {
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Point builds the degenerate single-sample distribution — how v0
+// artifacts (one run, point estimates) lift into the v1 schema.
+func Point(x float64) Dist {
+	return Dist{N: 1, Min: x, Max: x, Mean: x, Median: x, P95: x}
+}
