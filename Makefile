@@ -20,7 +20,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/obs ./internal/transport ./internal/core ./internal/stream
+	$(GO) test -race ./internal/obs/... ./internal/transport ./internal/core ./internal/stream ./internal/site ./internal/audit
 
 # Full benchmark sweep (several minutes). Writes bench_output.txt.
 bench:

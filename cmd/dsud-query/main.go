@@ -6,6 +6,12 @@
 // Usage:
 //
 //	dsud-query -addrs 127.0.0.1:7101,127.0.0.1:7102 -dims 3 -q 0.3 -algo edsud
+//
+// With -cluster-status it instead probes every site's health and prints
+// one row per site. With -audit-fraction the completed query is
+// re-checked against exact oracles at that sampling rate, and with
+// -flight-dir the coordinator's flight recorder is dumped on exit (and
+// automatically on slow queries or audit violations).
 package main
 
 import (
@@ -16,7 +22,10 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
+	"syscall"
+	"time"
 
 	"repro/dsq"
 	"repro/internal/obs"
@@ -25,7 +34,7 @@ import (
 func main() {
 	var (
 		addrs = flag.String("addrs", "", "comma-separated site addresses (required)")
-		dims  = flag.Int("dims", 0, "data dimensionality (required)")
+		dims  = flag.Int("dims", 0, "data dimensionality (required unless -cluster-status)")
 		q     = flag.Float64("q", 0.3, "probability threshold in (0,1]")
 		algo  = flag.String("algo", "edsud", "algorithm: baseline|dsud|edsud")
 		sub   = flag.String("subspace", "", "comma-separated dimension indices (empty = full space)")
@@ -34,16 +43,45 @@ func main() {
 		trace = flag.Bool("trace", false, "print every protocol step")
 		stats = flag.Bool("stats", false, "print the per-phase timing table after the query")
 
-		debugAddr   = flag.String("debug-addr", "", "optional debug address serving /metrics, /vars, /healthz and /debug/pprof/")
+		clusterStatus = flag.Bool("cluster-status", false, "probe every site's health over the wire, print a status table and exit")
+		auditFraction = flag.Float64("audit-fraction", 0, "fraction of completed queries re-checked against exact oracles (0 = off, 1 = every query)")
+		auditMC       = flag.Int("audit-mc-samples", 0, "Monte-Carlo possible worlds per audited query (0 = exact checks only)")
+		flightDir     = flag.String("flight-dir", "", "directory for flight-recorder dumps (slow queries, audit violations, exit)")
+		flightSize    = flag.Int("flight-size", 0, "flight-recorder ring capacity in query records (0 = default)")
+
+		debugAddr   = flag.String("debug-addr", "", "optional debug address serving /metrics, /vars, /healthz, /debug/flightz and /debug/pprof/")
 		traceExport = flag.String("trace-export", "", "write the merged cross-site timeline as Chrome trace-event JSON to this file (load in Perfetto or chrome://tracing)")
 		logLevel    = flag.String("log-level", "", "structured log level: debug|info|warn|error (empty = logging off)")
 		logFormat   = flag.String("log-format", "text", "structured log format: text|json")
 		slowQuery   = flag.Duration("slow-query", 0, "log queries at least this slow at Warn with a phase breakdown (0 = off; needs -log-level)")
 	)
 	flag.Parse()
-	if *addrs == "" || *dims <= 0 {
+	if *addrs == "" || (!*clusterStatus && *dims <= 0) {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *clusterStatus {
+		// Status probes don't need the data dimensionality; any positive
+		// value satisfies the cluster constructor.
+		d := *dims
+		if d <= 0 {
+			d = 1
+		}
+		cluster, err := dsq.NewRemoteCluster(strings.Split(*addrs, ","), d)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer cluster.Close()
+		healths := cluster.Health(ctx)
+		healthy := dsq.WriteClusterStatus(os.Stdout, healths, time.Now())
+		if healthy < len(healths) {
+			os.Exit(1)
+		}
+		return
 	}
 
 	var algorithm dsq.Algorithm
@@ -75,19 +113,26 @@ func main() {
 	}
 	defer cluster.Close()
 
+	// The coordinator-side flight recorder is always on; -flight-dir
+	// additionally enables dumps (slow queries, audit violations, exit).
+	fr := dsq.NewFlightRecorder(*flightSize)
+	if *flightDir != "" {
+		fr.SetDumpDir(*flightDir)
+	}
+	cluster.SetFlightRecorder(fr)
+
+	reg := dsq.NewMetrics()
+	cluster.Instrument(reg)
 	if *debugAddr != "" {
-		reg := dsq.NewMetrics()
-		cluster.Instrument(reg)
 		lis, err := net.Listen("tcp", *debugAddr)
 		if err != nil {
 			fatalf("debug listen: %v", err)
 		}
 		fmt.Printf("debug endpoint on http://%s/metrics\n", lis.Addr())
-		go http.Serve(lis, obs.DebugMux(reg, nil))
+		go http.Serve(lis, obs.DebugMux(reg, map[string]http.Handler{
+			"/debug/flightz": fr.Handler(),
+		}))
 	}
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
 
 	opts := dsq.Options{Threshold: *q, Dims: subspace, Algorithm: algorithm, TopK: *topk}
 	if *logLevel != "" {
@@ -102,9 +147,10 @@ func main() {
 		opts.Logger = logger
 		opts.SlowQuery = *slowQuery
 	}
-	if *traceExport != "" {
+	if *traceExport != "" || *auditFraction > 0 {
 		// A caller-owned trace turns on sampling: every RPC carries the
 		// trace context and the sites' spans come back for the timeline.
+		// The auditor also needs it, for the query_id on its log records.
 		opts.Trace = dsq.NewTrace()
 	}
 	if *trace {
@@ -117,6 +163,7 @@ func main() {
 	}
 	report, qstats, err := dsq.QueryWithStats(ctx, cluster, opts)
 	if err != nil {
+		finalSnapshot(fr, reg, *flightDir)
 		fatalf("query: %v", err)
 	}
 	bw := report.Bandwidth
@@ -146,6 +193,64 @@ func main() {
 		fmt.Printf("trace %s: %d spans (%d from sites) -> %s\n",
 			dsq.QueryID(qstats.Trace.TraceID), len(qstats.Trace.Timeline), qstats.Trace.SiteSpans(), *traceExport)
 	}
+
+	auditFailed := false
+	if *auditFraction > 0 {
+		auditor := dsq.NewAuditor(dsq.AuditConfig{
+			Fraction:  *auditFraction,
+			MCSamples: *auditMC,
+			Logger:    opts.Logger,
+			Flight:    fr,
+		}, reg)
+		outcome, err := auditor.MaybeAudit(ctx, cluster, opts, report)
+		switch {
+		case err != nil:
+			fmt.Fprintf(os.Stderr, "dsud-query: audit could not run: %v\n", err)
+		case outcome == nil:
+			// Not sampled this time.
+		case outcome.Clean():
+			fmt.Printf("audit %s: clean (%d checks, %d skipped)\n",
+				outcome.QueryID, outcome.Checks, outcome.SkippedChecks)
+		default:
+			auditFailed = true
+			fmt.Fprintf(os.Stderr, "audit %s: %d VIOLATION(S) in %d checks:\n",
+				outcome.QueryID, len(outcome.Violations), outcome.Checks)
+			for _, v := range outcome.Violations {
+				fmt.Fprintf(os.Stderr, "  %s\n", v)
+			}
+		}
+	}
+	finalSnapshot(fr, reg, *flightDir)
+	if auditFailed {
+		os.Exit(1)
+	}
+}
+
+// finalSnapshot writes an exit flight dump and metrics snapshot into dir
+// (no-op when -flight-dir is unset). Best-effort.
+func finalSnapshot(fr *dsq.FlightRecorder, reg *dsq.Metrics, dir string) {
+	if dir == "" {
+		return
+	}
+	if path, err := fr.Dump("exit"); err != nil {
+		fmt.Fprintf(os.Stderr, "dsud-query: flight dump: %v\n", err)
+	} else {
+		fmt.Printf("flight dump -> %s\n", path)
+	}
+	path := filepath.Join(dir, fmt.Sprintf("metrics-query-%d.json", time.Now().UnixNano()))
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dsud-query: metrics snapshot: %v\n", err)
+		return
+	}
+	if err := reg.WriteJSON(f); err != nil {
+		fmt.Fprintf(os.Stderr, "dsud-query: metrics snapshot: %v\n", err)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "dsud-query: metrics snapshot: %v\n", err)
+		return
+	}
+	fmt.Printf("metrics snapshot -> %s\n", path)
 }
 
 func fatalf(format string, args ...interface{}) {

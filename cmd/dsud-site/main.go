@@ -6,34 +6,47 @@
 //
 //	dsud-site -data /tmp/parts/site-0.dsud -addr 127.0.0.1:7101 -id 0
 //
-// With -debug-addr the daemon additionally serves /metrics (Prometheus),
-// /vars (JSON), /healthz, /status and /debug/pprof/ on that address.
+// With -http the daemon serves /healthz, /statusz (alias /status) and
+// /debug/flightz on an ops address; with -debug-addr it additionally
+// serves /metrics (Prometheus), /vars (JSON) and /debug/pprof/ there. On
+// SIGINT/SIGTERM it stops accepting requests, drains in-flight queries
+// for -drain, and (with -flight-dir) writes a final flight-recorder dump
+// and metrics snapshot before exiting.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/site"
 	"repro/internal/transport"
 )
 
 func main() {
 	var (
-		data      = flag.String("data", "", "partition file written by dsud-gen (required)")
-		addr      = flag.String("addr", "127.0.0.1:0", "listen address")
-		httpAddr  = flag.String("http", "", "optional ops address serving GET /status as JSON")
-		debugAddr = flag.String("debug-addr", "", "optional debug address serving /metrics, /vars, /healthz, /status and /debug/pprof/")
-		id        = flag.Int("id", 0, "site index (diagnostics only)")
-		logLevel  = flag.String("log-level", "", "structured log level: debug|info|warn|error (empty = logging off)")
-		logFormat = flag.String("log-format", "text", "structured log format: text|json")
-		slowReq   = flag.Duration("slow-request", 0, "log requests at least this slow at Warn (0 = off; needs -log-level)")
+		data       = flag.String("data", "", "partition file written by dsud-gen (required)")
+		addr       = flag.String("addr", "127.0.0.1:0", "listen address")
+		httpAddr   = flag.String("http", "", "optional ops address serving GET /healthz, /statusz and /debug/flightz")
+		debugAddr  = flag.String("debug-addr", "", "optional debug address serving /metrics, /vars, /healthz, /statusz, /debug/flightz and /debug/pprof/")
+		id         = flag.Int("id", 0, "site index (diagnostics only)")
+		logLevel   = flag.String("log-level", "", "structured log level: debug|info|warn|error (empty = logging off)")
+		logFormat  = flag.String("log-format", "text", "structured log format: text|json")
+		slowReq    = flag.Duration("slow-request", 0, "log requests at least this slow at Warn (0 = off; needs -log-level)")
+		flightDir  = flag.String("flight-dir", "", "directory for flight-recorder dumps (slow queries, audit failures, shutdown)")
+		flightSize = flag.Int("flight-size", flight.DefaultSize, "flight-recorder ring capacity in query records")
+		drain      = flag.Duration("drain", 10*time.Second, "how long shutdown waits for in-flight requests before closing hard")
 	)
 	flag.Parse()
 	if *data == "" {
@@ -47,6 +60,14 @@ func main() {
 	}
 	eng := site.New(*id, part, dims, 0)
 
+	// The flight recorder is always on — it is the post-hoc witness for
+	// "what was this site doing just before things went wrong".
+	fr := flight.New(*flightSize)
+	if *flightDir != "" {
+		fr.SetDumpDir(*flightDir)
+	}
+	eng.SetFlightRecorder(fr)
+
 	if *logLevel != "" {
 		level, err := obs.ParseLogLevel(*logLevel)
 		if err != nil {
@@ -59,11 +80,10 @@ func main() {
 		eng.SetLogger(logger.With("site", *id), *slowReq)
 	}
 
-	var reg *obs.Registry
-	if *debugAddr != "" {
-		reg = obs.NewRegistry()
-		eng.Instrument(reg)
-	}
+	// Always instrumented so the shutdown snapshot exists even without a
+	// debug listener; serving the registry stays opt-in via -debug-addr.
+	reg := obs.NewRegistry()
+	eng.Instrument(reg)
 
 	lis, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -74,17 +94,24 @@ func main() {
 
 	if *httpAddr != "" {
 		mux := http.NewServeMux()
-		mux.Handle("/status", eng.StatusHandler())
+		mux.Handle("/status", eng.StatusHandler()) // back-compat alias of /statusz
+		mux.Handle("/statusz", eng.StatusHandler())
+		mux.Handle("/healthz", healthzHandler())
+		mux.Handle("/debug/flightz", fr.Handler())
 		opsLis, err := net.Listen("tcp", *httpAddr)
 		if err != nil {
 			fatalf("ops listen: %v", err)
 		}
-		fmt.Printf("dsud-site %d ops endpoint on http://%s/status\n", *id, opsLis.Addr())
+		fmt.Printf("dsud-site %d ops endpoint on http://%s/statusz\n", *id, opsLis.Addr())
 		go http.Serve(opsLis, mux)
 	}
 
 	if *debugAddr != "" {
-		mux := obs.DebugMux(reg, map[string]http.Handler{"/status": eng.StatusHandler()})
+		mux := obs.DebugMux(reg, map[string]http.Handler{
+			"/status":        eng.StatusHandler(), // back-compat alias of /statusz
+			"/statusz":       eng.StatusHandler(),
+			"/debug/flightz": fr.Handler(),
+		})
 		dbgLis, err := net.Listen("tcp", *debugAddr)
 		if err != nil {
 			fatalf("debug listen: %v", err)
@@ -97,17 +124,65 @@ func main() {
 	go func() { done <- srv.Serve(lis) }()
 
 	interrupt := make(chan os.Signal, 1)
-	signal.Notify(interrupt, os.Interrupt)
+	signal.Notify(interrupt, os.Interrupt, syscall.SIGTERM)
 	select {
 	case <-interrupt:
-		fmt.Println("dsud-site: shutting down")
-		srv.Close()
+		fmt.Printf("dsud-site %d: draining in-flight requests (up to %v)\n", *id, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		err := srv.Shutdown(ctx)
+		cancel()
 		<-done
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dsud-site %d: shutdown: %v\n", *id, err)
+		}
+		finalSnapshot(fr, reg, *flightDir, *id)
 	case err := <-done:
 		if err != nil {
 			fatalf("serve: %v", err)
 		}
 	}
+}
+
+// finalSnapshot writes the shutdown flight dump and a metrics snapshot
+// into dir, the operator's last view of the process. Best-effort: a
+// failed write is reported, not fatal — the process is exiting anyway.
+func finalSnapshot(fr *flight.Recorder, reg *obs.Registry, dir string, id int) {
+	if dir == "" {
+		return
+	}
+	if path, err := fr.Dump("shutdown"); err != nil {
+		fmt.Fprintf(os.Stderr, "dsud-site %d: flight dump: %v\n", id, err)
+	} else {
+		fmt.Printf("dsud-site %d: flight dump -> %s\n", id, path)
+	}
+	path := filepath.Join(dir, fmt.Sprintf("metrics-site%d-%d.json", id, time.Now().UnixNano()))
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dsud-site %d: metrics snapshot: %v\n", id, err)
+		return
+	}
+	if err := reg.WriteJSON(f); err != nil {
+		fmt.Fprintf(os.Stderr, "dsud-site %d: metrics snapshot: %v\n", id, err)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "dsud-site %d: metrics snapshot: %v\n", id, err)
+		return
+	}
+	fmt.Printf("dsud-site %d: metrics snapshot -> %s\n", id, path)
+}
+
+// healthzHandler is the ops-mux liveness probe, matching the debug mux's
+// /healthz contract: GET/HEAD only, application/json.
+func healthzHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]string{"status": "ok"})
+	})
 }
 
 func fatalf(format string, args ...interface{}) {

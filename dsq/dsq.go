@@ -33,11 +33,14 @@ import (
 	"context"
 	"io"
 	"log/slog"
+	"time"
 
+	"repro/internal/audit"
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/geom"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/stream"
 	"repro/internal/transport"
 	"repro/internal/uncertain"
@@ -343,6 +346,44 @@ func QueryWithStats(ctx context.Context, cluster *Cluster, opts Options) (*Repor
 		Trace:     opts.Trace.Summary(),
 		Bandwidth: rep.Bandwidth,
 	}, nil
+}
+
+// Cluster health, flight recording and online auditing.
+type (
+	// SiteHealth is one site's health-probe outcome: a status snapshot,
+	// or the error that prevented one (see Cluster.Health).
+	SiteHealth = core.SiteHealth
+	// SiteStatus is a site daemon's self-reported health snapshot.
+	SiteStatus = transport.SiteStatus
+	// FlightRecorder is an always-on ring buffer of recent per-query
+	// records, dumpable after the fact (attach via
+	// Cluster.SetFlightRecorder, serve Handler() at /debug/flightz).
+	FlightRecorder = flight.Recorder
+	// FlightRecord is one entry of the flight recorder's ring.
+	FlightRecord = flight.Record
+	// Auditor samples completed queries and re-checks the paper's
+	// invariants against exact and Monte-Carlo oracles.
+	Auditor = audit.Auditor
+	// AuditConfig tunes an Auditor; the zero value plus a Fraction works.
+	AuditConfig = audit.Config
+	// AuditOutcome summarises one audited query.
+	AuditOutcome = audit.Outcome
+	// AuditViolation is one failed invariant check.
+	AuditViolation = audit.Violation
+)
+
+// NewFlightRecorder returns a flight recorder holding the most recent
+// size query records (size <= 0 selects the default of 256).
+func NewFlightRecorder(size int) *FlightRecorder { return flight.New(size) }
+
+// NewAuditor builds an online invariant auditor. reg may be nil.
+func NewAuditor(cfg AuditConfig, reg *Metrics) *Auditor { return audit.New(cfg, reg) }
+
+// WriteClusterStatus renders a Cluster.Health sweep as a table and
+// returns the number of healthy sites (the dsud-query -cluster-status
+// output).
+func WriteClusterStatus(w io.Writer, healths []SiteHealth, now time.Time) int {
+	return core.WriteClusterStatus(w, healths, now)
 }
 
 // PartitionWorkloadAngular splits db over m sites by angular sectors

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/site"
 	"repro/internal/transport"
 	"repro/internal/uncertain"
@@ -35,6 +36,80 @@ type Cluster struct {
 	// obsQueries counts completed queries per algorithm, populated by
 	// Instrument (nil entries no-op when uninstrumented).
 	obsQueries [int(SDSUD) + 1]*obs.Counter
+
+	// flight, when set (SetFlightRecorder), receives one record per
+	// completed query — success or failure. Nil-safe at the record site.
+	flight *flight.Recorder
+}
+
+// SetFlightRecorder attaches a flight recorder: every query Run executes
+// leaves one record (algorithm, threshold, per-phase timing, per-site
+// shipped/pruned, outcome). A nil recorder (the default) disables
+// recording. Call before serving queries; not synchronised with
+// in-flight Runs.
+func (c *Cluster) SetFlightRecorder(r *flight.Recorder) { c.flight = r }
+
+// FlightRecorder returns the recorder attached with SetFlightRecorder
+// (nil when none), so daemons can dump it on shutdown or mount its
+// /debug/flightz handler.
+func (c *Cluster) FlightRecorder() *flight.Recorder { return c.flight }
+
+// recordFlight writes one query's flight record. rep is nil on failure.
+func (c *Cluster) recordFlight(opts Options, sid uint64, rep *Report, err error, start time.Time, elapsed time.Duration) {
+	if c.flight == nil {
+		return
+	}
+	rec := flight.Record{
+		QueryID:    opts.Trace.ID(),
+		Session:    sid,
+		Algorithm:  opts.Algorithm.String(),
+		Threshold:  opts.Threshold,
+		TopK:       opts.TopK,
+		MaxResults: opts.MaxResults,
+		Start:      start.UnixNano(),
+		ElapsedNS:  int64(elapsed),
+		Slow:       opts.SlowQuery > 0 && elapsed >= opts.SlowQuery,
+		Outcome:    flight.OutcomeOK,
+		Sites:      len(c.clients),
+	}
+	if err != nil {
+		rec.Outcome = flight.OutcomeError
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			rec.Outcome = flight.OutcomeCanceled
+		}
+		rec.Err = err.Error()
+	}
+	if rep != nil {
+		rec.Results = len(rep.Skyline)
+		rec.Iterations = rep.Iterations
+		rec.Broadcasts = rep.Broadcasts
+		rec.Expunged = rep.Expunged
+		rec.Refills = rep.Refills
+		rec.PrunedLocal = rep.PrunedLocal
+		rec.TuplesUp = rep.Bandwidth.TuplesUp
+		rec.TuplesDown = rep.Bandwidth.TuplesDown
+		rec.Messages = rep.Bandwidth.Messages
+		rec.Bytes = rep.Bandwidth.Bytes
+		for i, s := range rep.PerSite {
+			rec.AddSiteCost(i, s.Shipped, s.Pruned)
+		}
+	}
+	if opts.Trace != nil {
+		sum := opts.Trace.Summary()
+		for _, p := range Phases() {
+			if rec.NumPhases >= flight.MaxPhases {
+				break
+			}
+			st := sum.Phases[p]
+			rec.Phases[rec.NumPhases] = flight.PhaseSummary{
+				Name:  p.String(),
+				Spans: int64(st.Spans),
+				NS:    int64(st.Total),
+			}
+			rec.NumPhases++
+		}
+	}
+	c.flight.Record(&rec)
 }
 
 // Instrument wires the cluster into reg: every site client gains per-RPC

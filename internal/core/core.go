@@ -215,6 +215,16 @@ type ProgressPoint struct {
 	Elapsed time.Duration
 }
 
+// SiteTally is one site's slice of a query's cost.
+type SiteTally struct {
+	// Shipped counts representatives the site sent up (Init plus
+	// refills; for the Baseline, its whole partition).
+	Shipped int64
+	// Pruned counts local skyline tuples the site discarded under
+	// Observation-2 feedback pruning.
+	Pruned int64
+}
+
 // Report summarises one completed query.
 type Report struct {
 	// Skyline holds the qualified tuples with their exact global skyline
@@ -241,6 +251,15 @@ type Report struct {
 	Elapsed time.Duration
 	// Progress traces cumulative cost per reported tuple.
 	Progress []ProgressPoint
+	// PerSite breaks Shipped/Pruned down by site index.
+	PerSite []SiteTally
+	// FeedbackLocal records, in broadcast order, the home-site local
+	// skyline probability of every feedback tuple. Under plain DSUD with
+	// the algorithm's own selection rule this sequence is non-increasing
+	// (sites ship in descending order and refills only add values no
+	// larger than the popped head) — the invariant the online auditor
+	// spot-checks.
+	FeedbackLocal []float64
 }
 
 // ErrNoSites reports a query against an empty cluster.

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+)
+
+// A health sweep over two live TCP sites must report both healthy, with
+// their tuple counts and replica versions, and render as the
+// -cluster-status table.
+func TestClusterHealthTwoSitesTCP(t *testing.T) {
+	parts, _ := makeWorkload(t, 200, 2, 2, gen.Independent, 71)
+	addrs := startTCPSites(t, parts, 2)
+	cluster, err := NewRemoteCluster(addrs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	// A query bumps the request counters so the sweep sees live traffic.
+	if _, err := Run(context.Background(), cluster, Options{Threshold: 0.3, Algorithm: EDSUD}); err != nil {
+		t.Fatal(err)
+	}
+
+	healths := cluster.Health(context.Background())
+	if len(healths) != 2 {
+		t.Fatalf("got %d entries, want 2", len(healths))
+	}
+	total := 0
+	for i, h := range healths {
+		if !h.Healthy() {
+			t.Fatalf("site %d unhealthy: %v", i, h.Err)
+		}
+		st := h.Status
+		if st.ID != i || st.Tuples != len(parts[i]) {
+			t.Fatalf("site %d: status %+v, want id=%d tuples=%d", i, st, i, len(parts[i]))
+		}
+		if st.TreeHeight < 1 || st.RequestsTotal == 0 || st.UptimeSeconds < 0 {
+			t.Fatalf("site %d: implausible status %+v", i, st)
+		}
+		if st.Sessions != 0 {
+			t.Fatalf("site %d: %d sessions leaked after the query", i, st.Sessions)
+		}
+		total += st.Tuples
+	}
+	if total != 200 {
+		t.Fatalf("tuple totals = %d, want 200", total)
+	}
+
+	var sb strings.Builder
+	if n := WriteClusterStatus(&sb, healths, time.Now()); n != 2 {
+		t.Fatalf("WriteClusterStatus healthy = %d, want 2", n)
+	}
+	out := sb.String()
+	for _, want := range []string{"SITE", "HEALTHY", "REPLICA", "2/2 sites healthy"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "DOWN") {
+		t.Fatalf("no site should be down:\n%s", out)
+	}
+}
+
+// A dead site must yield a DOWN row, not a failed sweep.
+func TestClusterHealthDeadSite(t *testing.T) {
+	parts, _ := makeWorkload(t, 100, 2, 2, gen.Independent, 72)
+	addrs := startTCPSites(t, parts, 2)
+	cluster, err := NewRemoteCluster(addrs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	// Kill site 1's connection from the client side: the probe must fail
+	// for that site only.
+	cluster.clients[1].Close()
+
+	healths := cluster.Health(context.Background())
+	if !healths[0].Healthy() {
+		t.Fatalf("site 0 should stay healthy: %v", healths[0].Err)
+	}
+	if healths[1].Healthy() {
+		t.Fatal("site 1 should be down after its connection closed")
+	}
+
+	var sb strings.Builder
+	if n := WriteClusterStatus(&sb, healths, time.Now()); n != 1 {
+		t.Fatalf("healthy = %d, want 1", n)
+	}
+	if !strings.Contains(sb.String(), "DOWN") || !strings.Contains(sb.String(), "1/2 sites healthy") {
+		t.Fatalf("table should show the dead site:\n%s", sb.String())
+	}
+}

@@ -49,7 +49,9 @@ func Run(ctx context.Context, c *Cluster, opts Options) (*Report, error) {
 		rep, err = runDSUD(ctx, v, opts, true, start, sid, labels)
 	}
 	if err != nil {
-		opts.logQuery(nil, err, time.Since(start))
+		elapsed := time.Since(start)
+		opts.logQuery(nil, err, elapsed)
+		c.recordFlight(opts, sid, nil, err, start, elapsed)
 		return nil, err
 	}
 	c.countQuery(opts.Algorithm)
@@ -65,6 +67,7 @@ func Run(ctx context.Context, c *Cluster, opts Options) (*Report, error) {
 	rep.Bandwidth.Bytes = c.meter.Snapshot().Bytes - bytesBefore
 	rep.Elapsed = time.Since(start)
 	opts.logQuery(rep, nil, rep.Elapsed)
+	c.recordFlight(opts, sid, rep, nil, start, rep.Elapsed)
 	return rep, nil
 }
 
@@ -126,7 +129,10 @@ func runBaseline(ctx context.Context, c *view, opts Options, start time.Time, la
 		}
 	}
 	index := prtree.Bulk(union, c.dims, 0)
-	rep := &Report{Sites: make(map[uncertain.TupleID]int)}
+	rep := &Report{Sites: make(map[uncertain.TupleID]int), PerSite: make([]SiteTally, len(c.clients))}
+	for i, resp := range resps {
+		rep.PerSite[i].Shipped = int64(len(resp.Tuples))
+	}
 	index.LocalSkylineFunc(opts.Threshold, opts.Dims, func(m uncertain.SkylineMember) bool {
 		rep.Skyline = append(rep.Skyline, m)
 		rep.Sites[m.Tuple.ID] = sites[m.Tuple.ID]
@@ -165,7 +171,7 @@ type queued struct {
 // enhanced=true the Corollary-2 approximate bounds drive both the feedback
 // selection and the expunge-without-broadcast rule (e-DSUD).
 func runDSUD(ctx context.Context, c *view, opts Options, enhanced bool, start time.Time, sid uint64, labels *profLabels) (*Report, error) {
-	rep := &Report{Sites: make(map[uncertain.TupleID]int)}
+	rep := &Report{Sites: make(map[uncertain.TupleID]int), PerSite: make([]SiteTally, len(c.clients))}
 	query := transport.Query{
 		Threshold: opts.Threshold,
 		Dims:      opts.Dims,
@@ -215,6 +221,7 @@ func runDSUD(ctx context.Context, c *view, opts Options, enhanced bool, start ti
 			// bound starts at the Corollary-1 value (the local skyline
 			// probability); recomputeBounds tightens it for e-DSUD.
 			queue = append(queue, queued{site: i, rep: resp.Rep, bound: resp.Rep.LocalProb})
+			rep.PerSite[i].Shipped++
 			opts.emit(Event{Kind: EventToServer, Site: i, Tuple: resp.Rep.Tuple, Prob: resp.Rep.LocalProb})
 		}
 	}
@@ -239,6 +246,7 @@ func runDSUD(ctx context.Context, c *view, opts Options, enhanced bool, start ti
 			Site: i, Tuple: resp.Rep.Tuple, Prob: resp.Rep.LocalProb, Count: 1,
 		})
 		queue = append(queue, queued{site: i, rep: resp.Rep, bound: resp.Rep.LocalProb})
+		rep.PerSite[i].Shipped++
 		opts.emit(Event{
 			Kind: EventToServer, Iteration: rep.Iterations,
 			Site: i, Tuple: resp.Rep.Tuple, Prob: resp.Rep.LocalProb,
@@ -353,6 +361,7 @@ func runDSUD(ctx context.Context, c *view, opts Options, enhanced bool, start ti
 			return nil, err
 		}
 		rep.Broadcasts++
+		rep.FeedbackLocal = append(rep.FeedbackLocal, head.rep.LocalProb)
 		opts.emit(Event{
 			Kind: EventBroadcast, Iteration: rep.Iterations,
 			Site: head.site, Tuple: head.rep.Tuple, Prob: head.rep.LocalProb,
@@ -369,6 +378,7 @@ func runDSUD(ctx context.Context, c *view, opts Options, enhanced bool, start ti
 			}
 			global *= resp.CrossProb
 			prunedNow += resp.Pruned
+			rep.PerSite[i].Pruned += int64(resp.Pruned)
 		}
 		rep.PrunedLocal += prunedNow
 		if prunedNow > 0 {

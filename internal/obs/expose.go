@@ -140,24 +140,41 @@ func (r *Registry) JSONHandler() http.Handler {
 	})
 }
 
+// getOnly rejects every method except GET and HEAD with 405 — the debug
+// surface is strictly read-only.
+func getOnly(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		h.ServeHTTP(w, req)
+	})
+}
+
 // DebugMux assembles the standard introspection surface the cmd/ daemons
 // mount behind -debug-addr:
 //
 //	/metrics       Prometheus text exposition
 //	/vars          flat JSON dump of the same series
-//	/healthz       200 "ok" liveness probe
+//	/healthz       200 {"status":"ok"} liveness probe
 //	/debug/pprof/  the net/http/pprof profile suite
 //
-// extra handlers (path → handler) are mounted verbatim, letting callers
-// add component-specific pages (e.g. the site's /status).
+// Every endpoint sets a Content-Type; /metrics, /vars and /healthz are
+// GET/HEAD only (pprof manages its own methods — /debug/pprof/symbol
+// legitimately accepts POST). extra handlers (path → handler) are
+// mounted verbatim, letting callers add component-specific pages (e.g.
+// the site's /statusz or the flight recorder's /debug/flightz); they are
+// expected to enforce their own methods.
 func DebugMux(r *Registry, extra map[string]http.Handler) *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.Handle("/metrics", r.Handler())
-	mux.Handle("/vars", r.JSONHandler())
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain")
-		io.WriteString(w, "ok\n")
-	})
+	mux.Handle("/metrics", getOnly(r.Handler()))
+	mux.Handle("/vars", getOnly(r.JSONHandler()))
+	mux.Handle("/healthz", getOnly(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, "{\"status\":\"ok\"}\n")
+	})))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

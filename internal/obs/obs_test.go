@@ -2,6 +2,8 @@ package obs
 
 import (
 	"encoding/json"
+	"io"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -197,7 +199,7 @@ func TestHTTPHandlers(t *testing.T) {
 	for _, tc := range []struct{ path, wantBody, wantType string }{
 		{"/metrics", "dsud_up_total 1", "text/plain; version=0.0.4; charset=utf-8"},
 		{"/vars", `"dsud_up_total": 1`, "application/json"},
-		{"/healthz", "ok", "text/plain"},
+		{"/healthz", `{"status":"ok"}`, "application/json"},
 	} {
 		req := httptest.NewRequest("GET", tc.path, nil)
 		rec := httptest.NewRecorder()
@@ -211,6 +213,18 @@ func TestHTTPHandlers(t *testing.T) {
 		if ct := rec.Header().Get("Content-Type"); ct != tc.wantType {
 			t.Errorf("%s: content-type %q, want %q", tc.path, ct, tc.wantType)
 		}
+		// The debug surface is read-only: mutating methods get 405.
+		for _, method := range []string{"POST", "PUT", "DELETE"} {
+			req := httptest.NewRequest(method, tc.path, nil)
+			rec := httptest.NewRecorder()
+			mux.ServeHTTP(rec, req)
+			if rec.Code != http.StatusMethodNotAllowed {
+				t.Errorf("%s %s: status %d, want 405", method, tc.path, rec.Code)
+			}
+			if allow := rec.Header().Get("Allow"); !strings.Contains(allow, "GET") {
+				t.Errorf("%s %s: Allow header %q", method, tc.path, allow)
+			}
+		}
 	}
 	// pprof index must answer (the full profile suite is stdlib-tested).
 	req := httptest.NewRequest("GET", "/debug/pprof/", nil)
@@ -218,6 +232,47 @@ func TestHTTPHandlers(t *testing.T) {
 	mux.ServeHTTP(rec, req)
 	if rec.Code != 200 {
 		t.Errorf("/debug/pprof/: status %d", rec.Code)
+	}
+}
+
+// Extra handlers must mount verbatim — at their exact path, untouched by
+// the mux's own method policy — and must not displace the built-ins.
+func TestDebugMuxExtraHandlers(t *testing.T) {
+	r := NewRegistry()
+	calls := 0
+	mux := DebugMux(r, map[string]http.Handler{
+		"/statusz": http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+			calls++
+			w.Header().Set("Content-Type", "application/json")
+			io.WriteString(w, `{"id":7}`)
+		}),
+		"/debug/flightz": http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+			if req.Method == http.MethodPost {
+				http.Error(w, "GET only", http.StatusMethodNotAllowed)
+				return
+			}
+			io.WriteString(w, `{}`)
+		}),
+	})
+
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/statusz", nil))
+	if rec.Code != 200 || rec.Body.String() != `{"id":7}` || calls != 1 {
+		t.Fatalf("/statusz: code %d body %q calls %d", rec.Code, rec.Body.String(), calls)
+	}
+
+	// The extra handler's own method policy applies, not the mux's.
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("POST", "/debug/flightz", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /debug/flightz: code %d, want 405", rec.Code)
+	}
+
+	// Built-ins still answer.
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/healthz alongside extras: code %d", rec.Code)
 	}
 }
 

@@ -74,6 +74,21 @@ func (t *Tree) Dims() int { return t.dims }
 // Len returns the number of tuples stored.
 func (t *Tree) Len() int { return t.size }
 
+// Height returns the tree's height in levels (1 = a single leaf root).
+// Leaf depth is uniform (CheckInvariants enforces it), so walking the
+// first child at each level suffices.
+func (t *Tree) Height() int {
+	h := 0
+	for n := t.root; n != nil; {
+		h++
+		if n.leaf || len(n.entries) == 0 {
+			break
+		}
+		n = n.entries[0].child
+	}
+	return h
+}
+
 // leafEntry builds the entry wrapping one tuple.
 func leafEntry(tu uncertain.Tuple) entry {
 	return entry{

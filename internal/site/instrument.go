@@ -7,7 +7,7 @@ import (
 
 // maxKind mirrors the transport Kind enum bound for array-indexed per-kind
 // instruments (index 0 unused; kinds start at 1).
-const maxKind = int(transport.KindReplicate)
+const maxKind = int(transport.KindStatus)
 
 // Instrument registers the engine's operational metrics with reg and
 // starts measuring request handling. Gauges read live engine state at

@@ -15,9 +15,11 @@ import (
 	"fmt"
 	"log/slog"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/prtree"
 	"repro/internal/synopsis"
 	"repro/internal/transport"
@@ -36,6 +38,14 @@ type session struct {
 	sky []uncertain.SkylineMember
 	// pruned counts local skyline tuples discarded by feedback.
 	pruned int
+	// shipped counts representatives handed to the coordinator; start
+	// stamps session creation. Both feed the flight record written when
+	// the session ends.
+	shipped int
+	start   int64 // UnixNano
+	// queryID is the trace-derived query identifier the session was
+	// initialised under (0 = untraced), for flight-record correlation.
+	queryID uint64
 }
 
 // Engine is one local site. It implements transport.Handler so it can be
@@ -72,6 +82,29 @@ type Engine struct {
 	// SetLogger. Nil logger = no logging.
 	logger  *slog.Logger
 	slowReq time.Duration
+
+	// Health bookkeeping for KindStatus / /statusz. inFlight counts
+	// requests between Handle entry and exit (including those queued
+	// behind e.mu); requestsTotal counts requests ever entered;
+	// lastUpdate is the UnixNano of the last mutating operation (insert,
+	// delete, replicate; 0 = none since start). All three are atomics so
+	// they can be read without the engine lock.
+	start         time.Time
+	inFlight      atomic.Int64
+	requestsTotal atomic.Uint64
+	lastUpdate    atomic.Int64
+	// replicaVersion counts replica deltas applied (guarded by e.mu).
+	replicaVersion uint64
+
+	// flight, when set (SetFlightRecorder), receives one record per
+	// finished query session. Nil-safe, so no guard at the record site.
+	flight *flight.Recorder
+
+	// forceBadPrune is a test-only fault injection: when set,
+	// handleEvaluate prunes every dominated candidate regardless of the
+	// Observation-2 bound — an unsound prune the online auditor must
+	// catch as a false dismissal. Never set in production code paths.
+	forceBadPrune bool
 }
 
 // dedupState is one client's retry bookkeeping.
@@ -95,7 +128,35 @@ func New(id int, part uncertain.DB, dims, capacity int) *Engine {
 		index:    prtree.Bulk(part, dims, capacity),
 		sessions: make(map[uint64]*session),
 		dedup:    make(map[uint64]*dedupState),
+		start:    time.Now(),
 	}
+}
+
+// SetFlightRecorder attaches a flight recorder: every query session that
+// ends (KindEndQuery) leaves one record of what the site shipped and
+// pruned for it. A nil recorder (the default) disables recording.
+func (e *Engine) SetFlightRecorder(r *flight.Recorder) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.flight = r
+}
+
+// FlightRecorder returns the recorder attached with SetFlightRecorder
+// (nil when none), so daemons can dump it on shutdown.
+func (e *Engine) FlightRecorder() *flight.Recorder {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.flight
+}
+
+// TestingForceBadPrune injects an unsound Observation-2 prune: every
+// feedback-dominated candidate is discarded regardless of the
+// probability bound. It exists so tests can prove the online auditor
+// detects false dismissals; production code must never call it.
+func (e *Engine) TestingForceBadPrune(on bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.forceBadPrune = on
 }
 
 // ID returns the site's index, fixed at construction.
@@ -120,6 +181,9 @@ func (e *Engine) Handle(ctx context.Context, req *transport.Request) (*transport
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	e.inFlight.Add(1)
+	defer e.inFlight.Add(-1)
+	e.requestsTotal.Add(1)
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if req.Seq != 0 {
@@ -161,7 +225,10 @@ func (e *Engine) dispatch(req *transport.Request) (*transport.Response, error) {
 	case transport.KindEvaluate:
 		return e.handleEvaluate(req)
 	case transport.KindEndQuery:
-		delete(e.sessions, req.Session)
+		if s := e.sessions[req.Session]; s != nil {
+			e.recordSession(req.Session, s)
+			delete(e.sessions, req.Session)
+		}
 		return &transport.Response{}, nil
 	case transport.KindShipAll:
 		return e.handleShipAll()
@@ -181,6 +248,8 @@ func (e *Engine) dispatch(req *transport.Request) (*transport.Response, error) {
 		return e.handleSynopsis(req)
 	case transport.KindReplicate:
 		return e.handleReplicate(req)
+	case transport.KindStatus:
+		return &transport.Response{Status: e.statusLocked()}, nil
 	default:
 		return nil, fmt.Errorf("site %d: unknown request kind %v", e.id, req.Kind)
 	}
@@ -199,7 +268,12 @@ func (e *Engine) handleInit(req *transport.Request) (*transport.Response, error)
 	sp := e.startSpan("prtree-search")
 	sky := e.index.LocalSkyline(req.Query.Threshold, req.Query.Dims)
 	sp.end(int64(len(sky)), 0)
-	e.sessions[req.Session] = &session{query: req.Query, sky: sky}
+	e.sessions[req.Session] = &session{
+		query:   req.Query,
+		sky:     sky,
+		start:   time.Now().UnixNano(),
+		queryID: req.Trace.TraceID,
+	}
 	return e.handleNext(req)
 }
 
@@ -214,9 +288,32 @@ func (e *Engine) handleNext(req *transport.Request) (*transport.Response, error)
 	}
 	head := s.sky[0]
 	s.sky = s.sky[1:]
+	s.shipped++
 	return &transport.Response{
 		Rep: transport.Representative{Tuple: head.Tuple, LocalProb: head.Prob},
 	}, nil
+}
+
+// recordSession writes the flight record for a finished query session.
+// Caller holds e.mu.
+func (e *Engine) recordSession(id uint64, s *session) {
+	if e.flight == nil {
+		return
+	}
+	rec := flight.Record{
+		QueryID:     s.queryID,
+		Session:     id,
+		Threshold:   s.query.Threshold,
+		Start:       s.start,
+		ElapsedNS:   time.Now().UnixNano() - s.start,
+		Outcome:     flight.OutcomeOK,
+		Results:     s.shipped,
+		PrunedLocal: s.pruned,
+		TuplesUp:    int64(s.shipped),
+	}
+	rec.AddSiteCost(e.id, int64(s.shipped), int64(s.pruned))
+	rec.Sites = e.id + 1
+	e.flight.Record(&rec)
 }
 
 // handleEvaluate answers a feedback broadcast: report this site's eq. 9
@@ -250,7 +347,7 @@ func (e *Engine) handleEvaluate(req *transport.Request) (*transport.Response, er
 		kept := s.sky[:0]
 		for _, cand := range s.sky {
 			if feed.Tuple.Dominates(cand.Tuple, dims) &&
-				cand.Prob*homeFactor < s.query.Threshold {
+				(e.forceBadPrune || cand.Prob*homeFactor < s.query.Threshold) {
 				pruned++
 				continue
 			}
@@ -283,6 +380,7 @@ func (e *Engine) handleInsert(req *transport.Request) (*transport.Response, erro
 		return nil, fmt.Errorf("site %d: bad insert: %w", e.id, err)
 	}
 	e.index.Insert(req.Tuple)
+	e.lastUpdate.Store(time.Now().UnixNano())
 	local := e.index.SkyProb(req.Tuple, req.Query.Dims)
 	resp := &transport.Response{
 		Rep: transport.Representative{Tuple: req.Tuple, LocalProb: local},
@@ -320,6 +418,8 @@ func (e *Engine) handleReplicate(req *transport.Request) (*transport.Response, e
 		}
 		e.replica[rep.Tuple.ID] = rep.Tuple.Clone()
 	}
+	e.replicaVersion++
+	e.lastUpdate.Store(time.Now().UnixNano())
 	sp.end(int64(len(req.Tuples)), 0)
 	return &transport.Response{Size: len(e.replica)}, nil
 }
@@ -329,6 +429,7 @@ func (e *Engine) handleDelete(req *transport.Request) (*transport.Response, erro
 	if err := e.index.Delete(req.ID, req.Point); err != nil {
 		return nil, fmt.Errorf("site %d: delete %d: %w", e.id, req.ID, err)
 	}
+	e.lastUpdate.Store(time.Now().UnixNano())
 	return &transport.Response{}, nil
 }
 

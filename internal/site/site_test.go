@@ -343,6 +343,12 @@ func TestStatusEndpoint(t *testing.T) {
 	if st.ID != 7 || st.Tuples != 42 || st.Sessions != 1 || st.ReplicaSize != 0 {
 		t.Fatalf("status = %+v", st)
 	}
+	if st.TreeHeight < 1 {
+		t.Fatalf("tree height = %d, want >= 1", st.TreeHeight)
+	}
+	if st.StartUnixNano == 0 || st.UptimeSeconds < 0 {
+		t.Fatalf("uptime fields = %d, %v", st.StartUnixNano, st.UptimeSeconds)
+	}
 	srv := httptest.NewServer(eng.StatusHandler())
 	defer srv.Close()
 	resp, err := http.Get(srv.URL)
@@ -350,11 +356,16 @@ func TestStatusEndpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var got Status
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content-type %q", ct)
+	}
+	var got transport.SiteStatus
 	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
 		t.Fatal(err)
 	}
-	if got != st {
+	// Uptime advances between the two snapshots; compare stable fields.
+	if got.ID != st.ID || got.Tuples != st.Tuples || got.Sessions != st.Sessions ||
+		got.TreeHeight != st.TreeHeight || got.StartUnixNano != st.StartUnixNano {
 		t.Fatalf("http status %+v, want %+v", got, st)
 	}
 	post, err := http.Post(srv.URL, "text/plain", nil)

@@ -3,44 +3,54 @@ package site
 import (
 	"encoding/json"
 	"net/http"
+	"time"
+
+	"repro/internal/transport"
 )
 
-// Status is the site's operational snapshot, served as JSON by
-// StatusHandler for monitoring.
-type Status struct {
-	// ID is the site index.
-	ID int `json:"id"`
-	// Tuples is the partition size.
-	Tuples int `json:"tuples"`
-	// Sessions is the number of live query sessions.
-	Sessions int `json:"sessions"`
-	// ReplicaSize is the size of the SKY(H) replica (0 when replication
-	// is off).
-	ReplicaSize int `json:"replica_size"`
-}
-
-// Status returns the current operational snapshot.
-func (e *Engine) Status() Status {
+// Status returns the site's operational snapshot — the same struct
+// answered to transport.KindStatus, so the ops endpoint and the protocol
+// health probe can never disagree.
+func (e *Engine) Status() transport.SiteStatus {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return Status{
-		ID:          e.id,
-		Tuples:      e.index.Len(),
-		Sessions:    len(e.sessions),
-		ReplicaSize: len(e.replica),
+	return *e.statusLocked()
+}
+
+// statusLocked builds the snapshot; caller holds e.mu. inFlight counts
+// this request itself (it entered Handle), which is the honest view: a
+// probe observing "1 in flight" is watching itself be served.
+func (e *Engine) statusLocked() *transport.SiteStatus {
+	now := time.Now()
+	return &transport.SiteStatus{
+		ID:                 e.id,
+		Tuples:             e.index.Len(),
+		TreeHeight:         e.index.Height(),
+		Sessions:           len(e.sessions),
+		InFlight:           int(e.inFlight.Load()),
+		ReplicaSize:        len(e.replica),
+		ReplicaVersion:     e.replicaVersion,
+		StartUnixNano:      e.start.UnixNano(),
+		UptimeSeconds:      now.Sub(e.start).Seconds(),
+		LastUpdateUnixNano: e.lastUpdate.Load(),
+		RequestsTotal:      e.requestsTotal.Load(),
 	}
 }
 
-// StatusHandler serves the snapshot as JSON — mount it on an ops port
-// next to the TCP protocol listener (see cmd/dsud-site -http).
+// StatusHandler serves the snapshot as JSON — mount it at /statusz on
+// the ops port next to the TCP protocol listener (see cmd/dsud-site
+// -http). GET/HEAD only.
 func (e *Engine) StatusHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodGet {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
 			http.Error(w, "GET only", http.StatusMethodNotAllowed)
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
-		if err := json.NewEncoder(w).Encode(e.Status()); err != nil {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(e.Status()); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})

@@ -1,0 +1,109 @@
+package site
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/obs/flight"
+	"repro/internal/transport"
+	"repro/internal/uncertain"
+)
+
+// Status fields must stay consistent under concurrent mutation — run
+// with -race. Writers hammer inserts, replicate deltas and query
+// sessions while readers snapshot Status and probe KindStatus through
+// the protocol.
+func TestStatusUnderConcurrentUpdates(t *testing.T) {
+	r := rand.New(rand.NewSource(83))
+	eng := New(3, randomPart(r, 64, 2), 2, 0)
+	eng.SetFlightRecorder(flight.New(8))
+	ctx := context.Background()
+
+	const writers = 4
+	const opsPerWriter = 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < opsPerWriter; i++ {
+				id := uncertain.TupleID(10_000 + w*opsPerWriter + i)
+				tu := uncertain.Tuple{ID: id, Point: geom.Point{0.5, 0.5}, Prob: 0.5}
+				if _, err := eng.Handle(ctx, &transport.Request{
+					Kind: transport.KindInsert, Tuple: tu, Query: transport.Query{Threshold: 0.3},
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := eng.Handle(ctx, &transport.Request{
+					Kind:   transport.KindReplicate,
+					Tuples: []transport.Representative{{Tuple: tu}},
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+				sid := uint64(w*opsPerWriter + i + 1)
+				if _, err := eng.Handle(ctx, &transport.Request{
+					Kind: transport.KindInit, Session: sid,
+					Query: transport.Query{Threshold: 0.3},
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := eng.Handle(ctx, &transport.Request{
+					Kind: transport.KindEndQuery, Session: sid,
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for alive := true; alive; {
+		select {
+		case <-done:
+			alive = false
+		default:
+		}
+		st := eng.Status()
+		if st.ID != 3 || st.Tuples < 64 || st.InFlight < 0 || st.UptimeSeconds < 0 {
+			t.Fatalf("inconsistent status under load: %+v", st)
+		}
+		resp, err := eng.Handle(ctx, &transport.Request{Kind: transport.KindStatus})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Status == nil {
+			t.Fatal("KindStatus returned no status")
+		}
+		// The probe itself is in flight while the snapshot is taken.
+		if resp.Status.InFlight < 1 {
+			t.Fatalf("in_flight = %d, want >= 1 (the probe itself)", resp.Status.InFlight)
+		}
+	}
+
+	st := eng.Status()
+	wantTuples := 64 + writers*opsPerWriter
+	if st.Tuples != wantTuples {
+		t.Fatalf("tuples = %d, want %d", st.Tuples, wantTuples)
+	}
+	if st.ReplicaVersion != uint64(writers*opsPerWriter) {
+		t.Fatalf("replica version = %d, want %d", st.ReplicaVersion, writers*opsPerWriter)
+	}
+	if st.LastUpdateUnixNano == 0 {
+		t.Fatal("last update never stamped")
+	}
+	if st.RequestsTotal == 0 || st.Sessions != 0 {
+		t.Fatalf("requests=%d sessions=%d", st.RequestsTotal, st.Sessions)
+	}
+	// Every ended session left one flight record.
+	if got := eng.FlightRecorder().Total(); got != uint64(writers*opsPerWriter) {
+		t.Fatalf("flight records = %d, want %d", got, writers*opsPerWriter)
+	}
+}

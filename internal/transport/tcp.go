@@ -9,6 +9,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // wireRequest frames a Request for the TCP transport.
@@ -35,6 +36,10 @@ type Server struct {
 	conns    map[net.Conn]struct{}
 	wg       sync.WaitGroup
 	closed   bool
+	// draining makes per-connection loops exit after the in-flight
+	// request (if any) completes, instead of waiting for the next one —
+	// the graceful half of Shutdown.
+	draining atomic.Bool
 }
 
 // NewServer returns a server for h. meter may be nil; when set, wire bytes
@@ -99,7 +104,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	for {
 		var wreq wireRequest
 		if err := dec.Decode(&wreq); err != nil {
-			return // EOF or broken peer; either way this connection is done
+			return // EOF, broken peer, or a drain deadline; the connection is done
 		}
 		resp, err := s.handler.Handle(context.Background(), &wreq.Req)
 		var wresp wireResponse
@@ -111,6 +116,65 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err := enc.Encode(&wresp); err != nil {
 			return
 		}
+		if s.draining.Load() {
+			// Shutdown in progress: the request that was in flight has
+			// been answered; stop reading and let the peer redial
+			// elsewhere.
+			return
+		}
+	}
+}
+
+// Shutdown stops the server gracefully: the listener closes (no new
+// connections), every idle connection is woken and closed, connections
+// with a request in flight finish handling and answering it, and
+// Shutdown blocks until all per-connection goroutines have exited or ctx
+// expires — in which case the stragglers are closed hard, exactly as
+// Close would. Requests that were only partially received when the
+// drain began are dropped unanswered ("stop accepting requests").
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.draining.Store(true)
+	lis := s.listener
+	// Wake connections blocked in Decode waiting for a request that will
+	// never be served: an immediate read deadline errors the pending read
+	// while leaving in-flight handlers free to write their response.
+	for conn := range s.conns {
+		conn.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+
+	var err error
+	if lis != nil {
+		err = lis.Close()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return err
+	case <-ctx.Done():
+		// Give up on the drain: hard-close the stragglers' connections
+		// and return without waiting — a handler stuck in user code can
+		// never be forced out, and its goroutine will exit on its own
+		// when the handler returns and the response write fails.
+		s.mu.Lock()
+		for conn := range s.conns {
+			conn.Close()
+		}
+		s.mu.Unlock()
+		if err == nil {
+			err = ctx.Err()
+		}
+		return err
 	}
 }
 

@@ -59,6 +59,14 @@ const (
 	// plus removals. Sites use the replica to reject hopeless inserts
 	// without a global evaluation round.
 	KindReplicate
+	// KindStatus asks the site for its operational snapshot (uptime,
+	// partition and index shape, replica version, in-flight requests) —
+	// the protocol-level health probe behind dsud-query -cluster-status.
+	// Appended after the PR-1..3 kinds so existing wire values are
+	// unchanged; an old site answers it with an unknown-kind error, which
+	// the coordinator's health aggregation reports as unreachable-status
+	// rather than failing.
+	KindStatus
 )
 
 func (k Kind) String() string {
@@ -85,6 +93,8 @@ func (k Kind) String() string {
 		return "end-query"
 	case KindReplicate:
 		return "replicate"
+	case KindStatus:
+		return "status"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -198,11 +208,48 @@ type Response struct {
 	// Synopsis answers KindSynopsis.
 	Synopsis *synopsis.Histogram
 
+	// Status answers KindStatus. Nil from peers that predate the health
+	// probe (gob simply omits the field).
+	Status *SiteStatus
+
 	// TraceBlob carries the site's completed spans and per-phase
 	// bandwidth ledger for this request, encoded with
 	// codec.AppendSpanBatch. Nil unless the request's Trace was sampled;
 	// nil from peers that predate distributed tracing.
 	TraceBlob []byte
+}
+
+// SiteStatus is one site's operational snapshot, answered to KindStatus
+// and served as JSON at /statusz. Field names are wire-stable: the
+// struct crosses both gob (protocol) and JSON (ops endpoints).
+type SiteStatus struct {
+	// ID is the site index the daemon was started with.
+	ID int `json:"id"`
+	// Tuples is the partition size; TreeHeight the PR-tree's height in
+	// levels (1 = a single leaf root).
+	Tuples     int `json:"tuples"`
+	TreeHeight int `json:"tree_height"`
+	// Sessions is the number of live query sessions.
+	Sessions int `json:"sessions"`
+	// InFlight is the number of requests currently being handled
+	// (including queued behind the engine lock).
+	InFlight int `json:"in_flight"`
+	// ReplicaSize is the size of the SKY(H) replica (0 when replication
+	// is off); ReplicaVersion counts replica deltas applied, so the
+	// coordinator can spot a stale replica by comparing versions across
+	// sites.
+	ReplicaSize    int    `json:"replica_size"`
+	ReplicaVersion uint64 `json:"replica_version"`
+	// StartUnixNano is the engine's construction time; UptimeSeconds is
+	// derived from it at snapshot time.
+	StartUnixNano int64   `json:"start_unix_nano"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// LastUpdateUnixNano is the time of the last mutating operation
+	// (insert, delete, replicate); 0 = never updated since start.
+	LastUpdateUnixNano int64 `json:"last_update_unix_nano,omitempty"`
+	// RequestsTotal counts requests executed since start (replays served
+	// from the dedup cache included).
+	RequestsTotal uint64 `json:"requests_total"`
 }
 
 // Client is the coordinator's handle to one site.

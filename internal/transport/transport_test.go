@@ -228,6 +228,101 @@ func TestTCPRoundTrip(t *testing.T) {
 	}
 }
 
+// blockingHandler parks every request until released, signalling entry.
+type blockingHandler struct {
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (h *blockingHandler) Handle(_ context.Context, _ *Request) (*Response, error) {
+	h.entered <- struct{}{}
+	<-h.release
+	return &Response{Size: 99}, nil
+}
+
+// Shutdown must let an in-flight request finish and answer, then close
+// the connection, while idle connections are released immediately.
+func TestServerShutdownDrainsInFlight(t *testing.T) {
+	h := &blockingHandler{entered: make(chan struct{}, 1), release: make(chan struct{})}
+	addr, srv := startServer(t, h, nil)
+
+	busy, err := Dial(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer busy.Close()
+	// A second connection stays idle — its server goroutine is parked in
+	// Decode and Shutdown must wake it without waiting.
+	idle, err := Dial(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idle.Close()
+	type result struct {
+		resp *Response
+		err  error
+	}
+	got := make(chan result, 1)
+	go func() {
+		resp, err := busy.Call(context.Background(), &Request{Kind: KindNext})
+		got <- result{resp, err}
+	}()
+	<-h.entered // the request is now inside the handler
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		shutdownDone <- srv.Shutdown(ctx)
+	}()
+	// Shutdown must be waiting on the in-flight handler, not killing it.
+	select {
+	case r := <-got:
+		t.Fatalf("call finished before release: %+v", r)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(h.release)
+	r := <-got
+	if r.err != nil {
+		t.Fatalf("in-flight call failed during drain: %v", r.err)
+	}
+	if r.resp.Size != 99 {
+		t.Fatalf("in-flight response = %+v", r.resp)
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	// The drained server accepts nothing new.
+	if _, err := Dial(addr, nil); err == nil {
+		t.Fatal("dial after shutdown must fail")
+	}
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatalf("second shutdown must be a no-op: %v", err)
+	}
+}
+
+// Shutdown with an expired context falls back to a hard close and
+// reports the context error.
+func TestServerShutdownTimeout(t *testing.T) {
+	h := &blockingHandler{entered: make(chan struct{}, 1), release: make(chan struct{})}
+	addr, srv := startServer(t, h, nil)
+	c, err := Dial(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	go c.Call(context.Background(), &Request{Kind: KindNext})
+	<-h.entered
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	err = srv.Shutdown(ctx)
+	close(h.release) // unblock the handler goroutine so wg.Wait returns
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("shutdown err = %v, want deadline exceeded", err)
+	}
+}
+
 func TestTCPHandlerError(t *testing.T) {
 	h := &echoHandler{err: errors.New("site exploded")}
 	addr, _ := startServer(t, h, nil)
