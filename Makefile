@@ -20,7 +20,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/obs/... ./internal/transport ./internal/core ./internal/stream ./internal/site ./internal/audit
+	$(GO) test -race ./internal/codec ./internal/obs/... ./internal/transport ./internal/core ./internal/stream ./internal/site ./internal/audit
 
 # Full benchmark sweep (several minutes). Writes bench_output.txt.
 bench:
@@ -38,9 +38,11 @@ bench-baseline:
 	$(GO) run ./cmd/dsud-bench $(BENCH_SMOKE) -bench-json testdata/bench-baseline.json
 
 # Compare the latest artifact against the committed baseline with the
-# CI thresholds (tight on counts, loose on cross-machine wall time).
+# CI thresholds (tight on counts, loose on cross-machine wall time, and
+# a loose floor on the mux-over-serial throughput speedup — locally the
+# margin at 8 clients is >2x, but shared CI runners are noisy).
 benchdiff: bench-json
-	$(GO) run ./cmd/dsud-benchdiff -time-threshold 10 testdata/bench-baseline.json BENCH_dsud.json
+	$(GO) run ./cmd/dsud-benchdiff -time-threshold 10 -min-mux-speedup 1.5 testdata/bench-baseline.json BENCH_dsud.json
 
 # Cross-check every engine against every oracle.
 verify:

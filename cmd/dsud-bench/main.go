@@ -63,6 +63,7 @@ func run() int {
 		benchIters  = flag.Int("bench-iters", 5, "measured runs per algorithm behind each bench-json distribution")
 		benchWarmup = flag.Int("bench-warmup", 1, "unmeasured warmup runs per algorithm before measuring (-1 = none)")
 		benchCap    = flag.Int("bench-cap", experiments.DefaultBenchCap, "cardinality cap for the bench-json artifact (-n above this is clamped)")
+		concurrency = flag.String("concurrency", "1,4,8", "comma-separated client counts for the bench-json transport throughput section (empty = skip the section)")
 		profileDir  = flag.String("profile-dir", "", "write cpu.pprof/heap.pprof/mutex.pprof here; enables per-phase pprof labels")
 	)
 	flag.Parse()
@@ -151,6 +152,15 @@ func run() int {
 			Logf: func(format string, args ...any) {
 				fmt.Fprintf(os.Stderr, "dsud-bench: "+format, args...)
 			},
+			SkipThroughput: *concurrency == "",
+		}
+		if *concurrency != "" {
+			levels, err := parseConcurrency(*concurrency)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dsud-bench: -concurrency: %v\n", err)
+				return 2
+			}
+			opts.Concurrency = levels
 		}
 		f, err := os.Create(*benchJSON)
 		if err != nil {
@@ -171,6 +181,20 @@ func run() int {
 		}
 	}
 	return 0
+}
+
+// parseConcurrency parses a comma-separated list of positive client
+// counts for the throughput section.
+func parseConcurrency(s string) ([]int, error) {
+	var levels []int
+	for _, part := range strings.Split(s, ",") {
+		var c int
+		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &c); err != nil || c <= 0 {
+			return nil, fmt.Errorf("bad client count %q (want positive integers, e.g. 1,4,8)", part)
+		}
+		levels = append(levels, c)
+	}
+	return levels, nil
 }
 
 // startProfiling begins CPU profiling into dir and flips on the

@@ -35,6 +35,7 @@ func run() int {
 		timeThreshold = flag.Float64("time-threshold", 0.25, "relative significance floor for wall-time metrics")
 		cvScale       = flag.Float64("cv-scale", 3, "noise scaling: limit = max(floor, cv-scale × max CV)")
 		quiet         = flag.Bool("quiet", false, "suppress the markdown table; exit status only")
+		minMuxSpeedup = flag.Float64("min-mux-speedup", 0, "fail unless the new artifact's highest-concurrency throughput shows at least this mux-over-serial speedup (0 = no gate)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: dsud-benchdiff [flags] old.json new.json\n")
@@ -72,9 +73,27 @@ func run() int {
 			return 2
 		}
 	}
+	status := 0
 	if n := perf.Regressions(deltas); n > 0 {
 		fmt.Fprintf(os.Stderr, "dsud-benchdiff: %d significant regression(s)\n", n)
-		return 1
+		status = 1
 	}
-	return 0
+	if *minMuxSpeedup > 0 {
+		tr := newA.MaxThroughput()
+		switch {
+		case tr == nil:
+			fmt.Fprintf(os.Stderr, "dsud-benchdiff: -min-mux-speedup: new artifact carries no throughput section (run dsud-bench with -concurrency)\n")
+			return 2
+		case tr.Speedup < *minMuxSpeedup:
+			fmt.Fprintf(os.Stderr, "dsud-benchdiff: mux speedup %.2fx at %d client(s) is below the %.2fx gate\n",
+				tr.Speedup, tr.Concurrency, *minMuxSpeedup)
+			status = 1
+		default:
+			if !*quiet {
+				fmt.Printf("\nmux throughput gate: %.2fx at %d client(s) ≥ %.2fx ✔\n",
+					tr.Speedup, tr.Concurrency, *minMuxSpeedup)
+			}
+		}
+	}
+	return status
 }

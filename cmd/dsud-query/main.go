@@ -71,7 +71,7 @@ func main() {
 		if d <= 0 {
 			d = 1
 		}
-		cluster, err := dsq.NewRemoteCluster(strings.Split(*addrs, ","), d)
+		cluster, err := dsq.Connect(dsq.ClusterConfig{Addrs: strings.Split(*addrs, ","), Dims: d})
 		if err != nil {
 			fatalf("%v", err)
 		}
@@ -107,22 +107,24 @@ func main() {
 		}
 	}
 
-	cluster, err := dsq.NewRemoteCluster(strings.Split(*addrs, ","), *dims)
-	if err != nil {
-		fatalf("%v", err)
-	}
-	defer cluster.Close()
-
 	// The coordinator-side flight recorder is always on; -flight-dir
 	// additionally enables dumps (slow queries, audit violations, exit).
 	fr := dsq.NewFlightRecorder(*flightSize)
 	if *flightDir != "" {
 		fr.SetDumpDir(*flightDir)
 	}
-	cluster.SetFlightRecorder(fr)
-
 	reg := dsq.NewMetrics()
-	cluster.Instrument(reg)
+
+	cluster, err := dsq.Connect(dsq.ClusterConfig{
+		Addrs:          strings.Split(*addrs, ","),
+		Dims:           *dims,
+		Metrics:        reg,
+		FlightRecorder: fr,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer cluster.Close()
 	if *debugAddr != "" {
 		lis, err := net.Listen("tcp", *debugAddr)
 		if err != nil {
@@ -161,7 +163,7 @@ func main() {
 			fmt.Printf("skyline %s  P=%.4f  (site %d)\n", res.Tuple.Point, res.GlobalProb, res.Site)
 		}
 	}
-	report, qstats, err := dsq.QueryWithStats(ctx, cluster, opts)
+	report, qstats, err := cluster.QueryWithStats(ctx, opts)
 	if err != nil {
 		finalSnapshot(fr, reg, *flightDir)
 		fatalf("query: %v", err)

@@ -47,6 +47,8 @@ func main() {
 		flightDir  = flag.String("flight-dir", "", "directory for flight-recorder dumps (slow queries, audit failures, shutdown)")
 		flightSize = flag.Int("flight-size", flight.DefaultSize, "flight-recorder ring capacity in query records")
 		drain      = flag.Duration("drain", 10*time.Second, "how long shutdown waits for in-flight requests before closing hard")
+		conc       = flag.Int("concurrency", transport.DefaultWorkerLimit, "max requests served concurrently per multiplexed (wire v2) connection")
+		legacyWire = flag.Bool("legacy-wire", false, "refuse the multiplexed wire protocol and serve every client over the v1 gob stream (emulates a pre-mux daemon)")
 	)
 	flag.Parse()
 	if *data == "" {
@@ -90,6 +92,10 @@ func main() {
 		fatalf("listen: %v", err)
 	}
 	srv := transport.NewServer(eng, nil)
+	if *conc > 0 {
+		srv.SetWorkerLimit(*conc)
+	}
+	srv.SetLegacyOnly(*legacyWire)
 	fmt.Printf("dsud-site %d serving %d tuples (%d dims) on %s\n", *id, len(part), dims, lis.Addr())
 
 	if *httpAddr != "" {

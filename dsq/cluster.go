@@ -1,0 +1,106 @@
+package dsq
+
+import (
+	"context"
+
+	"repro/internal/core"
+)
+
+// Cluster construction and querying. Connect is the single constructor;
+// Cluster.Query and Cluster.QueryWithStats are the query entry points;
+// NewMaintainer keeps an answer current under updates. The remaining
+// functions in this file are deprecated wrappers kept for existing
+// callers.
+
+type (
+	// Cluster is a handle to a set of sites (in-process or remote). One
+	// Cluster safely serves many concurrent Query calls: each query gets
+	// its own site sessions and its own exact bandwidth accounting, and
+	// over TCP the requests of concurrent queries pipeline on one
+	// multiplexed connection per site.
+	Cluster = core.Cluster
+	// ClusterConfig describes a cluster for Connect: where the sites are
+	// (in-process Partitions or remote TCP Addrs — exactly one), the data
+	// dimensionality, transport behaviour (RetryAttempts, DisableMux) and
+	// observability attachments (Logger, Metrics, FlightRecorder).
+	ClusterConfig = core.ClusterConfig
+	// QueryStats aggregates one query's observability record: the
+	// per-phase timing trace and the bandwidth meter delta, alongside the
+	// algorithm that ran. Produced by Cluster.QueryWithStats.
+	QueryStats = core.QueryStats
+	// Maintainer keeps a query answer current under inserts and deletes.
+	Maintainer = core.Maintainer
+)
+
+// ErrConfig reports an invalid ClusterConfig passed to Connect.
+var ErrConfig = core.ErrConfig
+
+// Connect validates cfg and builds the cluster: one in-process site
+// engine per cfg.Partitions entry, or one TCP connection per cfg.Addrs
+// daemon. Remote connections negotiate the multiplexed v2 wire protocol
+// and fall back per site to the legacy protocol when a daemon predates
+// it. Close the cluster when done.
+func Connect(cfg ClusterConfig) (*Cluster, error) {
+	return core.Open(cfg)
+}
+
+// NewMaintainer runs the initial query and returns a maintainer that keeps
+// the answer current while tuples are inserted and deleted (§5.4).
+func NewMaintainer(ctx context.Context, cluster *Cluster, opts Options) (*Maintainer, error) {
+	return core.NewMaintainer(ctx, cluster, opts)
+}
+
+// QueryPartitions is a convenience one-shot: build an in-process cluster
+// over parts, run the query, and tear the cluster down.
+func QueryPartitions(ctx context.Context, parts []DB, dims int, opts Options) (*Report, error) {
+	cluster, err := Connect(ClusterConfig{Partitions: parts, Dims: dims})
+	if err != nil {
+		return nil, err
+	}
+	defer cluster.Close()
+	return cluster.Query(ctx, opts)
+}
+
+// NewLocalCluster runs one in-process site per partition. dims is the data
+// dimensionality. Partitions must have unique tuple IDs across all sites.
+//
+// Deprecated: use Connect(ClusterConfig{Partitions: parts, Dims: dims}).
+func NewLocalCluster(parts []DB, dims int) (*Cluster, error) {
+	return Connect(ClusterConfig{Partitions: parts, Dims: dims})
+}
+
+// NewRemoteCluster connects to TCP site daemons (see cmd/dsud-site).
+//
+// Deprecated: use Connect(ClusterConfig{Addrs: addrs, Dims: dims}).
+func NewRemoteCluster(addrs []string, dims int) (*Cluster, error) {
+	return Connect(ClusterConfig{Addrs: addrs, Dims: dims})
+}
+
+// NewRemoteClusterRetry connects to TCP site daemons with fault tolerance:
+// broken connections are redialled and in-flight requests are retried with
+// exactly-once execution at the sites (sequence-number dedup). attempts is
+// the per-request retry budget.
+//
+// Deprecated: use Connect(ClusterConfig{Addrs: addrs, Dims: dims,
+// RetryAttempts: attempts}).
+func NewRemoteClusterRetry(addrs []string, dims, attempts int) (*Cluster, error) {
+	return Connect(ClusterConfig{Addrs: addrs, Dims: dims, RetryAttempts: attempts})
+}
+
+// Query executes one distributed skyline query. It blocks until the answer
+// is complete; qualified tuples additionally stream through
+// opts.OnResult as they are found.
+//
+// Deprecated: use cluster.Query(ctx, opts).
+func Query(ctx context.Context, cluster *Cluster, opts Options) (*Report, error) {
+	return cluster.Query(ctx, opts)
+}
+
+// QueryWithStats is Query plus a populated QueryStats. If opts.Trace is
+// nil a private trace is attached for the duration of the call;
+// otherwise the caller's trace is used (and remains readable live).
+//
+// Deprecated: use cluster.QueryWithStats(ctx, opts).
+func QueryWithStats(ctx context.Context, cluster *Cluster, opts Options) (*Report, *QueryStats, error) {
+	return cluster.QueryWithStats(ctx, opts)
+}

@@ -15,36 +15,44 @@
 // # Quick start
 //
 //	parts := []dsq.DB{site0Tuples, site1Tuples, site2Tuples}
-//	cluster, err := dsq.NewLocalCluster(parts, 2)
+//	cluster, err := dsq.Connect(dsq.ClusterConfig{Partitions: parts, Dims: 2})
 //	if err != nil { ... }
 //	defer cluster.Close()
-//	report, err := dsq.Query(ctx, cluster, dsq.Options{Threshold: 0.3})
+//	report, err := cluster.Query(ctx, dsq.Options{Threshold: 0.3})
 //	for _, m := range report.Skyline {
 //		fmt.Println(m.Tuple, m.Prob)
 //	}
 //
+// Connect and Cluster.Query are the two entry points: Connect builds a
+// cluster from one ClusterConfig (in-process partitions or remote TCP
+// daemons, retry budget, observability attachments), and Query runs one
+// query against it. Clusters serve many concurrent Query calls; over TCP
+// the connections speak a multiplexed wire protocol so concurrent queries
+// pipeline on one connection per site (see docs/TRANSPORT.md).
+//
 // Results stream progressively through Options.OnResult, and
 // Report.Bandwidth exposes the communication cost in tuples, messages and
-// (over TCP) bytes. Sites may run in-process (NewLocalCluster) or as
-// remote TCP daemons (NewRemoteCluster with cmd/dsud-site).
+// (over TCP) bytes.
+//
+// # Surface
+//
+// The API is split by concern:
+//
+//   - cluster.go: building clusters (Connect, ClusterConfig) and running
+//     queries (Cluster.Query, Cluster.QueryWithStats, NewMaintainer).
+//   - workload.go: synthetic workload generation and partitioning (§7 of
+//     the paper), vertical partitioning, and sliding-window streams.
+//   - observe.go: traces, metrics, structured logs, flight recording,
+//     online auditing and cluster health.
+//
+// This file holds the data model and the centralised reference
+// computations.
 package dsq
 
 import (
-	"context"
-	"io"
-	"log/slog"
-	"time"
-
-	"repro/internal/audit"
 	"repro/internal/core"
-	"repro/internal/gen"
 	"repro/internal/geom"
-	"repro/internal/obs"
-	"repro/internal/obs/flight"
-	"repro/internal/stream"
-	"repro/internal/transport"
 	"repro/internal/uncertain"
-	"repro/internal/vertical"
 )
 
 // Core data model. These alias the engine's own types, so values flow
@@ -79,12 +87,6 @@ type (
 	Report = core.Report
 	// ProgressPoint is one step of the progressiveness trace.
 	ProgressPoint = core.ProgressPoint
-	// BandwidthSnapshot holds tuple/message/byte counters.
-	BandwidthSnapshot = transport.Snapshot
-	// Cluster is a handle to a set of sites (in-process or remote).
-	Cluster = core.Cluster
-	// Maintainer keeps a query answer current under inserts and deletes.
-	Maintainer = core.Maintainer
 )
 
 // Algorithms.
@@ -103,41 +105,6 @@ const (
 	SDSUD = core.SDSUD
 )
 
-// NewLocalCluster runs one in-process site per partition. dims is the data
-// dimensionality. Partitions must have unique tuple IDs across all sites.
-func NewLocalCluster(parts []DB, dims int) (*Cluster, error) {
-	return core.NewLocalCluster(parts, dims, 0)
-}
-
-// NewRemoteCluster connects to TCP site daemons (see cmd/dsud-site).
-func NewRemoteCluster(addrs []string, dims int) (*Cluster, error) {
-	return core.NewRemoteCluster(addrs, dims)
-}
-
-// Query executes one distributed skyline query. It blocks until the answer
-// is complete; qualified tuples additionally stream through
-// opts.OnResult as they are found.
-func Query(ctx context.Context, cluster *Cluster, opts Options) (*Report, error) {
-	return core.Run(ctx, cluster, opts)
-}
-
-// QueryPartitions is a convenience one-shot: build an in-process cluster
-// over parts, run the query, and tear the cluster down.
-func QueryPartitions(ctx context.Context, parts []DB, dims int, opts Options) (*Report, error) {
-	cluster, err := NewLocalCluster(parts, dims)
-	if err != nil {
-		return nil, err
-	}
-	defer cluster.Close()
-	return Query(ctx, cluster, opts)
-}
-
-// NewMaintainer runs the initial query and returns a maintainer that keeps
-// the answer current while tuples are inserted and deleted (§5.4).
-func NewMaintainer(ctx context.Context, cluster *Cluster, opts Options) (*Maintainer, error) {
-	return core.NewMaintainer(ctx, cluster, opts)
-}
-
 // SkylineProbability computes the exact skyline probability of tuple t
 // against db (eq. 3 of the paper) — a convenience for small, centralised
 // checks and tests.
@@ -149,246 +116,4 @@ func SkylineProbability(t Tuple, db DB, dims []int) float64 {
 // by brute force — the centralised special case of the query.
 func CentralSkyline(db DB, threshold float64, dims []int) []SkylineMember {
 	return db.Skyline(threshold, dims)
-}
-
-// Workload generation (the paper's §7 evaluation data).
-type (
-	// WorkloadConfig parameterises synthetic data generation.
-	WorkloadConfig = gen.Config
-	// ValueDist selects the spatial distribution of attribute values.
-	ValueDist = gen.ValueDist
-	// ProbDist selects the existential-probability distribution.
-	ProbDist = gen.ProbDist
-)
-
-// Workload distributions.
-const (
-	// Independent draws every attribute uniformly at random.
-	Independent = gen.Independent
-	// Anticorrelated concentrates points near an anti-diagonal
-	// hyperplane, the hardest skyline regime.
-	Anticorrelated = gen.Anticorrelated
-	// Correlated hugs the main diagonal, the easiest regime.
-	Correlated = gen.Correlated
-	// NYSE synthesises a stock-trade stream (price, volume-complement).
-	NYSE = gen.NYSE
-	// UniformProb draws existential probabilities uniformly on (0,1].
-	UniformProb = gen.UniformProb
-	// GaussianProb draws probabilities from a clamped Gaussian.
-	GaussianProb = gen.GaussianProb
-)
-
-// GenerateWorkload materialises a synthetic uncertain database.
-func GenerateWorkload(cfg WorkloadConfig) (DB, error) {
-	return gen.Generate(cfg)
-}
-
-// PartitionWorkload splits db uniformly over m sites with equal local
-// cardinality (±1), deterministically for a given seed.
-func PartitionWorkload(db DB, m int, seed int64) ([]DB, error) {
-	return gen.Partition(db, m, seed)
-}
-
-// Vertical partitioning (the paper's §8 future work, implemented here as
-// the VDSUD algorithm — see internal/vertical for the design).
-type (
-	// VerticalSite holds one attribute list of a vertically partitioned
-	// relation, sorted ascending by value.
-	VerticalSite = vertical.ListSite
-	// VerticalStats is the entry-level access accounting of one vertical
-	// query.
-	VerticalStats = vertical.Stats
-)
-
-// SplitVertical projects db into one attribute-list site per dimension.
-func SplitVertical(db DB) ([]*VerticalSite, error) {
-	return vertical.Split(db)
-}
-
-// QueryVertical runs the probabilistic skyline query over a vertically
-// partitioned relation with a Threshold-Algorithm-style bounded scan,
-// returning the exact answer and the access statistics.
-func QueryVertical(sites []*VerticalSite, threshold float64) ([]SkylineMember, VerticalStats, error) {
-	return vertical.Query(sites, threshold)
-}
-
-// Continuous queries over uncertain streams (the §2.2 streaming setting).
-
-// SlidingWindow maintains the probabilistic skyline over the most recent
-// W tuples of an uncertain stream with a minimal candidate set.
-type SlidingWindow = stream.Window
-
-// NewSlidingWindow builds a continuous skyline operator over a window of
-// the given capacity with threshold q and optional subspace dims.
-func NewSlidingWindow(capacity int, threshold float64, dims []int) (*SlidingWindow, error) {
-	return stream.New(capacity, threshold, dims)
-}
-
-// NewRemoteClusterRetry connects to TCP site daemons with fault tolerance:
-// broken connections are redialled and in-flight requests are retried with
-// exactly-once execution at the sites (sequence-number dedup). attempts is
-// the per-request retry budget.
-func NewRemoteClusterRetry(addrs []string, dims, attempts int) (*Cluster, error) {
-	return core.NewRemoteClusterRetry(addrs, dims, attempts)
-}
-
-// Protocol observability.
-type (
-	// Event is one traced protocol step (see Options.OnEvent).
-	Event = core.Event
-	// EventKind labels protocol steps.
-	EventKind = core.EventKind
-	// Trace collects one query's phase timings, event tallies and
-	// time-to-result latencies (attach via Options.Trace, or use
-	// QueryWithStats). Safe to Summary() while the query runs.
-	Trace = core.Trace
-	// TraceSummary is a point-in-time snapshot of a Trace.
-	TraceSummary = core.TraceSummary
-	// Phase names one coordinator-side protocol phase.
-	Phase = core.Phase
-	// PhaseStat is the span count and total wall time of one phase.
-	PhaseStat = core.PhaseStat
-	// Metrics is a process-wide metrics registry: counters, gauges and
-	// histograms with Prometheus text and JSON exposition. Pass it to
-	// Cluster.Instrument and serve Metrics.Handler() at /metrics.
-	Metrics = obs.Registry
-	// SpanRecord is one completed span on a cross-site timeline
-	// (TraceSummary.Timeline): coordinator phases and site-side work,
-	// clock-normalised into coordinator time, each carrying its slice of
-	// the bandwidth ledger. Export the whole timeline with
-	// TraceSummary.WriteChromeTrace (Perfetto-loadable JSON).
-	SpanRecord = obs.SpanRecord
-)
-
-// QueryID renders a trace identifier as the 16-hex-digit query_id used
-// to correlate coordinator logs, site logs and exported timelines.
-func QueryID(traceID uint64) string { return obs.QueryID(traceID) }
-
-// NewLogger builds a structured logger writing to w in the given format
-// ("text" or "json") at the given minimum level. Attach it via
-// Options.Logger and site Engine.SetLogger for query-ID-correlated logs.
-func NewLogger(w io.Writer, format string, level slog.Level) (*slog.Logger, error) {
-	return obs.NewLogger(w, format, level)
-}
-
-// ParseLogLevel parses "debug", "info", "warn" or "error" (empty =
-// info) into a slog level, for wiring -log-level style flags.
-func ParseLogLevel(s string) (slog.Level, error) { return obs.ParseLogLevel(s) }
-
-// Protocol event kinds.
-const (
-	// EventToServer: a site shipped a representative to the coordinator.
-	EventToServer = core.EventToServer
-	// EventExpunge: e-DSUD dropped a queued tuple without broadcast.
-	EventExpunge = core.EventExpunge
-	// EventBroadcast: a feedback tuple went out to the other sites.
-	EventBroadcast = core.EventBroadcast
-	// EventPrune: sites discarded local skyline tuples.
-	EventPrune = core.EventPrune
-	// EventReport: a tuple qualified and joined the answer.
-	EventReport = core.EventReport
-	// EventReject: a broadcast tuple fell short of the threshold.
-	EventReject = core.EventReject
-	// EventRefill: a site was asked for its next representative.
-	EventRefill = core.EventRefill
-	// EventFeedbackSelect: the coordinator picked the next feedback tuple.
-	EventFeedbackSelect = core.EventFeedbackSelect
-)
-
-// Protocol phases, for indexing TraceSummary.Phases.
-const (
-	// PhaseToServer: representatives shipping up (Init + refills).
-	PhaseToServer = core.PhaseToServer
-	// PhaseFeedbackSelect: bound recomputation, expunging and selection.
-	PhaseFeedbackSelect = core.PhaseFeedbackSelect
-	// PhaseServerDelivery: the Evaluate broadcast round trips.
-	PhaseServerDelivery = core.PhaseServerDelivery
-	// PhaseLocalPruning: folding the sites' factors into the verdict.
-	PhaseLocalPruning = core.PhaseLocalPruning
-)
-
-// NewTrace returns an empty per-query trace for Options.Trace.
-func NewTrace() *Trace { return core.NewTrace() }
-
-// NewMetrics returns an empty metrics registry.
-func NewMetrics() *Metrics { return obs.NewRegistry() }
-
-// QueryStats aggregates one query's observability record: the per-phase
-// timing trace and the bandwidth meter delta, alongside the algorithm
-// that ran.
-type QueryStats struct {
-	// Algorithm is the algorithm that executed (the default resolved).
-	Algorithm Algorithm
-	// Trace holds phase spans, event tallies, iteration count and the
-	// time-to-first/k-th-result series.
-	Trace TraceSummary
-	// Bandwidth is the tuple/message/byte cost of this query.
-	Bandwidth BandwidthSnapshot
-}
-
-// QueryWithStats is Query plus a populated QueryStats. If opts.Trace is
-// nil a private trace is attached for the duration of the call;
-// otherwise the caller's trace is used (and remains readable live).
-func QueryWithStats(ctx context.Context, cluster *Cluster, opts Options) (*Report, *QueryStats, error) {
-	if opts.Trace == nil {
-		opts.Trace = core.NewTrace()
-	}
-	rep, err := core.Run(ctx, cluster, opts)
-	if err != nil {
-		return nil, nil, err
-	}
-	algo := opts.Algorithm
-	if algo == 0 {
-		algo = EDSUD
-	}
-	return rep, &QueryStats{
-		Algorithm: algo,
-		Trace:     opts.Trace.Summary(),
-		Bandwidth: rep.Bandwidth,
-	}, nil
-}
-
-// Cluster health, flight recording and online auditing.
-type (
-	// SiteHealth is one site's health-probe outcome: a status snapshot,
-	// or the error that prevented one (see Cluster.Health).
-	SiteHealth = core.SiteHealth
-	// SiteStatus is a site daemon's self-reported health snapshot.
-	SiteStatus = transport.SiteStatus
-	// FlightRecorder is an always-on ring buffer of recent per-query
-	// records, dumpable after the fact (attach via
-	// Cluster.SetFlightRecorder, serve Handler() at /debug/flightz).
-	FlightRecorder = flight.Recorder
-	// FlightRecord is one entry of the flight recorder's ring.
-	FlightRecord = flight.Record
-	// Auditor samples completed queries and re-checks the paper's
-	// invariants against exact and Monte-Carlo oracles.
-	Auditor = audit.Auditor
-	// AuditConfig tunes an Auditor; the zero value plus a Fraction works.
-	AuditConfig = audit.Config
-	// AuditOutcome summarises one audited query.
-	AuditOutcome = audit.Outcome
-	// AuditViolation is one failed invariant check.
-	AuditViolation = audit.Violation
-)
-
-// NewFlightRecorder returns a flight recorder holding the most recent
-// size query records (size <= 0 selects the default of 256).
-func NewFlightRecorder(size int) *FlightRecorder { return flight.New(size) }
-
-// NewAuditor builds an online invariant auditor. reg may be nil.
-func NewAuditor(cfg AuditConfig, reg *Metrics) *Auditor { return audit.New(cfg, reg) }
-
-// WriteClusterStatus renders a Cluster.Health sweep as a table and
-// returns the number of healthy sites (the dsud-query -cluster-status
-// output).
-func WriteClusterStatus(w io.Writer, healths []SiteHealth, now time.Time) int {
-	return core.WriteClusterStatus(w, healths, now)
-}
-
-// PartitionWorkloadAngular splits db over m sites by angular sectors
-// (the paper's reference [21]); compared with the random split it trims
-// query bandwidth measurably (see EXPERIMENTS.md). Needs d >= 2.
-func PartitionWorkloadAngular(db DB, m int) ([]DB, error) {
-	return gen.PartitionAngular(db, m)
 }

@@ -8,6 +8,79 @@ import (
 	"repro/dsq"
 )
 
+// The one-shot query through the consolidated entry points: Connect
+// builds the cluster from one config, Cluster.Query runs the query.
+func ExampleConnect() {
+	parts := []dsq.DB{
+		{{ID: 1, Point: dsq.Point{2.0, 3.0}, Prob: 0.9}},
+		{{ID: 2, Point: dsq.Point{3.0, 2.0}, Prob: 0.6}},
+		{{ID: 3, Point: dsq.Point{4.0, 4.0}, Prob: 0.8}},
+	}
+	cluster, err := dsq.Connect(dsq.ClusterConfig{Partitions: parts, Dims: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	report, err := cluster.Query(context.Background(), dsq.Options{Threshold: 0.3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// (2,3) and (3,2) are mutually incomparable and keep their existential
+	// probabilities; (4,4) is dominated by both, leaving it
+	// 0.8×(1−0.9)×(1−0.6) = 0.032 < 0.3.
+	for _, m := range report.Skyline {
+		fmt.Printf("%s P=%.2f\n", m.Tuple.Point, m.Prob)
+	}
+	// Output:
+	// (2, 3) P=0.90
+	// (3, 2) P=0.60
+}
+
+// A maintained query: the answer stays current as tuples are inserted
+// and deleted, without re-running the query from scratch (§5.4).
+func ExampleNewMaintainer() {
+	parts := []dsq.DB{
+		{{ID: 1, Point: dsq.Point{5, 5}, Prob: 0.9}},
+		{{ID: 2, Point: dsq.Point{8, 8}, Prob: 0.8}},
+	}
+	cluster, err := dsq.Connect(dsq.ClusterConfig{Partitions: parts, Dims: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	ctx := context.Background()
+	m, err := dsq.NewMaintainer(ctx, cluster, dsq.Options{Threshold: 0.3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	show := func(label string) {
+		for _, member := range m.Skyline() {
+			fmt.Printf("%s: %s P=%.2f\n", label, member.Tuple.Point, member.Prob)
+		}
+	}
+	// Initially (5,5) qualifies alone: it caps (8,8) at 0.8×0.1 = 0.08.
+	show("initial")
+
+	// A dominating insert displaces it...
+	strong := dsq.Tuple{ID: 3, Point: dsq.Point{1, 1}, Prob: 0.95}
+	if err := m.Insert(ctx, 1, strong); err != nil {
+		log.Fatal(err)
+	}
+	show("insert ")
+
+	// ...and deleting the newcomer restores it.
+	if err := m.Delete(ctx, 1, strong); err != nil {
+		log.Fatal(err)
+	}
+	show("delete ")
+	// Output:
+	// initial: (5, 5) P=0.90
+	// insert : (1, 1) P=0.95
+	// delete : (5, 5) P=0.90
+}
+
 // The minimal end-to-end query: three sites, one uncertain tuple each.
 func ExampleQuery() {
 	parts := []dsq.DB{

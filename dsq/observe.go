@@ -1,0 +1,137 @@
+package dsq
+
+import (
+	"io"
+	"log/slog"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/obs/flight"
+	"repro/internal/transport"
+)
+
+// Protocol observability: per-query traces, process metrics, structured
+// logs, flight recording, online invariant auditing and cluster health.
+
+type (
+	// Event is one traced protocol step (see Options.OnEvent).
+	Event = core.Event
+	// EventKind labels protocol steps.
+	EventKind = core.EventKind
+	// Trace collects one query's phase timings, event tallies and
+	// time-to-result latencies (attach via Options.Trace, or use
+	// Cluster.QueryWithStats). Safe to Summary() while the query runs.
+	Trace = core.Trace
+	// TraceSummary is a point-in-time snapshot of a Trace.
+	TraceSummary = core.TraceSummary
+	// Phase names one coordinator-side protocol phase.
+	Phase = core.Phase
+	// PhaseStat is the span count and total wall time of one phase.
+	PhaseStat = core.PhaseStat
+	// BandwidthSnapshot holds tuple/message/byte counters.
+	BandwidthSnapshot = transport.Snapshot
+	// Metrics is a process-wide metrics registry: counters, gauges and
+	// histograms with Prometheus text and JSON exposition. Pass it to
+	// ClusterConfig.Metrics and serve Metrics.Handler() at /metrics.
+	Metrics = obs.Registry
+	// SpanRecord is one completed span on a cross-site timeline
+	// (TraceSummary.Timeline): coordinator phases and site-side work,
+	// clock-normalised into coordinator time, each carrying its slice of
+	// the bandwidth ledger. Export the whole timeline with
+	// TraceSummary.WriteChromeTrace (Perfetto-loadable JSON).
+	SpanRecord = obs.SpanRecord
+)
+
+// Protocol event kinds.
+const (
+	// EventToServer: a site shipped a representative to the coordinator.
+	EventToServer = core.EventToServer
+	// EventExpunge: e-DSUD dropped a queued tuple without broadcast.
+	EventExpunge = core.EventExpunge
+	// EventBroadcast: a feedback tuple went out to the other sites.
+	EventBroadcast = core.EventBroadcast
+	// EventPrune: sites discarded local skyline tuples.
+	EventPrune = core.EventPrune
+	// EventReport: a tuple qualified and joined the answer.
+	EventReport = core.EventReport
+	// EventReject: a broadcast tuple fell short of the threshold.
+	EventReject = core.EventReject
+	// EventRefill: a site was asked for its next representative.
+	EventRefill = core.EventRefill
+	// EventFeedbackSelect: the coordinator picked the next feedback tuple.
+	EventFeedbackSelect = core.EventFeedbackSelect
+)
+
+// Protocol phases, for indexing TraceSummary.Phases.
+const (
+	// PhaseToServer: representatives shipping up (Init + refills).
+	PhaseToServer = core.PhaseToServer
+	// PhaseFeedbackSelect: bound recomputation, expunging and selection.
+	PhaseFeedbackSelect = core.PhaseFeedbackSelect
+	// PhaseServerDelivery: the Evaluate broadcast round trips.
+	PhaseServerDelivery = core.PhaseServerDelivery
+	// PhaseLocalPruning: folding the sites' factors into the verdict.
+	PhaseLocalPruning = core.PhaseLocalPruning
+)
+
+// NewTrace returns an empty per-query trace for Options.Trace.
+func NewTrace() *Trace { return core.NewTrace() }
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// QueryID renders a trace identifier as the 16-hex-digit query_id used
+// to correlate coordinator logs, site logs and exported timelines.
+func QueryID(traceID uint64) string { return obs.QueryID(traceID) }
+
+// NewLogger builds a structured logger writing to w in the given format
+// ("text" or "json") at the given minimum level. Attach it via
+// ClusterConfig.Logger (or per-query Options.Logger) and site
+// Engine.SetLogger for query-ID-correlated logs.
+func NewLogger(w io.Writer, format string, level slog.Level) (*slog.Logger, error) {
+	return obs.NewLogger(w, format, level)
+}
+
+// ParseLogLevel parses "debug", "info", "warn" or "error" (empty =
+// info) into a slog level, for wiring -log-level style flags.
+func ParseLogLevel(s string) (slog.Level, error) { return obs.ParseLogLevel(s) }
+
+// Cluster health, flight recording and online auditing.
+type (
+	// SiteHealth is one site's health-probe outcome: a status snapshot,
+	// or the error that prevented one (see Cluster.Health).
+	SiteHealth = core.SiteHealth
+	// SiteStatus is a site daemon's self-reported health snapshot.
+	SiteStatus = transport.SiteStatus
+	// FlightRecorder is an always-on ring buffer of recent per-query
+	// records, dumpable after the fact (attach via
+	// ClusterConfig.FlightRecorder, serve Handler() at /debug/flightz).
+	FlightRecorder = flight.Recorder
+	// FlightRecord is one entry of the flight recorder's ring.
+	FlightRecord = flight.Record
+	// Auditor samples completed queries and re-checks the paper's
+	// invariants against exact and Monte-Carlo oracles.
+	Auditor = audit.Auditor
+	// AuditConfig tunes an Auditor; the zero value plus a Fraction works.
+	AuditConfig = audit.Config
+	// AuditOutcome summarises one audited query.
+	AuditOutcome = audit.Outcome
+	// AuditViolation is one failed invariant check.
+	AuditViolation = audit.Violation
+)
+
+// NewFlightRecorder returns a flight recorder holding the most recent
+// size query records (size <= 0 selects the default of 256).
+func NewFlightRecorder(size int) *FlightRecorder { return flight.New(size) }
+
+// NewAuditor builds an online invariant auditor. reg may be nil.
+func NewAuditor(cfg AuditConfig, reg *Metrics) *Auditor { return audit.New(cfg, reg) }
+
+// WriteClusterStatus renders a Cluster.Health sweep as a table and
+// returns the number of healthy sites (the dsud-query -cluster-status
+// output).
+func WriteClusterStatus(w io.Writer, healths []SiteHealth, now time.Time) int {
+	return core.WriteClusterStatus(w, healths, now)
+}

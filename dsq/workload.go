@@ -1,0 +1,88 @@
+package dsq
+
+import (
+	"repro/internal/gen"
+	"repro/internal/stream"
+	"repro/internal/vertical"
+)
+
+// Workload generation (the paper's §7 evaluation data), vertical
+// partitioning (§8 future work) and continuous queries over uncertain
+// streams (§2.2).
+
+type (
+	// WorkloadConfig parameterises synthetic data generation.
+	WorkloadConfig = gen.Config
+	// ValueDist selects the spatial distribution of attribute values.
+	ValueDist = gen.ValueDist
+	// ProbDist selects the existential-probability distribution.
+	ProbDist = gen.ProbDist
+)
+
+// Workload distributions.
+const (
+	// Independent draws every attribute uniformly at random.
+	Independent = gen.Independent
+	// Anticorrelated concentrates points near an anti-diagonal
+	// hyperplane, the hardest skyline regime.
+	Anticorrelated = gen.Anticorrelated
+	// Correlated hugs the main diagonal, the easiest regime.
+	Correlated = gen.Correlated
+	// NYSE synthesises a stock-trade stream (price, volume-complement).
+	NYSE = gen.NYSE
+	// UniformProb draws existential probabilities uniformly on (0,1].
+	UniformProb = gen.UniformProb
+	// GaussianProb draws probabilities from a clamped Gaussian.
+	GaussianProb = gen.GaussianProb
+)
+
+// GenerateWorkload materialises a synthetic uncertain database.
+func GenerateWorkload(cfg WorkloadConfig) (DB, error) {
+	return gen.Generate(cfg)
+}
+
+// PartitionWorkload splits db uniformly over m sites with equal local
+// cardinality (±1), deterministically for a given seed.
+func PartitionWorkload(db DB, m int, seed int64) ([]DB, error) {
+	return gen.Partition(db, m, seed)
+}
+
+// PartitionWorkloadAngular splits db over m sites by angular sectors
+// (the paper's reference [21]); compared with the random split it trims
+// query bandwidth measurably (see EXPERIMENTS.md). Needs d >= 2.
+func PartitionWorkloadAngular(db DB, m int) ([]DB, error) {
+	return gen.PartitionAngular(db, m)
+}
+
+// Vertical partitioning (the paper's §8 future work, implemented here as
+// the VDSUD algorithm — see internal/vertical for the design).
+type (
+	// VerticalSite holds one attribute list of a vertically partitioned
+	// relation, sorted ascending by value.
+	VerticalSite = vertical.ListSite
+	// VerticalStats is the entry-level access accounting of one vertical
+	// query.
+	VerticalStats = vertical.Stats
+)
+
+// SplitVertical projects db into one attribute-list site per dimension.
+func SplitVertical(db DB) ([]*VerticalSite, error) {
+	return vertical.Split(db)
+}
+
+// QueryVertical runs the probabilistic skyline query over a vertically
+// partitioned relation with a Threshold-Algorithm-style bounded scan,
+// returning the exact answer and the access statistics.
+func QueryVertical(sites []*VerticalSite, threshold float64) ([]SkylineMember, VerticalStats, error) {
+	return vertical.Query(sites, threshold)
+}
+
+// SlidingWindow maintains the probabilistic skyline over the most recent
+// W tuples of an uncertain stream with a minimal candidate set.
+type SlidingWindow = stream.Window
+
+// NewSlidingWindow builds a continuous skyline operator over a window of
+// the given capacity with threshold q and optional subspace dims.
+func NewSlidingWindow(capacity int, threshold float64, dims []int) (*SlidingWindow, error) {
+	return stream.New(capacity, threshold, dims)
+}

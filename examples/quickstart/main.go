@@ -38,14 +38,14 @@ func main() {
 		},
 	}
 
-	cluster, err := dsq.NewLocalCluster(parts, 2)
+	cluster, err := dsq.Connect(dsq.ClusterConfig{Partitions: parts, Dims: 2})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer cluster.Close()
 
 	fmt.Println("progressive results:")
-	report, err := dsq.Query(context.Background(), cluster, dsq.Options{
+	report, err := cluster.Query(context.Background(), dsq.Options{
 		Threshold: 0.3,
 		OnResult: func(res dsq.Result) {
 			fmt.Printf("  found %s with P(skyline) = %.3f (site %d)\n",

@@ -1,0 +1,163 @@
+package codec
+
+// Wire protocol v2 frames. The v1 site protocol is a bare gob stream —
+// one request, one response, strictly alternating — which forces one
+// in-flight RPC per connection. v2 wraps each message in a
+// length-prefixed frame carrying a request ID, so many RPCs can be
+// pipelined over a single TCP connection and responses may return out
+// of order. The layout reuses this package's conventions (version byte
+// up front, CRC-32 trailer):
+//
+//	length  u32 LE   — byte count of everything after this field
+//	version u8       — FrameVersion
+//	type    u8       — FrameRequest | FrameResponse | FrameCancel
+//	id      u64 LE   — request identifier, echoed on the response
+//	payload bytes    — opaque body (the transport's gob message)
+//	crc32   u32 LE   — IEEE CRC of version..payload
+//
+// A connection opts into v2 with a 5-byte handshake (MuxHandshake): the
+// magic's first byte 0xD5 can never begin a gob stream (gob message
+// lengths start 0x00–0x7F or 0xF8–0xFF), so a v2 hello is unambiguous
+// to a server, and a v1-only server rejects it immediately rather than
+// hanging — the client then falls back to the gob protocol.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// FrameVersion is the wire protocol generation carried in every frame
+// and in the handshake (v1 is the unframed gob protocol).
+const FrameVersion = 2
+
+// MuxMagic opens the v2 handshake. The leading 0xD5 is outside both
+// ranges a gob stream can start with, so the two protocols cannot be
+// confused on the wire.
+var MuxMagic = [4]byte{0xD5, 'S', 'Q', '2'}
+
+// MuxHandshake is the full 5-byte hello a v2 client sends at dial time;
+// a v2 server echoes it back verbatim as the accept.
+func MuxHandshake() [5]byte {
+	return [5]byte{MuxMagic[0], MuxMagic[1], MuxMagic[2], MuxMagic[3], FrameVersion}
+}
+
+// FrameType discriminates v2 frames.
+type FrameType uint8
+
+// Frame types.
+const (
+	// FrameRequest carries one gob-encoded request; id is
+	// caller-assigned and unique per in-flight request.
+	FrameRequest FrameType = 1
+	// FrameResponse carries one gob-encoded response; id echoes the
+	// request it answers.
+	FrameResponse FrameType = 2
+	// FrameCancel tells the peer the identified request was abandoned;
+	// it has no payload and receives no reply. Best-effort: the
+	// response may already be in flight, in which case it is dropped at
+	// the receiver.
+	FrameCancel FrameType = 3
+)
+
+func (t FrameType) String() string {
+	switch t {
+	case FrameRequest:
+		return "request"
+	case FrameResponse:
+		return "response"
+	case FrameCancel:
+		return "cancel"
+	default:
+		return fmt.Sprintf("FrameType(%d)", uint8(t))
+	}
+}
+
+// frameOverhead is the framed byte cost beyond the payload: the length
+// prefix plus version, type, id and CRC.
+const frameOverhead = 4 + frameHeaderLen + 4
+
+// frameHeaderLen is version + type + id.
+const frameHeaderLen = 1 + 1 + 8
+
+// MaxFramePayload bounds a frame's payload so a corrupt or hostile
+// length prefix cannot force a giant allocation. Partitions shipped
+// whole (KindShipAll at paper scale) stay well under this.
+const MaxFramePayload = 1 << 30
+
+// ErrFrame reports a structurally invalid or corrupt v2 frame.
+var ErrFrame = errors.New("codec: corrupt frame")
+
+// Frame is one decoded v2 frame. Payload aliases the decode buffer.
+type Frame struct {
+	Type    FrameType
+	ID      uint64
+	Payload []byte
+}
+
+// AppendFrame appends the framed encoding of (t, id, payload) to dst
+// and returns the extended slice.
+func AppendFrame(dst []byte, t FrameType, id uint64, payload []byte) []byte {
+	body := frameHeaderLen + len(payload) + 4
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(body))
+	start := len(dst)
+	dst = append(dst, FrameVersion, byte(t))
+	dst = binary.LittleEndian.AppendUint64(dst, id)
+	dst = append(dst, payload...)
+	crc := crc32.ChecksumIEEE(dst[start : len(dst)])
+	return binary.LittleEndian.AppendUint32(dst, crc)
+}
+
+// FrameBytes returns the wire size of a frame with the given payload
+// length — what a meter should charge for it.
+func FrameBytes(payloadLen int) int { return payloadLen + frameOverhead }
+
+// DecodeFrameBody parses the post-length portion of a frame (version
+// through CRC). It validates the version and checksum and never
+// panics, whatever the input.
+func DecodeFrameBody(body []byte) (Frame, error) {
+	if len(body) < frameHeaderLen+4 {
+		return Frame{}, fmt.Errorf("%w: body %d bytes, need >= %d", ErrFrame, len(body), frameHeaderLen+4)
+	}
+	payloadEnd := len(body) - 4
+	if got, want := binary.LittleEndian.Uint32(body[payloadEnd:]), crc32.ChecksumIEEE(body[:payloadEnd]); got != want {
+		return Frame{}, fmt.Errorf("%w: checksum mismatch", ErrFrame)
+	}
+	if body[0] != FrameVersion {
+		return Frame{}, fmt.Errorf("%w: version %d (this build speaks %d)", ErrFrame, body[0], FrameVersion)
+	}
+	return Frame{
+		Type:    FrameType(body[1]),
+		ID:      binary.LittleEndian.Uint64(body[2:10]),
+		Payload: body[frameHeaderLen:payloadEnd],
+	}, nil
+}
+
+// ReadFrame reads one complete frame from r, returning the frame and
+// the total wire bytes consumed. A clean EOF before the first length
+// byte returns io.EOF unwrapped, so connection teardown is
+// distinguishable from corruption mid-frame.
+func ReadFrame(r io.Reader) (Frame, int, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		if err == io.EOF {
+			return Frame{}, 0, io.EOF
+		}
+		return Frame{}, 0, fmt.Errorf("%w: length prefix: %v", ErrFrame, err)
+	}
+	body := binary.LittleEndian.Uint32(lenBuf[:])
+	if body < frameHeaderLen+4 || body > MaxFramePayload+frameHeaderLen+4 {
+		return Frame{}, 0, fmt.Errorf("%w: implausible frame length %d", ErrFrame, body)
+	}
+	buf := make([]byte, body)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return Frame{}, 0, fmt.Errorf("%w: truncated frame (%d byte body): %v", ErrFrame, body, err)
+	}
+	fr, err := DecodeFrameBody(buf)
+	if err != nil {
+		return Frame{}, 0, err
+	}
+	return fr, 4 + int(body), nil
+}

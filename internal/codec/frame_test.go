@@ -1,0 +1,139 @@
+package codec
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{nil, {}, {0}, []byte("hello"), bytes.Repeat([]byte{0xAB}, 4096)}
+	ids := []uint64{0, 1, 1 << 40, ^uint64(0)}
+	types := []FrameType{FrameRequest, FrameResponse, FrameCancel}
+	var wire []byte
+	var want []Frame
+	for i, p := range payloads {
+		ft := types[i%len(types)]
+		id := ids[i%len(ids)]
+		wire = AppendFrame(wire, ft, id, p)
+		want = append(want, Frame{Type: ft, ID: id, Payload: p})
+	}
+	r := bytes.NewReader(wire)
+	total := 0
+	for i, w := range want {
+		fr, n, err := ReadFrame(r)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if fr.Type != w.Type || fr.ID != w.ID || !bytes.Equal(fr.Payload, w.Payload) {
+			t.Fatalf("frame %d: got %+v want %+v", i, fr, w)
+		}
+		if n != FrameBytes(len(w.Payload)) {
+			t.Fatalf("frame %d: consumed %d bytes, FrameBytes says %d", i, n, FrameBytes(len(w.Payload)))
+		}
+		total += n
+	}
+	if total != len(wire) {
+		t.Fatalf("consumed %d of %d wire bytes", total, len(wire))
+	}
+	if _, _, err := ReadFrame(r); err != io.EOF {
+		t.Fatalf("exhausted stream: want io.EOF, got %v", err)
+	}
+}
+
+func TestFrameCorruption(t *testing.T) {
+	frame := AppendFrame(nil, FrameRequest, 42, []byte("payload"))
+
+	// Every single-bit flip must fail the checksum (or the structural
+	// checks) — never decode silently wrong, never panic.
+	for i := 4; i < len(frame); i++ { // skip the length prefix: handled below
+		corrupt := append([]byte(nil), frame...)
+		corrupt[i] ^= 0x01
+		if _, _, err := ReadFrame(bytes.NewReader(corrupt)); err == nil {
+			t.Fatalf("bit flip at byte %d decoded cleanly", i)
+		}
+	}
+
+	// A length prefix pointing past the buffer is a truncation error.
+	short := append([]byte(nil), frame...)
+	binary.LittleEndian.PutUint32(short[:4], uint32(len(frame)+100))
+	if _, _, err := ReadFrame(bytes.NewReader(short)); err == nil || errors.Is(err, io.EOF) {
+		t.Fatalf("oversized length prefix: want frame error, got %v", err)
+	}
+
+	// An implausibly large length must error before allocating.
+	huge := binary.LittleEndian.AppendUint32(nil, 1<<31)
+	if _, _, err := ReadFrame(bytes.NewReader(huge)); !errors.Is(err, ErrFrame) {
+		t.Fatalf("huge length: want ErrFrame, got %v", err)
+	}
+
+	// Truncation inside the body is an error, not EOF.
+	if _, _, err := ReadFrame(bytes.NewReader(frame[:len(frame)-3])); !errors.Is(err, ErrFrame) {
+		t.Fatalf("truncated body: want ErrFrame, got %v", err)
+	}
+	if _, _, err := ReadFrame(bytes.NewReader(frame[:2])); !errors.Is(err, ErrFrame) {
+		t.Fatalf("truncated length prefix: want ErrFrame, got %v", err)
+	}
+}
+
+func TestFrameVersionRejected(t *testing.T) {
+	frame := AppendFrame(nil, FrameResponse, 7, []byte("x"))
+	// Rewrite the version byte and fix the CRC so only the version check
+	// can object.
+	body := append([]byte(nil), frame[4:len(frame)-4]...)
+	body[0] = FrameVersion + 1
+	rebuilt := binary.LittleEndian.AppendUint32(nil, uint32(len(body)+4))
+	rebuilt = append(rebuilt, body...)
+	rebuilt = appendCRC(rebuilt, body)
+	_, _, err := ReadFrame(bytes.NewReader(rebuilt))
+	if !errors.Is(err, ErrFrame) || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("future version: want version error, got %v", err)
+	}
+}
+
+func TestMuxHandshakeDistinctFromGob(t *testing.T) {
+	h := MuxHandshake()
+	if h[4] != FrameVersion {
+		t.Fatalf("handshake carries version %d, want %d", h[4], FrameVersion)
+	}
+	// gob streams begin with a message length: a single byte 0x00–0x7F,
+	// or a negated byte count 0xF8–0xFF. The magic must be outside both.
+	if b := h[0]; b <= 0x7F || b >= 0xF8 {
+		t.Fatalf("handshake first byte %#x is a legal gob stream opener", b)
+	}
+}
+
+// FuzzDecodeFrame feeds arbitrary bytes through the frame reader: any
+// input must either decode to a self-consistent frame or return an
+// error — never panic, never over-read.
+func FuzzDecodeFrame(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(AppendFrame(nil, FrameRequest, 1, []byte("seed")))
+	f.Add(AppendFrame(nil, FrameCancel, 99, nil))
+	long := AppendFrame(nil, FrameResponse, 1<<50, bytes.Repeat([]byte("x"), 300))
+	f.Add(long)
+	f.Add(long[:7])
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0x7F})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, n, err := ReadFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if n > len(data) {
+			t.Fatalf("claimed to consume %d of %d bytes", n, len(data))
+		}
+		// A successful decode must re-encode to the exact consumed bytes.
+		again := AppendFrame(nil, fr.Type, fr.ID, fr.Payload)
+		if !bytes.Equal(again, data[:n]) {
+			t.Fatalf("re-encode mismatch:\n got %x\nwant %x", again, data[:n])
+		}
+	})
+}
+
+func appendCRC(dst, body []byte) []byte {
+	return binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(body))
+}

@@ -112,7 +112,11 @@ func TestQuerySurvivesLostResponses(t *testing.T) {
 
 // Without dedup (no Retry wrapper assigning sequence numbers), a replayed
 // Next would double-pop — this guard test documents why Seq exists: the
-// engine must replay, not re-execute, an identical sequence number.
+// engine must replay, not re-execute, an identical sequence number. The
+// dedup is windowed (site.DedupWindow) because concurrent mux callers
+// deliver sequences out of order: any cached sequence replays its
+// original outcome, unseen sequences above the eviction floor are first
+// deliveries, and only evicted sequences are refused.
 func TestSequenceDedupAtEngine(t *testing.T) {
 	parts, _ := makeWorkload(t, 100, 2, 1, gen.Independent, 140)
 	eng := site.New(0, parts[0], 2, 0)
@@ -141,8 +145,38 @@ func TestSequenceDedupAtEngine(t *testing.T) {
 	if fresh.Rep.Tuple.ID == first.Rep.Tuple.ID {
 		t.Fatal("a fresh sequence number must advance the stream")
 	}
+
+	// An old-but-cached sequence replays its original outcome — it must
+	// not re-execute and advance the stream.
+	if _, err := eng.Handle(ctx, &transport.Request{Seq: 1, Kind: transport.KindNext}); err != nil {
+		t.Fatalf("in-window old sequence must replay its cached outcome, got error: %v", err)
+	}
+	after, err := eng.Handle(ctx, &transport.Request{Seq: 4, Kind: transport.KindNext})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !after.Exhausted && (after.Rep.Tuple.ID == first.Rep.Tuple.ID || after.Rep.Tuple.ID == fresh.Rep.Tuple.ID) {
+		t.Fatal("replaying an old sequence must not consume a stream position")
+	}
+
+	// Sequences may arrive out of order (concurrent mux senders): an
+	// unseen sequence below the highest served one is a first delivery.
+	if _, err := eng.Handle(ctx, &transport.Request{Seq: 6, Kind: transport.KindNext}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Handle(ctx, &transport.Request{Seq: 5, Kind: transport.KindNext}); err != nil {
+		t.Fatalf("out-of-order first delivery must be served, got: %v", err)
+	}
+
+	// Push Seq 1 out of the dedup window; its retry must then be refused
+	// (never silently re-executed).
+	for s := uint64(7); s < uint64(site.DedupWindow)+10; s++ {
+		if _, err := eng.Handle(ctx, &transport.Request{Seq: s, Kind: transport.KindNext}); err != nil {
+			t.Fatalf("seq %d: %v", s, err)
+		}
+	}
 	if _, err := eng.Handle(ctx, &transport.Request{Seq: 1, Kind: transport.KindNext}); err == nil {
-		t.Fatal("stale sequence numbers must be rejected")
+		t.Fatal("sequences evicted from the dedup window must be rejected")
 	}
 }
 

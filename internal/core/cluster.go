@@ -6,6 +6,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"log/slog"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -13,7 +14,6 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/obs/flight"
-	"repro/internal/site"
 	"repro/internal/transport"
 	"repro/internal/uncertain"
 )
@@ -40,6 +40,10 @@ type Cluster struct {
 	// flight, when set (SetFlightRecorder), receives one record per
 	// completed query — success or failure. Nil-safe at the record site.
 	flight *flight.Recorder
+
+	// logger, when set (ClusterConfig.Logger), is the default query
+	// logger for runs whose Options carry none of their own.
+	logger *slog.Logger
 }
 
 // SetFlightRecorder attaches a flight recorder: every query Run executes
@@ -182,48 +186,30 @@ func newSessionBase() uint64 {
 // NewLocalCluster builds an in-process cluster: one site.Engine per
 // partition served over the local transport. dims is the data
 // dimensionality; capacity tunes the PR-tree fan-out (<4 = default).
+//
+// Deprecated-style wrapper: Open(ClusterConfig{Partitions: ...}) is the
+// consolidated constructor; this remains for existing callers.
 func NewLocalCluster(parts []uncertain.DB, dims, capacity int) (*Cluster, error) {
-	return NewLocalClusterLatency(parts, dims, capacity, 0)
+	return Open(ClusterConfig{Partitions: parts, Dims: dims, Capacity: capacity})
 }
 
 // NewLocalClusterLatency is NewLocalCluster with a simulated per-message
 // network round-trip latency, for studying progressiveness in the time
 // domain on one machine.
+//
+// Deprecated-style wrapper: see Open (ClusterConfig.Latency).
 func NewLocalClusterLatency(parts []uncertain.DB, dims, capacity int, latency time.Duration) (*Cluster, error) {
-	if len(parts) == 0 {
-		return nil, ErrNoSites
-	}
-	meter := &transport.Meter{}
-	clients := make([]transport.Client, len(parts))
-	for i, part := range parts {
-		if err := part.Validate(dims); err != nil {
-			return nil, fmt.Errorf("core: partition %d: %w", i, err)
-		}
-		eng := site.New(i, part, dims, capacity)
-		clients[i] = transport.Metered(transport.Delayed(transport.Local(eng), latency), meter)
-	}
-	return &Cluster{clients: clients, meter: meter, dims: dims, sessionBase: newSessionBase()}, nil
+	return Open(ClusterConfig{Partitions: parts, Dims: dims, Capacity: capacity, Latency: latency})
 }
 
 // NewRemoteCluster connects to already-running TCP site daemons. dims must
-// match the dimensionality the daemons were loaded with.
+// match the dimensionality the daemons were loaded with. Connections
+// negotiate wire v2 (multiplexed) and fall back to v1 per site.
+//
+// Deprecated-style wrapper: Open(ClusterConfig{Addrs: ...}) is the
+// consolidated constructor; this remains for existing callers.
 func NewRemoteCluster(addrs []string, dims int) (*Cluster, error) {
-	if len(addrs) == 0 {
-		return nil, ErrNoSites
-	}
-	meter := &transport.Meter{}
-	clients := make([]transport.Client, 0, len(addrs))
-	for _, addr := range addrs {
-		c, err := transport.Dial(addr, meter)
-		if err != nil {
-			for _, open := range clients {
-				open.Close()
-			}
-			return nil, err
-		}
-		clients = append(clients, transport.Metered(c, meter))
-	}
-	return &Cluster{clients: clients, meter: meter, dims: dims, sessionBase: newSessionBase()}, nil
+	return Open(ClusterConfig{Addrs: addrs, Dims: dims})
 }
 
 // NewRemoteClusterRetry is NewRemoteCluster with fault tolerance: each
@@ -231,19 +217,10 @@ func NewRemoteCluster(addrs []string, dims int) (*Cluster, error) {
 // and requests carry sequence numbers so sites execute them exactly once
 // even when a connection dies after processing (lost response). Use it
 // when sites live across a real, unreliable network.
+//
+// Deprecated-style wrapper: see Open (ClusterConfig.RetryAttempts).
 func NewRemoteClusterRetry(addrs []string, dims, attempts int) (*Cluster, error) {
-	if len(addrs) == 0 {
-		return nil, ErrNoSites
-	}
-	meter := &transport.Meter{}
-	clients := make([]transport.Client, len(addrs))
-	for i, addr := range addrs {
-		addr := addr
-		clients[i] = transport.Metered(transport.Retry(func() (transport.Client, error) {
-			return transport.Dial(addr, meter)
-		}, attempts), meter)
-	}
-	return &Cluster{clients: clients, meter: meter, dims: dims, sessionBase: newSessionBase()}, nil
+	return Open(ClusterConfig{Addrs: addrs, Dims: dims, RetryAttempts: attempts})
 }
 
 // NewClusterFromClients wires arbitrary pre-built clients (tests, custom

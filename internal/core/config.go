@@ -1,0 +1,175 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/flight"
+	"repro/internal/site"
+	"repro/internal/transport"
+	"repro/internal/uncertain"
+)
+
+// ClusterConfig is the one place to describe a cluster: where the sites
+// are (in-process partitions or remote TCP daemons), the data
+// dimensionality, transport behaviour (retry budget, wire protocol),
+// and the observability attachments that previously required separate
+// post-construction calls. Open validates it and builds the Cluster.
+type ClusterConfig struct {
+	// Partitions runs one in-process site engine per partition. Exactly
+	// one of Partitions or Addrs must be set.
+	Partitions []uncertain.DB
+	// Addrs connects to already-running TCP site daemons (cmd/dsud-site).
+	Addrs []string
+
+	// Dims is the data dimensionality (required, > 0).
+	Dims int
+
+	// Capacity tunes the PR-tree fan-out of in-process sites (<4 =
+	// default). Ignored for remote sites, which index at the daemon.
+	Capacity int
+	// Latency adds a simulated per-message round-trip delay to
+	// in-process sites, for studying progressiveness in the time domain.
+	Latency time.Duration
+
+	// RetryAttempts, when >= 1, wraps each remote connection in the
+	// redialling retry transport: connections are dialled lazily,
+	// requests carry sequence numbers (exactly-once at the sites via
+	// dedup), and a broken connection is redialled and the request
+	// re-sent up to RetryAttempts times. Zero disables the wrapper and
+	// dials eagerly.
+	RetryAttempts int
+	// DisableMux forces the legacy v1 wire protocol (one in-flight
+	// request per site connection) instead of negotiating the v2
+	// multiplexed protocol. Queries still work concurrently, but
+	// serialise head-of-line at each site and lose exact per-query byte
+	// attribution. For benchmarking v1 and talking to very old daemons
+	// whose negotiation behaviour is suspect.
+	DisableMux bool
+
+	// Logger, when set, becomes the default query logger: every query
+	// run without an Options.Logger of its own logs through it.
+	Logger *slog.Logger
+	// Metrics, when set, instruments the cluster against the registry
+	// exactly like Cluster.Instrument.
+	Metrics *obs.Registry
+	// FlightRecorder, when set, receives one record per completed query
+	// exactly like Cluster.SetFlightRecorder.
+	FlightRecorder *flight.Recorder
+}
+
+// ErrConfig reports an invalid ClusterConfig.
+var ErrConfig = errors.New("core: invalid cluster config")
+
+// Open builds a Cluster from cfg — the consolidated constructor behind
+// NewLocalCluster, NewRemoteCluster and NewRemoteClusterRetry. Remote
+// connections negotiate the v2 multiplexed wire protocol (falling back
+// per site to v1 when a daemon predates it), so one Cluster serves many
+// concurrent Query calls without head-of-line blocking.
+func Open(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.Dims <= 0 {
+		return nil, fmt.Errorf("%w: Dims must be positive, got %d", ErrConfig, cfg.Dims)
+	}
+	switch {
+	case len(cfg.Partitions) > 0 && len(cfg.Addrs) > 0:
+		return nil, fmt.Errorf("%w: set Partitions or Addrs, not both", ErrConfig)
+	case len(cfg.Partitions) == 0 && len(cfg.Addrs) == 0:
+		return nil, ErrNoSites
+	}
+
+	meter := &transport.Meter{}
+	var clients []transport.Client
+	if len(cfg.Partitions) > 0 {
+		clients = make([]transport.Client, len(cfg.Partitions))
+		for i, part := range cfg.Partitions {
+			if err := part.Validate(cfg.Dims); err != nil {
+				return nil, fmt.Errorf("core: partition %d: %w", i, err)
+			}
+			eng := site.New(i, part, cfg.Dims, cfg.Capacity)
+			clients[i] = transport.Metered(transport.Delayed(transport.Local(eng), cfg.Latency), meter)
+		}
+	} else {
+		dial := transport.Dial
+		if !cfg.DisableMux {
+			dial = transport.DialAuto
+		}
+		clients = make([]transport.Client, 0, len(cfg.Addrs))
+		for _, addr := range cfg.Addrs {
+			if cfg.RetryAttempts >= 1 {
+				addr := addr
+				rc := transport.Retry(func() (transport.Client, error) {
+					return dial(addr, meter)
+				}, cfg.RetryAttempts)
+				clients = append(clients, transport.Metered(rc, meter))
+				continue
+			}
+			c, err := dial(addr, meter)
+			if err != nil {
+				for _, open := range clients {
+					open.Close()
+				}
+				return nil, err
+			}
+			clients = append(clients, transport.Metered(c, meter))
+		}
+	}
+
+	cluster := &Cluster{
+		clients:     clients,
+		meter:       meter,
+		dims:        cfg.Dims,
+		sessionBase: newSessionBase(),
+		logger:      cfg.Logger,
+	}
+	cluster.Instrument(cfg.Metrics)
+	cluster.SetFlightRecorder(cfg.FlightRecorder)
+	return cluster, nil
+}
+
+// Query executes one distributed skyline query against the cluster; it
+// is the method form of Run and the primary entry point. Clusters are
+// safe for many concurrent Query calls: each gets its own site
+// sessions, its own bandwidth accounting, and — over the v2 wire
+// protocol — its requests pipeline over the shared site connections.
+func (c *Cluster) Query(ctx context.Context, opts Options) (*Report, error) {
+	return Run(ctx, c, opts)
+}
+
+// QueryStats aggregates one query's observability record: the per-phase
+// timing trace and the bandwidth meter delta, alongside the algorithm
+// that ran.
+type QueryStats struct {
+	// Algorithm is the algorithm that executed (the default resolved).
+	Algorithm Algorithm
+	// Trace holds phase spans, event tallies, iteration count and the
+	// time-to-first/k-th-result series.
+	Trace TraceSummary
+	// Bandwidth is the tuple/message/byte cost of this query.
+	Bandwidth transport.Snapshot
+}
+
+// QueryWithStats is Query plus a populated QueryStats. If opts.Trace is
+// nil a private trace is attached for the duration of the call;
+// otherwise the caller's trace is used (and remains readable live).
+func (c *Cluster) QueryWithStats(ctx context.Context, opts Options) (*Report, *QueryStats, error) {
+	if opts.Trace == nil {
+		opts.Trace = NewTrace()
+	}
+	rep, err := Run(ctx, c, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	algo := opts.Algorithm
+	if algo == 0 {
+		algo = EDSUD
+	}
+	return rep, &QueryStats{
+		Algorithm: algo,
+		Trace:     opts.Trace.Summary(),
+		Bandwidth: rep.Bandwidth,
+	}, nil
+}

@@ -24,6 +24,9 @@ func Run(ctx context.Context, c *Cluster, opts Options) (*Report, error) {
 	if opts.Algorithm == 0 {
 		opts.Algorithm = EDSUD
 	}
+	if opts.Logger == nil {
+		opts.Logger = c.logger // cluster-wide default (ClusterConfig.Logger)
+	}
 	start := time.Now()
 	sid := c.nextSession()
 	// When profiling (obs.SetProfiling), attribute samples on the
@@ -60,11 +63,15 @@ func Run(ctx context.Context, c *Cluster, opts Options) (*Report, error) {
 		rep.Skyline = rep.Skyline[:opts.TopK]
 	}
 	rep.Bandwidth = v.meter.Snapshot()
-	// Tuple and message counts above are exactly this query's. Wire bytes
-	// are observed at the TCP layer against the whole cluster, so the
-	// delta is exact for sequential queries and an upper bound when
-	// queries overlap.
-	rep.Bandwidth.Bytes = c.meter.Snapshot().Bytes - bytesBefore
+	if rep.Bandwidth.Bytes == 0 {
+		// The v2 mux transport attributes wire bytes per request, so the
+		// per-query meter above is exact even under overlapping queries.
+		// Legacy v1 connections and the in-process transport can't do
+		// that; fall back to the cluster-wide socket delta, which is
+		// exact for sequential queries and an upper bound when they
+		// overlap.
+		rep.Bandwidth.Bytes = c.meter.Snapshot().Bytes - bytesBefore
+	}
 	rep.Elapsed = time.Since(start)
 	opts.logQuery(rep, nil, rep.Elapsed)
 	c.recordFlight(opts, sid, rep, nil, start, rep.Elapsed)

@@ -46,6 +46,13 @@ type BenchOptions struct {
 	// Logf, when non-nil, receives harness notices (clamped -n values,
 	// per-algorithm progress). fmt.Printf-compatible.
 	Logf func(format string, args ...any)
+	// Concurrency lists the client counts for the transport throughput
+	// section of the artifact (nil = the Throughput defaults of 1, 4, 8;
+	// an explicit empty-but-non-nil slice is replaced by the defaults
+	// too, so use SkipThroughput to turn the section off).
+	Concurrency []int
+	// SkipThroughput omits the transport throughput section.
+	SkipThroughput bool
 }
 
 func (o BenchOptions) withDefaults() BenchOptions {
@@ -143,6 +150,20 @@ func BenchSummary(ctx context.Context, scale Scale, opts BenchOptions, w io.Writ
 			algo, opts.Warmup, opts.Iterations,
 			res.Metric(perf.MetricWallMillis).Median,
 			int64(res.Metric(perf.MetricTuplesTotal).Median))
+	}
+	if !opts.SkipThroughput {
+		// The throughput section runs on its own delayed sites (see
+		// throughput.go), not the servers above: the delay is the thing
+		// being measured.
+		tr, err := Throughput(ctx, ThroughputOptions{Concurrency: opts.Concurrency, Seed: scale.Seed})
+		if err != nil {
+			return err
+		}
+		artifact.Throughput = tr
+		for _, r := range tr {
+			opts.Logf("bench-json: throughput @%d client(s): mux %.1f q/s, serial %.1f q/s (%.2fx)\n",
+				r.Concurrency, r.MuxQPS, r.SerialQPS, r.Speedup)
+		}
 	}
 	return artifact.Write(w)
 }

@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestThroughputMuxAdvantage pins the point of the multiplexed transport:
+// at real client concurrency it must clear more queries per second than
+// the serial v1 wire on the same delayed sites. The threshold is loose
+// (CI machines are noisy); the committed bench baseline records the real
+// margin (>2x at 8 clients) and benchdiff gates on it.
+func TestThroughputMuxAdvantage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing benchmark")
+	}
+	res, err := Throughput(context.Background(), ThroughputOptions{
+		Concurrency: []int{1, 6},
+		Queries:     6,
+		N:           500,
+		Sites:       3,
+		SiteDelay:   time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("got %d results, want 2", len(res))
+	}
+	for _, r := range res {
+		if r.MuxQPS <= 0 || r.SerialQPS <= 0 || r.Queries < 2*r.Concurrency {
+			t.Fatalf("malformed result: %+v", r)
+		}
+	}
+	if s := res[1].Speedup; s < 1.2 {
+		t.Fatalf("mux speedup at %d clients = %.2fx; the multiplexed transport should beat the serial wire",
+			res[1].Concurrency, s)
+	}
+}

@@ -170,7 +170,52 @@ func WriteMarkdown(w io.Writer, oldA, newA *Artifact, deltas []MetricDelta) erro
 	}
 	fmt.Fprintf(w, "\n%d comparison(s): %d regression(s), %d improvement(s), %d within noise.\n",
 		len(deltas), reg, imp, len(deltas)-reg-imp)
+	writeThroughputMarkdown(w, oldA, newA)
 	return nil
+}
+
+// writeThroughputMarkdown renders the concurrent-query throughput section
+// when either artifact carries one. Levels are matched by concurrency;
+// a missing side renders as "—" (old pre-mux baselines have no section).
+func writeThroughputMarkdown(w io.Writer, oldA, newA *Artifact) {
+	if len(oldA.Throughput) == 0 && len(newA.Throughput) == 0 {
+		return
+	}
+	at := func(a *Artifact, c int) *ThroughputResult {
+		for i := range a.Throughput {
+			if a.Throughput[i].Concurrency == c {
+				return &a.Throughput[i]
+			}
+		}
+		return nil
+	}
+	levels := make([]int, 0, len(newA.Throughput)+len(oldA.Throughput))
+	seen := map[int]bool{}
+	for _, a := range []*Artifact{newA, oldA} {
+		for _, t := range a.Throughput {
+			if !seen[t.Concurrency] {
+				seen[t.Concurrency] = true
+				levels = append(levels, t.Concurrency)
+			}
+		}
+	}
+	fmt.Fprintf(w, "\n### Concurrent-query throughput (mux vs serial transport)\n\n")
+	fmt.Fprintf(w, "| clients | old mux q/s | new mux q/s | old speedup | new speedup |\n")
+	fmt.Fprintf(w, "|---:|---:|---:|---:|---:|\n")
+	for _, c := range levels {
+		o, n := at(oldA, c), at(newA, c)
+		cell := func(t *ThroughputResult, qps bool) string {
+			if t == nil {
+				return "—"
+			}
+			if qps {
+				return fmt.Sprintf("%.1f", t.MuxQPS)
+			}
+			return fmt.Sprintf("%.2fx", t.Speedup)
+		}
+		fmt.Fprintf(w, "| %d | %s | %s | %s | %s |\n",
+			c, cell(o, true), cell(n, true), cell(o, false), cell(n, false))
+	}
 }
 
 // describe labels one artifact for the report header.

@@ -71,12 +71,45 @@ type AlgoResult struct {
 // Metric returns the named distribution (zero Dist when absent).
 func (a AlgoResult) Metric(name string) Dist { return a.Metrics[name] }
 
-// Artifact is the full versioned BENCH_dsud.json document.
+// ThroughputResult is one concurrency level of the transport throughput
+// benchmark: end-to-end queries/sec through the multiplexed v2 wire
+// protocol versus the serial v1 protocol on the same workload and
+// artificially delayed sites (the delay stands in for network/service
+// time, which loopback lacks). Speedup = MuxQPS / SerialQPS; at
+// concurrency 1 it should sit near 1.0, and it grows with concurrency as
+// the mux pipelines requests the serial connection head-of-line blocks.
+type ThroughputResult struct {
+	Concurrency int `json:"concurrency"`
+	// Queries is the batch size behind the rates.
+	Queries int `json:"queries"`
+	// SiteDelayMicros is the injected per-request site service delay.
+	SiteDelayMicros int64   `json:"site_delay_us"`
+	MuxQPS          float64 `json:"mux_qps"`
+	SerialQPS       float64 `json:"serial_qps"`
+	Speedup         float64 `json:"speedup"`
+}
+
+// Artifact is the full versioned BENCH_dsud.json document. Throughput is
+// additive within schema v1: absent in older artifacts, present since the
+// multiplexed transport landed.
 type Artifact struct {
-	Schema     int          `json:"schema_version"`
-	Env        Env          `json:"env"`
-	Config     RunConfig    `json:"config"`
-	Algorithms []AlgoResult `json:"algorithms"`
+	Schema     int                `json:"schema_version"`
+	Env        Env                `json:"env"`
+	Config     RunConfig          `json:"config"`
+	Algorithms []AlgoResult       `json:"algorithms"`
+	Throughput []ThroughputResult `json:"throughput,omitempty"`
+}
+
+// MaxThroughput returns the highest-concurrency throughput entry, or nil
+// when the artifact carries none (pre-mux artifacts).
+func (a *Artifact) MaxThroughput() *ThroughputResult {
+	var best *ThroughputResult
+	for i := range a.Throughput {
+		if best == nil || a.Throughput[i].Concurrency > best.Concurrency {
+			best = &a.Throughput[i]
+		}
+	}
+	return best
 }
 
 // Algo returns the named algorithm's result, or nil when absent.

@@ -63,8 +63,9 @@ type Engine struct {
 	replica map[uncertain.TupleID]uncertain.Tuple
 
 	// At-most-once dedup for retried requests, scoped per client ID
-	// (transport.Request.Client): the last processed sequence number and
-	// its outcome. Sequence zero disables dedup (unsequenced callers).
+	// (transport.Request.Client): a sliding window of recently served
+	// sequence numbers and their outcomes (see dedupState). Sequence
+	// zero disables dedup (unsequenced callers).
 	dedup map[uint64]*dedupState
 
 	// Observability hooks, populated by Instrument; zero-valued (and paid
@@ -107,16 +108,54 @@ type Engine struct {
 	forceBadPrune bool
 }
 
-// dedupState is one client's retry bookkeeping.
+// dedupState is one client's retry bookkeeping: a sliding window of the
+// most recently served sequence numbers and their outcomes. A window —
+// not just the single last sequence — because the mux transport lets
+// one client run many requests concurrently, so retries and first
+// deliveries arrive interleaved and out of order.
 type dedupState struct {
-	lastSeq  uint64
-	lastResp *transport.Response
-	lastErr  error
+	outcomes map[uint64]dedupOutcome
+	order    []uint64 // insertion ring; order[head] is the oldest entry
+	head     int
+	// floor is the highest sequence ever evicted from the window. A
+	// sequence that is absent from outcomes and <= floor is refused as
+	// stale rather than re-executed: it either was already served (and
+	// its cached outcome aged out) or is too old to tell — refusal keeps
+	// the exactly-once guarantee on the safe side in both cases.
+	floor uint64
 }
+
+type dedupOutcome struct {
+	resp *transport.Response
+	err  error
+}
+
+// remember caches one served request's outcome, evicting the oldest
+// entry once the window is full.
+func (st *dedupState) remember(seq uint64, resp *transport.Response, err error) {
+	if len(st.outcomes) >= DedupWindow {
+		old := st.order[st.head]
+		delete(st.outcomes, old)
+		if old > st.floor {
+			st.floor = old
+		}
+		st.order[st.head] = seq
+		st.head = (st.head + 1) % DedupWindow
+	} else {
+		st.order = append(st.order, seq)
+	}
+	st.outcomes[seq] = dedupOutcome{resp: resp, err: err}
+}
+
+// DedupWindow is how many recent outcomes each client keeps replayable.
+// A retry is only refused if more than this many newer requests from
+// the same client completed before it arrived — far beyond what the
+// retry transport's immediate re-send can produce.
+const DedupWindow = 256
 
 // maxDedupClients bounds the dedup table; beyond it, an arbitrary idle
 // entry is evicted (its owner would only lose replay protection for its
-// single most recent request).
+// recent requests).
 const maxDedupClients = 1024
 
 // New builds a site engine over one uncertain partition. The PR-tree is
@@ -195,22 +234,24 @@ func (e *Engine) Handle(ctx context.Context, req *transport.Request) (*transport
 					break
 				}
 			}
-			st = &dedupState{}
+			st = &dedupState{outcomes: make(map[uint64]dedupOutcome)}
 			e.dedup[req.Client] = st
 		}
-		if req.Seq == st.lastSeq {
-			// A retry of the request we just served: replay the cached
+		if out, ok := st.outcomes[req.Seq]; ok {
+			// A retry of a request we already served: replay the cached
 			// outcome instead of re-executing (Next and the update
 			// operations are not idempotent).
 			e.obsReplays.Inc()
-			return st.lastResp, st.lastErr
+			return out.resp, out.err
 		}
-		if req.Seq < st.lastSeq {
-			return nil, fmt.Errorf("site %d: stale sequence %d from client %d (last %d)",
-				e.id, req.Seq, req.Client, st.lastSeq)
+		if req.Seq <= st.floor {
+			return nil, fmt.Errorf("site %d: stale sequence %d from client %d (window floor %d)",
+				e.id, req.Seq, req.Client, st.floor)
 		}
+		// Unseen and above the eviction floor: a first delivery, even if
+		// it arrives after higher sequence numbers (concurrent senders).
 		resp, err := e.serve(req)
-		st.lastSeq, st.lastResp, st.lastErr = req.Seq, resp, err
+		st.remember(req.Seq, resp, err)
 		return resp, err
 	}
 	return e.serve(req)

@@ -23,14 +23,51 @@ type delayedClient struct {
 }
 
 func (c *delayedClient) Call(ctx context.Context, req *Request) (*Response, error) {
+	resp, _, err := c.CallBytes(ctx, req)
+	return resp, err
+}
+
+// CallBytes forwards per-request byte attribution (ByteReporter), so a
+// latency model stacked over a mux connection keeps exact accounting.
+func (c *delayedClient) CallBytes(ctx context.Context, req *Request) (*Response, int64, error) {
 	timer := time.NewTimer(c.latency)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return nil, 0, ctx.Err()
+	case <-timer.C:
+	}
+	return callBytes(c.inner, ctx, req)
+}
+
+func (c *delayedClient) Close() error { return c.inner.Close() }
+
+// DelayedHandler wraps h so every request waits d before being handled
+// — the site-service-time analogue of Delayed, used by throughput
+// experiments to model real network/processing latency on loopback.
+// Because the v2 server runs handlers on concurrent workers, pipelined
+// requests overlap their delays, while the v1 one-at-a-time connection
+// loop serialises them: exactly the contrast the mux throughput
+// benchmark measures. The wait honours context cancellation.
+func DelayedHandler(h Handler, d time.Duration) Handler {
+	if d <= 0 {
+		return h
+	}
+	return &delayedHandler{inner: h, latency: d}
+}
+
+type delayedHandler struct {
+	inner   Handler
+	latency time.Duration
+}
+
+func (h *delayedHandler) Handle(ctx context.Context, req *Request) (*Response, error) {
+	timer := time.NewTimer(h.latency)
 	defer timer.Stop()
 	select {
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	case <-timer.C:
 	}
-	return c.inner.Call(ctx, req)
+	return h.inner.Handle(ctx, req)
 }
-
-func (c *delayedClient) Close() error { return c.inner.Close() }

@@ -43,19 +43,26 @@ type instrumentedClient struct {
 }
 
 func (c *instrumentedClient) Call(ctx context.Context, req *Request) (*Response, error) {
+	resp, _, err := c.CallBytes(ctx, req)
+	return resp, err
+}
+
+// CallBytes forwards per-request byte attribution (ByteReporter) so
+// instrumentation composes transparently with the v2 mux transport.
+func (c *instrumentedClient) CallBytes(ctx context.Context, req *Request) (*Response, int64, error) {
 	k := int(req.Kind)
 	if k < 1 || k > maxKind {
-		return c.inner.Call(ctx, req) // unknown kind: pass through unmeasured
+		return callBytes(c.inner, ctx, req) // unknown kind: pass through unmeasured
 	}
 	start := time.Now()
-	resp, err := c.inner.Call(ctx, req)
+	resp, n, err := callBytes(c.inner, ctx, req)
 	c.latency[k].Observe(time.Since(start).Seconds())
 	if err != nil {
 		c.err[k].Inc()
 	} else {
 		c.ok[k].Inc()
 	}
-	return resp, err
+	return resp, n, err
 }
 
 func (c *instrumentedClient) Close() error { return c.inner.Close() }

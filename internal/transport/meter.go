@@ -110,7 +110,11 @@ func (m *Meter) Account(req *Request, resp *Response) {
 	}
 }
 
-// Metered wraps a Client so every successful call is accounted against m.
+// Metered wraps a Client so every successful call is accounted against
+// m. When the inner client attributes wire bytes per request
+// (ByteReporter, i.e. the v2 mux transport), those bytes are credited
+// to m as well, and the wrapper itself implements ByteReporter so
+// stacked meters (cluster-wide under per-query) each see exact bytes.
 func Metered(c Client, m *Meter) Client {
 	return &meteredClient{inner: c, meter: m}
 }
@@ -121,11 +125,22 @@ type meteredClient struct {
 }
 
 func (c *meteredClient) Call(ctx context.Context, req *Request) (*Response, error) {
-	resp, err := c.inner.Call(ctx, req)
+	resp, _, err := c.CallBytes(ctx, req)
+	return resp, err
+}
+
+func (c *meteredClient) CallBytes(ctx context.Context, req *Request) (*Response, int64, error) {
+	resp, n, err := callBytes(c.inner, ctx, req)
 	if err == nil {
 		c.meter.Account(req, resp)
+		if n > 0 {
+			// v1 clients report zero here; their bytes are counted at
+			// the socket instead (countingReader/Writer), so there is
+			// exactly one byte path per transport generation.
+			c.meter.AddBytes(n)
+		}
 	}
-	return resp, err
+	return resp, n, err
 }
 
 func (c *meteredClient) Close() error { return c.inner.Close() }

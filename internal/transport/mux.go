@@ -1,0 +1,402 @@
+package transport
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/codec"
+)
+
+// ByteReporter is the optional Client extension for transports that can
+// attribute wire bytes to individual requests. The v2 framed protocol
+// knows each request's and response's exact frame size, so overlapping
+// queries sharing one connection get exact per-query byte accounting —
+// the thing the v1 gob stream (bytes observed only at the shared
+// socket) fundamentally cannot do. Wrappers (Metered, Instrumented,
+// Retry) forward the interface when their inner client provides it.
+type ByteReporter interface {
+	Client
+	// CallBytes is Call, additionally returning the wire bytes this
+	// request consumed (request frame + response frame). Zero when the
+	// call failed.
+	CallBytes(ctx context.Context, req *Request) (*Response, int64, error)
+}
+
+// callBytes invokes cl preferring per-request byte attribution; clients
+// without it report zero bytes (their bytes are socket-counted instead).
+func callBytes(cl Client, ctx context.Context, req *Request) (*Response, int64, error) {
+	if br, ok := cl.(ByteReporter); ok {
+		return br.CallBytes(ctx, req)
+	}
+	resp, err := cl.Call(ctx, req)
+	return resp, 0, err
+}
+
+// muxHandshakeTimeout bounds the v2 hello round trip at dial time. A
+// true v1 peer does not answer the hello (its gob decoder blocks
+// waiting for bytes that never come), so this deadline is what sends
+// the client to the fallback. A variable so negotiation tests can
+// shorten the wait.
+var muxHandshakeTimeout = 5 * time.Second
+
+// errMuxBroken wraps the terminal error of a mux connection when it is
+// surfaced to calls that were in flight as it died.
+var errMuxBroken = errors.New("transport: mux connection broken")
+
+// DialAuto connects to a site negotiating the newest wire protocol both
+// ends speak: it sends the v2 hello and returns a pipelining MuxClient
+// when the server echoes it, or falls back to a fresh v1 gob connection
+// when the peer rejects or ignores the hello (an old site daemon). meter
+// may be nil; when set it observes handshake bytes and — on the v1
+// fallback — all socket bytes, exactly as Dial does. (v2 call bytes are
+// attributed per request through ByteReporter instead, so they are
+// charged by the Metered wrapper, not here.)
+func DialAuto(addr string, meter *Meter) (Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	hello := codec.MuxHandshake()
+	deadline := time.Now().Add(muxHandshakeTimeout)
+	conn.SetDeadline(deadline)
+	if _, err := conn.Write(hello[:]); err != nil {
+		conn.Close()
+		return Dial(addr, meter)
+	}
+	var ack [5]byte
+	if _, err := io.ReadFull(conn, ack[:]); err != nil || ack != hello {
+		// No echo: the peer is a v1-only build (it choked on the magic
+		// and closed, or answered something else). Redial plain gob.
+		conn.Close()
+		return Dial(addr, meter)
+	}
+	conn.SetDeadline(time.Time{})
+	if meter != nil {
+		meter.AddBytes(int64(len(hello) + len(ack)))
+	}
+	return NewMuxClient(conn), nil
+}
+
+// MuxClient is the wire-v2 client: many concurrent Calls pipeline over
+// one TCP connection as ID-tagged frames, a demux goroutine routes
+// responses (which may arrive out of order) back to their callers, and
+// cancelling one call abandons only that call's slot — the connection
+// stays usable, unlike the v1 client, whose only cancellation lever is
+// closing the socket. MuxClient is safe for concurrent use.
+type MuxClient struct {
+	conn net.Conn
+
+	// wmu serialises the encode→frame→write path. The gob stream is
+	// per-connection (type descriptors sent once, not once per frame),
+	// so encoding order must match write order.
+	wmu    sync.Mutex
+	encBuf bytes.Buffer
+	enc    *gob.Encoder
+	wbuf   []byte
+
+	nextID atomic.Uint64
+
+	mu      sync.Mutex
+	pending map[uint64]chan muxResult
+	broken  error // terminal connection error; nil while healthy
+	closed  bool
+}
+
+type muxResult struct {
+	resp  *Response
+	err   error
+	bytes int64 // response frame wire size
+}
+
+// NewMuxClient speaks wire v2 over an already-handshaken connection.
+// Most callers want DialAuto; this exists for tests and custom dialers.
+func NewMuxClient(conn net.Conn) *MuxClient {
+	c := &MuxClient{conn: conn, pending: make(map[uint64]chan muxResult)}
+	c.enc = gob.NewEncoder(&c.encBuf)
+	go c.readLoop()
+	return c
+}
+
+// payloadReader feeds successive frame payloads to the persistent gob
+// decoder. Each Decode consumes exactly the bytes the peer's Encode
+// produced (they share one logical stream), so running dry mid-message
+// means the stream is corrupt.
+type payloadReader struct{ buf []byte }
+
+func (p *payloadReader) Read(b []byte) (int, error) {
+	if len(p.buf) == 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	n := copy(b, p.buf)
+	p.buf = p.buf[n:]
+	return n, nil
+}
+
+// readLoop is the demux goroutine: it decodes response frames and
+// delivers each to its caller's channel. Any read error is terminal —
+// every in-flight call fails with it, and subsequent calls are refused
+// until the owner (usually a Retry client) discards and redials.
+func (c *MuxClient) readLoop() {
+	pr := &payloadReader{}
+	dec := gob.NewDecoder(pr)
+	for {
+		fr, n, err := codec.ReadFrame(c.conn)
+		if err != nil {
+			c.fail(fmt.Errorf("%w: %v", errMuxBroken, err))
+			return
+		}
+		if fr.Type != codec.FrameResponse {
+			continue // unknown frame types are ignorable padding
+		}
+		pr.buf = fr.Payload
+		var wresp wireResponse
+		if err := dec.Decode(&wresp); err != nil {
+			c.fail(fmt.Errorf("%w: decode: %v", errMuxBroken, err))
+			return
+		}
+		res := muxResult{bytes: int64(n)}
+		if wresp.Err != "" {
+			res.err = errors.New(wresp.Err)
+		} else {
+			resp := wresp.Resp
+			res.resp = &resp
+		}
+		c.mu.Lock()
+		ch := c.pending[fr.ID]
+		delete(c.pending, fr.ID)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- res // buffered; a cancelled caller simply never reads it
+		}
+	}
+}
+
+// fail marks the connection dead and errors out every in-flight call.
+func (c *MuxClient) fail(err error) {
+	c.mu.Lock()
+	if c.broken == nil {
+		c.broken = err
+	}
+	pend := c.pending
+	c.pending = make(map[uint64]chan muxResult)
+	c.mu.Unlock()
+	c.conn.Close()
+	for _, ch := range pend {
+		ch <- muxResult{err: err}
+	}
+}
+
+// forget abandons one request slot (cancellation).
+func (c *MuxClient) forget(id uint64) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
+}
+
+// sendCancel tells the server the request was abandoned so it can stop
+// working on it. Best-effort and asynchronous: a response already in
+// flight just gets dropped by the demux, and a write error means the
+// connection is dying anyway.
+func (c *MuxClient) sendCancel(id uint64) {
+	frame := codec.AppendFrame(nil, codec.FrameCancel, id, nil)
+	c.wmu.Lock()
+	c.conn.Write(frame)
+	c.wmu.Unlock()
+}
+
+// Call implements Client.
+func (c *MuxClient) Call(ctx context.Context, req *Request) (*Response, error) {
+	resp, _, err := c.CallBytes(ctx, req)
+	return resp, err
+}
+
+// CallBytes implements ByteReporter: one pipelined request/response,
+// with the pair's exact framed wire size. Cancellation abandons the
+// slot (and notifies the server) without touching the connection.
+func (c *MuxClient) CallBytes(ctx context.Context, req *Request) (*Response, int64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
+	id := c.nextID.Add(1)
+	ch := make(chan muxResult, 1)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, 0, ErrClosed
+	}
+	if c.broken != nil {
+		err := c.broken
+		c.mu.Unlock()
+		return nil, 0, err
+	}
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	c.wmu.Lock()
+	c.encBuf.Reset()
+	err := c.enc.Encode(&wireRequest{Req: *req})
+	var reqBytes int64
+	if err == nil {
+		c.wbuf = codec.AppendFrame(c.wbuf[:0], codec.FrameRequest, id, c.encBuf.Bytes())
+		reqBytes = int64(len(c.wbuf))
+		_, err = c.conn.Write(c.wbuf)
+	}
+	c.wmu.Unlock()
+	if err != nil {
+		c.forget(id)
+		// A failed send leaves the shared gob stream in an unknown
+		// state; the connection is unusable for everyone.
+		c.fail(fmt.Errorf("%w: send: %v", errMuxBroken, err))
+		return nil, 0, fmt.Errorf("transport: send: %w", err)
+	}
+
+	select {
+	case res := <-ch:
+		if res.err != nil {
+			return nil, 0, res.err
+		}
+		return res.resp, reqBytes + res.bytes, nil
+	case <-ctx.Done():
+		c.forget(id)
+		go c.sendCancel(id)
+		return nil, 0, ctx.Err()
+	}
+}
+
+// serveMux is the server half of wire v2: after echoing the handshake
+// it reads frames, dispatches each request to a worker goroutine
+// (bounded by the worker limit — past it the server stops reading, so
+// backpressure is ordinary TCP flow control), and serialises response
+// frames back over the shared connection in completion order. A
+// FrameCancel cancels the matching in-flight handler's context; the
+// connection itself is untouched, which is the whole point of v2
+// cancellation.
+func (s *Server) serveMux(conn net.Conn, br *bufio.Reader, w io.Writer) {
+	var hello [5]byte
+	if _, err := io.ReadFull(br, hello[:]); err != nil {
+		return
+	}
+	if hello != codec.MuxHandshake() {
+		// Same magic, unknown version: stay silent and let the client's
+		// handshake deadline route it to the v1 fallback.
+		return
+	}
+	s.mu.Lock()
+	limit := s.workerLimit
+	s.mu.Unlock()
+	if limit < 1 {
+		limit = DefaultWorkerLimit
+	}
+	if _, err := w.Write(hello[:]); err != nil {
+		return
+	}
+
+	var (
+		// wmu serialises the shared response gob stream + frame writes.
+		wmu    sync.Mutex
+		encBuf bytes.Buffer
+		wbuf   []byte
+
+		// imu guards the in-flight table consulted by FrameCancel.
+		imu      sync.Mutex
+		inflight = make(map[uint64]context.CancelFunc)
+
+		wg  sync.WaitGroup
+		sem = make(chan struct{}, limit)
+	)
+	enc := gob.NewEncoder(&encBuf)
+	pr := &payloadReader{}
+	dec := gob.NewDecoder(pr)
+	connCtx, connCancel := context.WithCancel(context.Background())
+	defer connCancel()
+	// Drain contract (see Shutdown): when the read loop exits, requests
+	// already dispatched still finish handling and answering before the
+	// connection closes.
+	defer wg.Wait()
+
+	for {
+		fr, _, err := codec.ReadFrame(br)
+		if err != nil {
+			return // EOF, broken peer, corruption, or a drain deadline
+		}
+		switch fr.Type {
+		case codec.FrameCancel:
+			imu.Lock()
+			if cancel := inflight[fr.ID]; cancel != nil {
+				cancel()
+			}
+			imu.Unlock()
+			continue
+		case codec.FrameRequest:
+		default:
+			continue // unknown frame types are ignorable padding
+		}
+		pr.buf = fr.Payload
+		var wreq wireRequest
+		if err := dec.Decode(&wreq); err != nil {
+			return // the shared gob stream is corrupt; the connection is done
+		}
+		sem <- struct{}{}
+		reqCtx, cancel := context.WithCancel(connCtx)
+		imu.Lock()
+		inflight[fr.ID] = cancel
+		imu.Unlock()
+		wg.Add(1)
+		go func(id uint64, req Request, ctx context.Context, cancel context.CancelFunc) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			defer func() {
+				imu.Lock()
+				delete(inflight, id)
+				imu.Unlock()
+				cancel()
+			}()
+			resp, err := s.handler.Handle(ctx, &req)
+			var wresp wireResponse
+			if err != nil {
+				wresp.Err = err.Error()
+			} else if resp != nil {
+				wresp.Resp = *resp
+			}
+			if ctx.Err() != nil {
+				return // cancelled: the client has already abandoned the slot
+			}
+			wmu.Lock()
+			encBuf.Reset()
+			if enc.Encode(&wresp) == nil {
+				wbuf = codec.AppendFrame(wbuf[:0], codec.FrameResponse, id, encBuf.Bytes())
+				w.Write(wbuf)
+			}
+			wmu.Unlock()
+		}(fr.ID, wreq.Req, reqCtx, cancel)
+		if s.draining.Load() {
+			return // stop reading; the deferred wg.Wait answers in-flight work
+		}
+	}
+}
+
+// Close releases the connection; in-flight calls fail.
+func (c *MuxClient) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	err := c.conn.Close()
+	c.fail(ErrClosed)
+	if errors.Is(err, net.ErrClosed) {
+		return nil // readLoop got there first; not the caller's problem
+	}
+	return err
+}

@@ -136,58 +136,105 @@ func (c *RetryClient) Observe(reg *obs.Registry, site string) *RetryClient {
 }
 
 func (c *RetryClient) Call(ctx context.Context, req *Request) (*Response, error) {
+	resp, _, err := c.CallBytes(ctx, req)
+	return resp, err
+}
+
+// CallBytes is Call with per-request byte attribution forwarded from
+// the underlying transport (ByteReporter). The mutex covers only
+// sequence stamping and connection acquisition — never the network
+// round trip — so many calls proceed concurrently over one shared mux
+// connection. When that connection dies, every in-flight call fails at
+// once; each then redials through current(), which dials once and hands
+// the fresh connection to all of them. Sequence-number dedup at the
+// sites keeps the re-sent requests exactly-once.
+func (c *RetryClient) CallBytes(ctx context.Context, req *Request) (*Response, int64, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.closed {
-		return nil, ErrClosed
+		c.mu.Unlock()
+		return nil, 0, ErrClosed
 	}
-	c.calls.Add(1)
 	c.seq++
 	stamped := *req
 	stamped.Seq = c.seq
 	stamped.Client = c.client
+	c.mu.Unlock()
+	c.calls.Add(1)
 
 	var lastErr error
 	for attempt := 0; attempt < c.attempts; attempt++ {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		if attempt > 0 {
 			c.retries.Add(1)
 			c.ctrRetries.Inc()
 		}
-		if c.cur == nil {
-			if c.dialed {
-				// Not the first dial this connection's lifetime: the
-				// previous one was discarded, so this is a redial.
-				c.redials.Add(1)
-				c.ctrRedials.Inc()
+		cl, err := c.current()
+		if err != nil {
+			if errors.Is(err, ErrClosed) {
+				return nil, 0, ErrClosed // the RetryClient itself was closed
 			}
-			client, err := c.dial()
-			c.dialed = true
-			if err != nil {
-				c.dialErrors.Add(1)
-				c.ctrDialErrors.Inc()
-				lastErr = err
-				continue
-			}
-			c.cur = client
+			lastErr = err
+			continue
 		}
-		resp, err := c.cur.Call(ctx, &stamped)
+		resp, n, err := callBytes(cl, ctx, &stamped)
 		if err == nil {
-			return resp, nil
+			return resp, n, nil
 		}
 		lastErr = err
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-			return nil, err
+			return nil, 0, err
 		}
-		// The connection state is unknown; discard it and redial.
-		c.cur.Close()
-		c.cur = nil
+		// The connection state is unknown; discard it and redial. With a
+		// shared mux connection several calls race here — discard is
+		// idempotent by pointer identity, so the loser just retries on
+		// the winner's fresh connection.
+		c.discard(cl)
 	}
 	c.failures.Add(1)
 	c.ctrFailures.Inc()
-	return nil, fmt.Errorf("transport: %d attempt(s) failed: %w", c.attempts, lastErr)
+	return nil, 0, fmt.Errorf("transport: %d attempt(s) failed: %w", c.attempts, lastErr)
+}
+
+// current returns the live connection, dialling one if needed. Dials
+// are serialised under the mutex so concurrent callers share a single
+// connection instead of racing to create their own.
+func (c *RetryClient) current() (Client, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClosed
+	}
+	if c.cur != nil {
+		return c.cur, nil
+	}
+	if c.dialed {
+		// Not the first dial this client's lifetime: the previous
+		// connection was discarded, so this is a redial.
+		c.redials.Add(1)
+		c.ctrRedials.Inc()
+	}
+	cl, err := c.dial()
+	c.dialed = true
+	if err != nil {
+		c.dialErrors.Add(1)
+		c.ctrDialErrors.Inc()
+		return nil, err
+	}
+	c.cur = cl
+	return cl, nil
+}
+
+// discard retires a failed connection. Pointer identity guards against
+// a stale caller discarding a successor connection it never used.
+func (c *RetryClient) discard(cl Client) {
+	c.mu.Lock()
+	if c.cur == cl {
+		c.cur = nil
+	}
+	c.mu.Unlock()
+	cl.Close()
 }
 
 func (c *RetryClient) Close() error {

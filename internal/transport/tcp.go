@@ -1,6 +1,8 @@
 package transport
 
 import (
+	"bufio"
+	"bytes"
 	"context"
 	"encoding/gob"
 	"errors"
@@ -10,6 +12,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/codec"
 )
 
 // wireRequest frames a Request for the TCP transport.
@@ -25,21 +29,53 @@ type wireResponse struct {
 }
 
 // Server exposes a Handler on a TCP listener, one goroutine per accepted
-// connection, each processing requests sequentially (the protocol is
-// strictly request/response per connection).
+// connection. Each connection speaks whichever protocol its client
+// opens with: the legacy v1 gob stream (strictly one request/response
+// at a time) or, after the v2 handshake, the framed mux protocol where
+// requests are dispatched to a bounded pool of worker goroutines and
+// responses return as they complete, possibly out of order.
 type Server struct {
 	handler Handler
 	meter   *Meter
 
-	mu       sync.Mutex
-	listener net.Listener
-	conns    map[net.Conn]struct{}
-	wg       sync.WaitGroup
-	closed   bool
+	mu          sync.Mutex
+	listener    net.Listener
+	conns       map[net.Conn]struct{}
+	wg          sync.WaitGroup
+	closed      bool
+	workerLimit int
+	legacyOnly  bool
 	// draining makes per-connection loops exit after the in-flight
 	// request (if any) completes, instead of waiting for the next one —
 	// the graceful half of Shutdown.
 	draining atomic.Bool
+}
+
+// DefaultWorkerLimit bounds concurrent v2 request handlers per
+// connection when SetWorkerLimit was not called. One coordinator
+// multiplexes all of its concurrent queries over a single connection,
+// so the limit is per-peer fairness and memory protection, not a
+// per-query cap.
+const DefaultWorkerLimit = 32
+
+// SetWorkerLimit bounds how many v2 requests one connection may have in
+// flight in handlers simultaneously (n < 1 restores the default).
+// Beyond the limit the server stops reading the connection, so TCP
+// backpressure reaches the client. Call before Serve.
+func (s *Server) SetWorkerLimit(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.workerLimit = n
+}
+
+// SetLegacyOnly makes the server behave like a pre-v2 build: every
+// connection is treated as a bare gob stream, and a v2 hello is fed to
+// the gob decoder (which chokes on it) exactly as an old binary would.
+// For negotiation tests and staged rollouts.
+func (s *Server) SetLegacyOnly(v bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.legacyOnly = v
 }
 
 // NewServer returns a server for h. meter may be nil; when set, wire bytes
@@ -99,7 +135,20 @@ func (s *Server) serveConn(conn net.Conn) {
 		reader = &countingReader{r: conn, meter: s.meter}
 		writer = &countingWriter{w: conn, meter: s.meter}
 	}
-	dec := gob.NewDecoder(reader)
+	br := bufio.NewReader(reader)
+	s.mu.Lock()
+	legacyOnly := s.legacyOnly
+	s.mu.Unlock()
+	if !legacyOnly {
+		// Protocol sniff: a v2 client leads with MuxMagic, whose first
+		// byte can never begin a gob stream, so four peeked bytes decide
+		// the protocol without consuming anything.
+		if peek, err := br.Peek(len(codec.MuxMagic)); err == nil && bytes.Equal(peek, codec.MuxMagic[:]) {
+			s.serveMux(conn, br, writer)
+			return
+		}
+	}
+	dec := gob.NewDecoder(br)
 	enc := gob.NewEncoder(writer)
 	for {
 		var wreq wireRequest
