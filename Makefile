@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test race bench bench-json bench-baseline benchdiff verify examples figures clean
+.PHONY: all check build vet test race bench bench-json bench-baseline benchdiff soak verify examples figures clean
 
 all: check
 
@@ -20,7 +20,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/codec ./internal/obs/... ./internal/transport ./internal/core ./internal/stream ./internal/site ./internal/audit
+	$(GO) test -race ./internal/codec ./internal/obs/... ./internal/transport ./internal/core ./internal/stream ./internal/site ./internal/audit ./internal/experiments
 
 # Full benchmark sweep (several minutes). Writes bench_output.txt.
 bench:
@@ -43,6 +43,14 @@ bench-baseline:
 # margin at 8 clients is >2x, but shared CI runners are noisy).
 benchdiff: bench-json
 	$(GO) run ./cmd/dsud-benchdiff -time-threshold 10 -min-mux-speedup 1.5 testdata/bench-baseline.json BENCH_dsud.json
+
+# Short open-loop soak against self-hosted loopback sites with the
+# online auditor sampling; merges the latency{p50,p95,p99} section into
+# BENCH_dsud.json (see docs/OBSERVABILITY.md "Load, latency & SLOs").
+soak:
+	$(GO) run ./cmd/dsud-loadgen -self-host -n 2000 -sites 3 -rps 100 \
+	  -duration 3s -iterations 3 -update-fraction 0.05 \
+	  -audit-fraction 0.05 -max-error-rate 0.01 -artifact BENCH_dsud.json
 
 # Cross-check every engine against every oracle.
 verify:

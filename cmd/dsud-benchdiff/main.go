@@ -36,6 +36,7 @@ func run() int {
 		cvScale       = flag.Float64("cv-scale", 3, "noise scaling: limit = max(floor, cv-scale × max CV)")
 		quiet         = flag.Bool("quiet", false, "suppress the markdown table; exit status only")
 		minMuxSpeedup = flag.Float64("min-mux-speedup", 0, "fail unless the new artifact's highest-concurrency throughput shows at least this mux-over-serial speedup (0 = no gate)")
+		maxP99Regress = flag.Float64("max-p99-regress", 0, "fail when the soak p99 latency median regressed by more than this relative amount, e.g. 0.25 = 25% (0 = no gate; requires a soak section in both artifacts)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: dsud-benchdiff [flags] old.json new.json\n")
@@ -92,6 +93,23 @@ func run() int {
 			if !*quiet {
 				fmt.Printf("\nmux throughput gate: %.2fx at %d client(s) ≥ %.2fx ✔\n",
 					tr.Speedup, tr.Concurrency, *minMuxSpeedup)
+			}
+		}
+	}
+	if *maxP99Regress > 0 {
+		oldMed, newMed, rel, ok := perf.SoakP99Delta(oldA, newA)
+		switch {
+		case !ok:
+			fmt.Fprintf(os.Stderr, "dsud-benchdiff: -max-p99-regress: both artifacts need a soak section with a p99 distribution (run dsud-loadgen -artifact)\n")
+			return 2
+		case rel > *maxP99Regress:
+			fmt.Fprintf(os.Stderr, "dsud-benchdiff: soak p99 regressed %.1f%% (%.2fms → %.2fms), over the %.1f%% gate\n",
+				rel*100, oldMed, newMed, *maxP99Regress*100)
+			status = 1
+		default:
+			if !*quiet {
+				fmt.Printf("\nsoak p99 gate: %+.1f%% (%.2fms → %.2fms) within %.1f%% ✔\n",
+					rel*100, oldMed, newMed, *maxP99Regress*100)
 			}
 		}
 	}

@@ -30,6 +30,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/obs"
 	"repro/internal/obs/flight"
+	"repro/internal/obs/slo"
 	"repro/internal/site"
 	"repro/internal/transport"
 )
@@ -49,6 +50,8 @@ func main() {
 		drain      = flag.Duration("drain", 10*time.Second, "how long shutdown waits for in-flight requests before closing hard")
 		conc       = flag.Int("concurrency", transport.DefaultWorkerLimit, "max requests served concurrently per multiplexed (wire v2) connection")
 		legacyWire = flag.Bool("legacy-wire", false, "refuse the multiplexed wire protocol and serve every client over the v1 gob stream (emulates a pre-mux daemon)")
+		sloP99     = flag.Duration("slo-p99", 0, "SLO: windowed p99 request latency must stay under this; serves /slostatusz and dumps the flight recorder on sustained breach (0 = off)")
+		sloEvery   = flag.Duration("slo-interval", 10*time.Second, "SLO evaluation cadence (needs -slo-p99)")
 	)
 	flag.Parse()
 	if *data == "" {
@@ -96,7 +99,32 @@ func main() {
 		srv.SetWorkerLimit(*conc)
 	}
 	srv.SetLegacyOnly(*legacyWire)
+	// Surface mux worker-pool saturation in /statusz and the windowed
+	// request-latency quantiles (p50/p95/p99 over the last ~10-20s) in
+	// /metrics — the live feed dsud-top renders.
+	eng.SetWorkerStats(srv.WorkerStats)
+	obs.ExposeWindow(reg, "dsud_site_request_window_seconds", eng.Window(), "site", fmt.Sprint(*id))
 	fmt.Printf("dsud-site %d serving %d tuples (%d dims) on %s\n", *id, len(part), dims, lis.Addr())
+
+	// Declarative site-level SLO over the windowed request latency:
+	// evaluated in the background, served at /slostatusz, and a sustained
+	// breach leaves a flight-recorder dump behind (with -flight-dir).
+	var mon *slo.Monitor
+	if *sloP99 > 0 {
+		mon = slo.New(slo.Latency("request_p99", eng.Window(), 0.99, *sloP99))
+		mon.Instrument(reg)
+		mon.OnSustainedBreach(func(name string) {
+			fmt.Fprintf(os.Stderr, "dsud-site %d: SLO %q in sustained breach\n", *id, name)
+			if *flightDir != "" {
+				if path, err := fr.Dump("slo-breach-" + name); err != nil {
+					fmt.Fprintf(os.Stderr, "dsud-site %d: flight dump: %v\n", *id, err)
+				} else {
+					fmt.Fprintf(os.Stderr, "dsud-site %d: flight dump -> %s\n", *id, path)
+				}
+			}
+		})
+		go mon.Run(context.Background(), *sloEvery)
+	}
 
 	if *httpAddr != "" {
 		mux := http.NewServeMux()
@@ -104,6 +132,9 @@ func main() {
 		mux.Handle("/statusz", eng.StatusHandler())
 		mux.Handle("/healthz", healthzHandler())
 		mux.Handle("/debug/flightz", fr.Handler())
+		if mon != nil {
+			mux.Handle("/slostatusz", mon.Handler())
+		}
 		opsLis, err := net.Listen("tcp", *httpAddr)
 		if err != nil {
 			fatalf("ops listen: %v", err)
@@ -113,11 +144,15 @@ func main() {
 	}
 
 	if *debugAddr != "" {
-		mux := obs.DebugMux(reg, map[string]http.Handler{
+		extra := map[string]http.Handler{
 			"/status":        eng.StatusHandler(), // back-compat alias of /statusz
 			"/statusz":       eng.StatusHandler(),
 			"/debug/flightz": fr.Handler(),
-		})
+		}
+		if mon != nil {
+			extra["/slostatusz"] = mon.Handler()
+		}
+		mux := obs.DebugMux(reg, extra)
 		dbgLis, err := net.Listen("tcp", *debugAddr)
 		if err != nil {
 			fatalf("debug listen: %v", err)

@@ -1,0 +1,210 @@
+// Command dsud-top is a live terminal dashboard for a running DSUD
+// cluster: it polls each site's /statusz ops endpoint (and optionally a
+// /slostatusz SLO page, e.g. dsud-loadgen's) and renders per-site
+// request rate, in-flight count, windowed p50/p95/p99 latency, mux
+// worker-pool saturation and SLO burn in place, top(1)-style.
+//
+// Usage:
+//
+//	dsud-top -sites http://127.0.0.1:9101,http://127.0.0.1:9102
+//	dsud-top -sites ... -slo http://127.0.0.1:9100 -interval 1s
+//	dsud-top -sites ... -once        # single frame, no clearing (CI)
+//
+// Site addresses may omit the scheme (host:port implies http://). The
+// request rate prefers the site's own rotating-window rate (exact over
+// the last ~10-20s) and falls back to Δrequests/Δpoll for sites that
+// predate the windowed telemetry.
+//
+// Exit status: 0; with -once, 1 when any site was unreachable.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"repro/internal/obs/slo"
+	"repro/internal/transport"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		sitesFlag = flag.String("sites", "", "comma-separated site /statusz base URLs (required)")
+		sloFlag   = flag.String("slo", "", "optional /slostatusz base URL (e.g. a dsud-loadgen -debug-addr)")
+		interval  = flag.Duration("interval", 2*time.Second, "poll and redraw cadence")
+		once      = flag.Bool("once", false, "render a single frame without clearing and exit (scripting/CI)")
+	)
+	flag.Parse()
+	if *sitesFlag == "" {
+		flag.Usage()
+		return 2
+	}
+	var sites []string
+	for _, s := range strings.Split(*sitesFlag, ",") {
+		sites = append(sites, normalizeURL(strings.TrimSpace(s)))
+	}
+	sloURL := ""
+	if *sloFlag != "" {
+		sloURL = normalizeURL(strings.TrimSpace(*sloFlag))
+	}
+
+	top := &top{
+		client: &http.Client{Timeout: 2 * time.Second},
+		sites:  sites,
+		slo:    sloURL,
+		prev:   make(map[string]sample),
+	}
+
+	if *once {
+		down := top.render(os.Stdout)
+		if down > 0 {
+			return 1
+		}
+		return 0
+	}
+
+	interrupt := make(chan os.Signal, 1)
+	signal.Notify(interrupt, os.Interrupt)
+	ticker := time.NewTicker(*interval)
+	defer ticker.Stop()
+	for {
+		fmt.Print("\x1b[H\x1b[2J") // cursor home + clear: redraw in place
+		top.render(os.Stdout)
+		select {
+		case <-interrupt:
+			fmt.Println()
+			return 0
+		case <-ticker.C:
+		}
+	}
+}
+
+// sample remembers one poll's counter so the next poll can fall back to
+// Δrequests/Δt for sites without windowed telemetry.
+type sample struct {
+	requests uint64
+	at       time.Time
+}
+
+type top struct {
+	client *http.Client
+	sites  []string
+	slo    string
+	prev   map[string]sample
+}
+
+// render draws one frame and returns how many sites were unreachable.
+func (t *top) render(w *os.File) int {
+	now := time.Now()
+	fmt.Fprintf(w, "dsud-top  %s  %d site(s)\n\n", now.Format("15:04:05"), len(t.sites))
+	fmt.Fprintf(w, "%-28s %-7s %8s %8s %8s %8s %8s %8s %8s %6s\n",
+		"SITE", "STATE", "TUPLES", "INFLIGHT", "RPS", "P50MS", "P95MS", "P99MS", "WORKERS", "QUEUED")
+	down := 0
+	for _, url := range t.sites {
+		st, err := t.fetchStatus(url)
+		if err != nil {
+			fmt.Fprintf(w, "%-28s %-7s %v\n", trimURL(url), "DOWN", err)
+			down++
+			continue
+		}
+		rps := st.WindowRate
+		if rps == 0 {
+			// Pre-window site (or idle): derive from the monotone counter.
+			if p, ok := t.prev[url]; ok && now.After(p.at) && st.RequestsTotal >= p.requests {
+				rps = float64(st.RequestsTotal-p.requests) / now.Sub(p.at).Seconds()
+			}
+		}
+		t.prev[url] = sample{requests: st.RequestsTotal, at: now}
+		workers := "-"
+		if st.MuxWorkerLimit > 0 {
+			workers = fmt.Sprintf("%d/%d", st.MuxWorkersBusy, st.MuxWorkerLimit)
+		}
+		fmt.Fprintf(w, "%-28s %-7s %8d %8d %8.1f %8s %8s %8s %8s %6d\n",
+			trimURL(url), "UP", st.Tuples, st.InFlight, rps,
+			ms(st.LatencyP50Ms), ms(st.LatencyP95Ms), ms(st.LatencyP99Ms),
+			workers, st.MuxQueued)
+	}
+	if t.slo != "" {
+		fmt.Fprintln(w)
+		statuses, err := t.fetchSLO(t.slo)
+		switch {
+		case err != nil:
+			fmt.Fprintf(w, "slo %s: %v\n", trimURL(t.slo), err)
+		case len(statuses) == 0:
+			fmt.Fprintf(w, "slo %s: no objectives configured\n", trimURL(t.slo))
+		default:
+			slo.WriteText(w, statuses)
+		}
+	}
+	return down
+}
+
+func (t *top) fetchStatus(base string) (*transport.SiteStatus, error) {
+	resp, err := t.client.Get(base + "/statusz")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("http %d", resp.StatusCode)
+	}
+	var st transport.SiteStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+func (t *top) fetchSLO(base string) ([]slo.Status, error) {
+	resp, err := t.client.Get(base + "/slostatusz")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("http %d", resp.StatusCode)
+	}
+	var page struct {
+		Objectives []slo.Status `json:"objectives"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+		return nil, err
+	}
+	return page.Objectives, nil
+}
+
+// ms renders a windowed latency figure, "-" when the site has no
+// windowed telemetry (older build) or saw no traffic in the window.
+func ms(v float64) string {
+	if v <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+// normalizeURL accepts host:port or a full URL and returns a scheme-ful
+// base with no trailing slash.
+func normalizeURL(s string) string {
+	if !strings.Contains(s, "://") {
+		s = "http://" + s
+	}
+	return strings.TrimRight(s, "/")
+}
+
+// trimURL shortens a base URL for the SITE column.
+func trimURL(s string) string {
+	s = strings.TrimPrefix(s, "http://")
+	if len(s) > 28 {
+		s = s[:28]
+	}
+	return s
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/obs/flight"
+	"repro/internal/obs/slo"
 	"repro/internal/transport"
 )
 
@@ -134,4 +135,50 @@ func NewAuditor(cfg AuditConfig, reg *Metrics) *Auditor { return audit.New(cfg, 
 // output).
 func WriteClusterStatus(w io.Writer, healths []SiteHealth, now time.Time) int {
 	return core.WriteClusterStatus(w, healths, now)
+}
+
+// Windowed latency telemetry and declarative SLOs.
+type (
+	// Window is a rotating log-bucketed latency histogram covering
+	// roughly the last one-to-two widths, with zero-allocation Observe
+	// and quantile estimation by bucket interpolation (attach to a
+	// Cluster via SetLatencyWindows, expose via ExposeWindow).
+	Window = obs.Window
+	// WindowSnapshot is a merged point-in-time view of a Window.
+	WindowSnapshot = obs.WindowSnapshot
+	// SLOMonitor evaluates declarative objectives over live telemetry
+	// and serves /slostatusz (see NewSLOMonitor).
+	SLOMonitor = slo.Monitor
+	// SLOStatus is one objective's latest evaluation.
+	SLOStatus = slo.Status
+	// SLOObjective is one declarative target (LatencySLO, ErrorRateSLO).
+	SLOObjective = slo.Objective
+)
+
+// DefWindowWidth is the default latency-window rotation width.
+const DefWindowWidth = obs.DefWindowWidth
+
+// NewWindow returns a rotating latency window (width <= 0 selects
+// DefWindowWidth).
+func NewWindow(width time.Duration) *Window { return obs.NewWindow(width) }
+
+// NewSLOMonitor builds a monitor over the given objectives; call
+// Evaluate (or Run) and serve Handler at /slostatusz.
+func NewSLOMonitor(objectives ...SLOObjective) *SLOMonitor { return slo.New(objectives...) }
+
+// LatencySLO targets a windowed latency quantile, e.g. p99 < 50ms.
+func LatencySLO(name string, w *Window, quantile float64, max time.Duration) SLOObjective {
+	return slo.Latency(name, w, quantile, max)
+}
+
+// ErrorRateSLO targets a failure fraction between evaluations; total and
+// errors are monotone counter reads (e.g. Counter.Value).
+func ErrorRateSLO(name string, total, errors func() int64, max float64) SLOObjective {
+	return slo.ErrorRate(name, total, errors, max)
+}
+
+// ExposeWindow registers w's live p50/p95/p99 (seconds) and rate as
+// gauges on reg, Prometheus-summary style.
+func ExposeWindow(reg *Metrics, name string, w *Window, labels ...string) {
+	obs.ExposeWindow(reg, name, w, labels...)
 }

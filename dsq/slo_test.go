@@ -1,0 +1,46 @@
+package dsq_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/dsq"
+)
+
+// TestWindowAndSLOThroughFacade exercises the windowed-latency and SLO
+// surface re-exported by the facade: observe into a Window, target it
+// with a latency and an error-rate objective, and evaluate.
+func TestWindowAndSLOThroughFacade(t *testing.T) {
+	win := dsq.NewWindow(time.Hour) // wide: no rotation mid-test
+	for i := 0; i < 40; i++ {
+		win.Observe(5 * time.Millisecond)
+	}
+	s := win.Snapshot()
+	if s.Count != 40 {
+		t.Fatalf("window count = %d, want 40", s.Count)
+	}
+	if p99 := s.Quantile(0.99); p99 <= 0 || p99 > 50*time.Millisecond {
+		t.Fatalf("p99 = %v, want within (0, 50ms]", p99)
+	}
+
+	total, errs := int64(100), int64(0)
+	mon := dsq.NewSLOMonitor(
+		dsq.LatencySLO("query_p99", win, 0.99, 50*time.Millisecond),
+		dsq.ErrorRateSLO("error_rate", func() int64 { return total }, func() int64 { return errs }, 0.01),
+	)
+	reg := dsq.NewMetrics()
+	mon.Instrument(reg)
+	dsq.ExposeWindow(reg, "facade_request_window_seconds", win)
+
+	mon.Evaluate() // primes the error-rate delta window
+	total += 50
+	statuses := mon.Evaluate()
+	if len(statuses) != 2 {
+		t.Fatalf("got %d statuses, want 2", len(statuses))
+	}
+	for _, st := range statuses {
+		if st.Breached {
+			t.Errorf("objective %q breached on a healthy window: %+v", st.Name, st)
+		}
+	}
+}

@@ -44,6 +44,29 @@ type Cluster struct {
 	// logger, when set (ClusterConfig.Logger), is the default query
 	// logger for runs whose Options carry none of their own.
 	logger *slog.Logger
+
+	// winQuery and winFirst, when set (SetLatencyWindows), observe each
+	// successful query's end-to-end latency and time-to-first-result into
+	// rotating windows — the coordinator-side feed for live percentiles
+	// and SLO evaluation. Nil-safe at the observe sites.
+	winQuery *obs.Window
+	winFirst *obs.Window
+}
+
+// SetLatencyWindows attaches rotating latency windows to the query path:
+// query observes every successful Run's end-to-end latency, firstResult
+// the time-to-first-result of traced runs (untraced runs cannot measure
+// it). Either may be nil. Call before serving queries; not synchronised
+// with in-flight Runs.
+func (c *Cluster) SetLatencyWindows(query, firstResult *obs.Window) {
+	c.winQuery = query
+	c.winFirst = firstResult
+}
+
+// LatencyWindows returns the windows attached with SetLatencyWindows
+// (nil, nil when none), so callers can snapshot or expose them.
+func (c *Cluster) LatencyWindows() (query, firstResult *obs.Window) {
+	return c.winQuery, c.winFirst
 }
 
 // SetFlightRecorder attaches a flight recorder: every query Run executes

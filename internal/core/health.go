@@ -78,8 +78,8 @@ func (c *Cluster) Partitions(ctx context.Context) (uncertain.DB, map[uncertain.T
 // sites. now anchors the staleness column (pass time.Now()).
 func WriteClusterStatus(w io.Writer, healths []SiteHealth, now time.Time) int {
 	healthy := 0
-	fmt.Fprintf(w, "%-5s %-9s %8s %6s %8s %8s %9s %8s %10s %s\n",
-		"SITE", "STATE", "TUPLES", "TREE", "SESSIONS", "INFLIGHT", "REPLICA", "UPTIME", "REQUESTS", "LAST-UPDATE")
+	fmt.Fprintf(w, "%-5s %-9s %8s %6s %8s %8s %9s %7s %6s %8s %8s %10s %s\n",
+		"SITE", "STATE", "TUPLES", "TREE", "SESSIONS", "INFLIGHT", "REPLICA", "WORKERS", "QUEUED", "P99MS", "UPTIME", "REQUESTS", "LAST-UPDATE")
 	for _, h := range healths {
 		if !h.Healthy() {
 			fmt.Fprintf(w, "%-5d %-9s %s\n", h.Site, "DOWN", h.Err)
@@ -91,9 +91,20 @@ func WriteClusterStatus(w io.Writer, healths []SiteHealth, now time.Time) int {
 		if st.LastUpdateUnixNano != 0 {
 			lastUpdate = now.Sub(time.Unix(0, st.LastUpdateUnixNano)).Round(time.Second).String() + " ago"
 		}
-		fmt.Fprintf(w, "%-5d %-9s %8d %6d %8d %8d %4d@v%-3d %8s %10d %s\n",
+		// Workers reads busy/limit; a site that predates the saturation
+		// fields (or serves only v1 connections) shows "-" rather than a
+		// misleading 0/0.
+		workers := "-"
+		if st.MuxWorkerLimit > 0 {
+			workers = fmt.Sprintf("%d/%d", st.MuxWorkersBusy, st.MuxWorkerLimit)
+		}
+		p99 := "-"
+		if st.LatencyP99Ms > 0 {
+			p99 = fmt.Sprintf("%.2f", st.LatencyP99Ms)
+		}
+		fmt.Fprintf(w, "%-5d %-9s %8d %6d %8d %8d %4d@v%-3d %7s %6d %8s %8s %10d %s\n",
 			h.Site, "HEALTHY", st.Tuples, st.TreeHeight, st.Sessions, st.InFlight,
-			st.ReplicaSize, st.ReplicaVersion,
+			st.ReplicaSize, st.ReplicaVersion, workers, st.MuxQueued, p99,
 			(time.Duration(st.UptimeSeconds*float64(time.Second))).Round(time.Second),
 			st.RequestsTotal, lastUpdate)
 	}

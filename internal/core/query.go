@@ -73,6 +73,12 @@ func Run(ctx context.Context, c *Cluster, opts Options) (*Report, error) {
 		rep.Bandwidth.Bytes = c.meter.Snapshot().Bytes - bytesBefore
 	}
 	rep.Elapsed = time.Since(start)
+	c.winQuery.Observe(rep.Elapsed)
+	if opts.Trace != nil {
+		if ttf := opts.Trace.Summary().TimeToFirst(); ttf > 0 {
+			c.winFirst.Observe(ttf)
+		}
+	}
 	opts.logQuery(rep, nil, rep.Elapsed)
 	c.recordFlight(opts, sid, rep, nil, start, rep.Elapsed)
 	return rep, nil

@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/perf"
+)
+
+func TestValidateProfile(t *testing.T) {
+	for _, p := range []string{ProfileSteady, ProfileBurst, ProfileRamp} {
+		if err := ValidateProfile(p); err != nil {
+			t.Errorf("ValidateProfile(%q) = %v", p, err)
+		}
+	}
+	if err := ValidateProfile("sawtooth"); err == nil || !strings.Contains(err.Error(), "sawtooth") {
+		t.Errorf("ValidateProfile(sawtooth) = %v, want named error", err)
+	}
+}
+
+// TestSoakRateProfiles pins the arrival-rate shapes deterministically —
+// no clocks, just the rate function.
+func TestSoakRateProfiles(t *testing.T) {
+	o := SoakOptions{RPS: 100, Duration: 10 * time.Second, Profile: ProfileSteady}.withDefaults()
+	if r := o.rate(3 * time.Second); r != 100 {
+		t.Errorf("steady rate = %v, want 100", r)
+	}
+
+	o.Profile = ProfileBurst // defaults: factor 4, period 1s
+	if r := o.rate(500 * time.Millisecond); r != 400 {
+		t.Errorf("burst-on rate = %v, want 400", r)
+	}
+	if r := o.rate(1500 * time.Millisecond); r != 100 {
+		t.Errorf("burst-off rate = %v, want 100", r)
+	}
+	if r := o.rate(2200 * time.Millisecond); r != 400 {
+		t.Errorf("second burst rate = %v, want 400", r)
+	}
+
+	o.Profile = ProfileRamp
+	if r := o.rate(0); r != 0 {
+		t.Errorf("ramp start rate = %v, want 0", r)
+	}
+	if r := o.rate(5 * time.Second); r != 100 {
+		t.Errorf("ramp midpoint rate = %v, want 100 (the mean)", r)
+	}
+	if r := o.rate(10 * time.Second); r != 200 {
+		t.Errorf("ramp end rate = %v, want 200", r)
+	}
+	if r := o.rate(15 * time.Second); r != 200 {
+		t.Errorf("ramp past-end rate = %v, want clamped 200", r)
+	}
+}
+
+func TestSoakRejectsBadOptions(t *testing.T) {
+	ctx := context.Background()
+	if _, err := Soak(ctx, nil, SoakOptions{Profile: "nope"}); err == nil {
+		t.Error("unknown profile accepted")
+	}
+	if _, err := Soak(ctx, nil, SoakOptions{UpdateFraction: 1.5}); err == nil {
+		t.Error("update fraction 1.5 accepted")
+	}
+}
+
+// TestSoakEndToEnd runs a short mixed query+update soak against live
+// loopback sites and checks the artifact section is coherent: outcomes
+// partition the offered load, every percentile key carries one sample per
+// iteration, and the scheduled-arrival window saw the traffic.
+func TestSoakEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives live sites on the clock")
+	}
+	addrs, stop, err := StartLocalSites(400, 3, 7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	cluster, err := core.Open(core.ClusterConfig{Addrs: addrs, Dims: DefaultDims})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	win := obs.NewWindow(obs.DefWindowWidth)
+	first := obs.NewWindow(obs.DefWindowWidth)
+	var logged int
+	res, err := Soak(context.Background(), cluster, SoakOptions{
+		RPS:            60,
+		Duration:       400 * time.Millisecond,
+		Iterations:     2,
+		Workers:        4,
+		Profile:        ProfileBurst,
+		UpdateFraction: 0.2,
+		Window:         win,
+		FirstWindow:    first,
+		Logf:           func(string, ...any) { logged++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests == 0 {
+		t.Fatal("soak offered no requests")
+	}
+	ok := res.Requests - res.Errors - res.Deadline
+	if ok <= 0 {
+		t.Fatalf("no successful requests: %+v", res)
+	}
+	if res.Profile != ProfileBurst || res.Iterations != 2 || res.UpdateFraction != 0.2 {
+		t.Fatalf("options not echoed into result: %+v", res)
+	}
+	for _, key := range perf.SoakPercentiles() {
+		d := res.Percentile(key)
+		if d.N != 2 {
+			t.Errorf("latency[%s].N = %d, want one sample per iteration", key, d.N)
+		}
+		if d.Median <= 0 {
+			t.Errorf("latency[%s] median = %v, want > 0", key, d.Median)
+		}
+	}
+	// Percentiles must be ordered within each iteration's estimate.
+	if p50, p99 := res.Percentile(perf.SoakP50).Median, res.Percentile(perf.SoakP99).Median; p50 > p99 {
+		t.Errorf("p50 median %.3f > p99 median %.3f", p50, p99)
+	}
+	if res.ThroughputQPS.N != 2 || res.ThroughputQPS.Median <= 0 {
+		t.Errorf("throughput dist = %+v, want 2 positive samples", res.ThroughputQPS)
+	}
+	if logged != 2 {
+		t.Errorf("Logf called %d times, want once per iteration", logged)
+	}
+	if s := win.Snapshot(); int64(s.Count) == 0 {
+		t.Error("scheduled-arrival window saw no observations")
+	}
+	if s := first.Snapshot(); int64(s.Count) == 0 {
+		t.Error("time-to-first window saw no observations")
+	}
+	// The update stream must have landed: the cluster should hold tuples
+	// in the synthetic soak ID range after a refresh-free query.
+	if res.ErrorRate() > 0.5 {
+		t.Errorf("error rate %.2f too high for an idle loopback cluster", res.ErrorRate())
+	}
+}

@@ -86,11 +86,17 @@ func formatFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
-// histogramJSON is the /vars rendering of one histogram series.
+// histogramJSON is the /vars rendering of one histogram series. P50/P95/
+// P99 are bucket-interpolated estimates (HistogramSnapshot.Quantile) so
+// consumers get percentiles directly instead of re-deriving them from
+// the cumulative buckets.
 type histogramJSON struct {
-	Count   uint64             `json:"count"`
-	Sum     float64            `json:"sum"`
-	Buckets map[string]uint64  `json:"buckets"` // le → cumulative count
+	Count   uint64            `json:"count"`
+	Sum     float64           `json:"sum"`
+	P50     float64           `json:"p50"`
+	P95     float64           `json:"p95"`
+	P99     float64           `json:"p99"`
+	Buckets map[string]uint64 `json:"buckets"` // le → cumulative count
 }
 
 // WriteJSON dumps every series as one flat JSON object keyed by
@@ -110,7 +116,14 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 				out[key] = ins.fn()
 			case ins.hist != nil:
 				s := ins.hist.Snapshot()
-				h := histogramJSON{Count: s.Count, Sum: s.Sum, Buckets: make(map[string]uint64, len(s.Buckets)+1)}
+				h := histogramJSON{
+					Count:   s.Count,
+					Sum:     s.Sum,
+					P50:     s.Quantile(0.50),
+					P95:     s.Quantile(0.95),
+					P99:     s.Quantile(0.99),
+					Buckets: make(map[string]uint64, len(s.Buckets)+1),
+				}
 				for i, ub := range s.Buckets {
 					h.Buckets[formatFloat(ub)] = s.Counts[i]
 				}

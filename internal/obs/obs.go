@@ -182,6 +182,42 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	return s
 }
 
+// Quantile estimates the q-th quantile (q in [0,1]) by linear
+// interpolation inside the bucket where the cumulative count crosses
+// q×Count — the histogram_quantile estimator. Observations beyond the
+// last finite bound clamp to it; an empty snapshot yields 0.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	switch {
+	case q < 0:
+		q = 0
+	case q > 1:
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var prev uint64
+	lower := 0.0
+	for i, ub := range s.Buckets {
+		cum := s.Counts[i]
+		if float64(cum) >= rank {
+			in := cum - prev
+			if in == 0 {
+				return lower
+			}
+			frac := (rank - float64(prev)) / float64(in)
+			if frac < 0 {
+				frac = 0
+			}
+			return lower + frac*(ub-lower)
+		}
+		prev = cum
+		lower = ub
+	}
+	return s.Buckets[len(s.Buckets)-1]
+}
+
 // instrument is one registered series: an instrument plus its identity.
 type instrument struct {
 	labels string // rendered {k="v",...} or ""

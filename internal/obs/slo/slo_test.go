@@ -1,0 +1,174 @@
+package slo
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func TestLatencyObjective(t *testing.T) {
+	w := obs.NewWindow(time.Minute)
+	o := Latency("query-p99", w, 0.99, 10*time.Millisecond)
+
+	// Too few samples: abstain.
+	w.Observe(time.Second)
+	st := o.Evaluate()
+	if st.Breached {
+		t.Fatalf("breached with %d samples; want abstain", st.Samples)
+	}
+
+	// Enough fast samples: healthy.
+	for i := 0; i < 100; i++ {
+		w.Observe(time.Millisecond)
+	}
+	st = o.Evaluate()
+	if st.Samples < 100 {
+		t.Fatalf("Samples = %d", st.Samples)
+	}
+	// The single 1s outlier is ~1% of mass; p99 may land either side of
+	// it, so only sanity-check the fields rather than the verdict.
+	if st.Kind != "latency" || st.Target != 0.010 {
+		t.Fatalf("status = %+v", st)
+	}
+
+	// Mostly slow samples: breached, burn > 1.
+	for i := 0; i < 500; i++ {
+		w.Observe(100 * time.Millisecond)
+	}
+	st = o.Evaluate()
+	if !st.Breached || st.Burn <= 1 {
+		t.Fatalf("want breach with burn > 1, got %+v", st)
+	}
+}
+
+func TestErrorRateObjective(t *testing.T) {
+	var total, errs atomic.Int64
+	o := ErrorRate("errors", total.Load, errs.Load, 0.05)
+
+	// First evaluation primes the window: abstain.
+	total.Store(1000)
+	errs.Store(1000) // historical errors must not count
+	if st := o.Evaluate(); st.Breached {
+		t.Fatalf("first evaluation breached: %+v", st)
+	}
+
+	// 1% over the next interval: healthy.
+	total.Add(100)
+	errs.Add(1)
+	st := o.Evaluate()
+	if st.Breached || st.Current != 0.01 {
+		t.Fatalf("want healthy 1%%, got %+v", st)
+	}
+
+	// 50% over the next interval: breached.
+	total.Add(100)
+	errs.Add(50)
+	st = o.Evaluate()
+	if !st.Breached || st.Burn != 10 {
+		t.Fatalf("want breach at burn 10, got %+v", st)
+	}
+
+	// Idle interval: abstain, not divide-by-zero.
+	if st := o.Evaluate(); st.Breached || st.Samples != 0 {
+		t.Fatalf("idle interval: %+v", st)
+	}
+}
+
+func TestMonitorSustainedBreach(t *testing.T) {
+	w := obs.NewWindow(time.Minute)
+	for i := 0; i < 100; i++ {
+		w.Observe(time.Second) // far over target
+	}
+	m := New(Latency("p99", w, 0.99, time.Millisecond))
+	m.SetSustain(3)
+	var fired []string
+	m.OnSustainedBreach(func(name string) { fired = append(fired, name) })
+	reg := obs.NewRegistry()
+	m.Instrument(reg)
+
+	for i := 0; i < 5; i++ {
+		m.Evaluate()
+	}
+	// The hook fires exactly once per streak, at the third consecutive
+	// breach, and the counter matches.
+	if len(fired) != 1 || fired[0] != "p99" {
+		t.Fatalf("fired = %v, want [p99] once", fired)
+	}
+	if got := reg.Counter("dsud_slo_breaches_total", "slo", "p99").Value(); got != 1 {
+		t.Fatalf("breaches_total = %d, want 1", got)
+	}
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`dsud_slo_burn_rate{slo="p99"}`,
+		`dsud_slo_breached{slo="p99"} 1`,
+		`dsud_slo_breaches_total{slo="p99"} 1`,
+	} {
+		if !strings.Contains(b.String(), want) {
+			t.Fatalf("exposition missing %q:\n%s", want, b.String())
+		}
+	}
+}
+
+func TestMonitorHandler(t *testing.T) {
+	w := obs.NewWindow(time.Minute)
+	for i := 0; i < 100; i++ {
+		w.Observe(time.Millisecond)
+	}
+	m := New(Latency("p99", w, 0.99, time.Second))
+
+	// GET on a never-evaluated monitor evaluates inline.
+	rr := httptest.NewRecorder()
+	m.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/slostatusz", nil))
+	if rr.Code != 200 {
+		t.Fatalf("status %d", rr.Code)
+	}
+	var page struct {
+		Objectives []Status `json:"objectives"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &page); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, rr.Body.String())
+	}
+	if len(page.Objectives) != 1 || page.Objectives[0].Name != "p99" || page.Objectives[0].Breached {
+		t.Fatalf("page = %+v", page)
+	}
+
+	// POST is rejected.
+	rr = httptest.NewRecorder()
+	m.Handler().ServeHTTP(rr, httptest.NewRequest("POST", "/slostatusz", nil))
+	if rr.Code != 405 {
+		t.Fatalf("POST status %d, want 405", rr.Code)
+	}
+}
+
+func TestMonitorNilSafe(t *testing.T) {
+	var m *Monitor
+	m.SetSustain(5)
+	m.OnSustainedBreach(func(string) {})
+	m.Instrument(obs.NewRegistry())
+	if got := m.Evaluate(); got != nil {
+		t.Fatalf("nil Evaluate = %v", got)
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	var b strings.Builder
+	WriteText(&b, []Status{
+		{Name: "p99", Kind: "latency", Current: 0.5, Target: 0.25, Burn: 2, Breached: true, SustainedBreaches: 4, Samples: 100},
+		{Name: "errors", Kind: "error-rate"},
+	})
+	out := b.String()
+	for _, want := range []string{"SLO", "BREACH x4", "no-data"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -171,7 +171,75 @@ func WriteMarkdown(w io.Writer, oldA, newA *Artifact, deltas []MetricDelta) erro
 	fmt.Fprintf(w, "\n%d comparison(s): %d regression(s), %d improvement(s), %d within noise.\n",
 		len(deltas), reg, imp, len(deltas)-reg-imp)
 	writeThroughputMarkdown(w, oldA, newA)
+	writeSoakMarkdown(w, oldA, newA)
 	return nil
+}
+
+// SoakP99Delta compares the two artifacts' soak p99 medians and reports
+// the relative movement (new−old)/old — the figure behind
+// dsud-benchdiff's -max-p99-regress gate. ok is false when either side
+// lacks a soak section with a p99 distribution (pre-soak baselines),
+// leaving the gate decision to the caller.
+func SoakP99Delta(oldA, newA *Artifact) (oldMed, newMed, rel float64, ok bool) {
+	od := oldA.Soak.Percentile(SoakP99)
+	nd := newA.Soak.Percentile(SoakP99)
+	if od.N == 0 || nd.N == 0 {
+		return 0, 0, 0, false
+	}
+	oldMed, newMed = od.Median, nd.Median
+	switch {
+	case oldMed == 0 && newMed == 0:
+		rel = 0
+	case oldMed == 0:
+		rel = math.Inf(1)
+	default:
+		rel = (newMed - oldMed) / oldMed
+	}
+	return oldMed, newMed, rel, true
+}
+
+// writeSoakMarkdown renders the sustained-load section when either
+// artifact carries one; a missing side renders as "—".
+func writeSoakMarkdown(w io.Writer, oldA, newA *Artifact) {
+	if oldA.Soak == nil && newA.Soak == nil {
+		return
+	}
+	fmt.Fprintf(w, "\n### Sustained-load soak (open-loop loadgen)\n\n")
+	fmt.Fprintf(w, "| | old | new |\n|---|---:|---:|\n")
+	cell := func(s *SoakResult, f func(*SoakResult) string) string {
+		if s == nil {
+			return "—"
+		}
+		return f(s)
+	}
+	rows := []struct {
+		label string
+		f     func(*SoakResult) string
+	}{
+		{"target RPS", func(s *SoakResult) string { return fmt.Sprintf("%.0f", s.TargetRPS) }},
+		{"profile", func(s *SoakResult) string { return s.Profile }},
+		{"throughput q/s (median)", func(s *SoakResult) string { return fmt.Sprintf("%.1f", s.ThroughputQPS.Median) }},
+		{"error rate", func(s *SoakResult) string { return fmt.Sprintf("%.3f%%", s.ErrorRate()*100) }},
+	}
+	for _, p := range SoakPercentiles() {
+		p := p
+		rows = append(rows, struct {
+			label string
+			f     func(*SoakResult) string
+		}{p + " (median ms)", func(s *SoakResult) string {
+			d := s.Percentile(p)
+			if d.N == 0 {
+				return "—"
+			}
+			return fmt.Sprintf("%.2f", d.Median)
+		}})
+	}
+	for _, r := range rows {
+		fmt.Fprintf(w, "| %s | %s | %s |\n", r.label, cell(oldA.Soak, r.f), cell(newA.Soak, r.f))
+	}
+	if _, _, rel, ok := SoakP99Delta(oldA, newA); ok {
+		fmt.Fprintf(w, "\nsoak p99 movement: %s\n", formatRel(rel))
+	}
 }
 
 // writeThroughputMarkdown renders the concurrent-query throughput section

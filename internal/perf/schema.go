@@ -89,15 +89,75 @@ type ThroughputResult struct {
 	Speedup         float64 `json:"speedup"`
 }
 
-// Artifact is the full versioned BENCH_dsud.json document. Throughput is
-// additive within schema v1: absent in older artifacts, present since the
-// multiplexed transport landed.
+// Soak latency percentile keys (SoakResult.Latency). Each maps to a Dist
+// whose samples are that percentile measured once per soak iteration, so
+// the artifact captures both the tail estimate and its run-to-run spread.
+const (
+	SoakP50 = "p50"
+	SoakP95 = "p95"
+	SoakP99 = "p99"
+)
+
+// SoakPercentiles lists the latency keys in rendering order.
+func SoakPercentiles() []string { return []string{SoakP50, SoakP95, SoakP99} }
+
+// SoakResult is the sustained-load section of the artifact: an open-loop
+// load generator drives mixed query+update traffic at TargetRPS for
+// DurationSeconds, Iterations times, and per-iteration latency
+// percentiles (milliseconds, measured from each request's *scheduled*
+// arrival so coordinated omission cannot flatter the tail) land as
+// distributions. Additive within schema v1, like Throughput.
+type SoakResult struct {
+	TargetRPS       float64 `json:"target_rps"`
+	DurationSeconds float64 `json:"duration_seconds"`
+	Iterations      int     `json:"iterations"`
+	Workers         int     `json:"workers"`
+	// Profile is the arrival-rate shape: "steady", "burst" or "ramp".
+	Profile string `json:"profile"`
+	// UpdateFraction is the share of offered traffic that is insert/delete
+	// maintenance rather than queries.
+	UpdateFraction float64 `json:"update_fraction"`
+	// Outcome totals across all iterations. Deadline counts requests that
+	// exceeded their per-request deadline (a subset of neither Requests-
+	// only-successes nor Errors: the three classes partition the offered
+	// load: Requests = ok + Errors + Deadline).
+	Requests int64 `json:"requests"`
+	Errors   int64 `json:"errors"`
+	Deadline int64 `json:"deadline"`
+	// ThroughputQPS is completed-ok queries/sec per iteration.
+	ThroughputQPS Dist `json:"throughput_qps"`
+	// Latency maps SoakP50/P95/P99 to per-iteration distributions in
+	// milliseconds, over successful requests.
+	Latency map[string]Dist `json:"latency"`
+}
+
+// ErrorRate returns (errors+deadline)/requests (0 when no requests ran).
+func (s *SoakResult) ErrorRate() float64 {
+	if s == nil || s.Requests == 0 {
+		return 0
+	}
+	return float64(s.Errors+s.Deadline) / float64(s.Requests)
+}
+
+// Percentile returns the named latency distribution (zero Dist when
+// absent or nil).
+func (s *SoakResult) Percentile(key string) Dist {
+	if s == nil {
+		return Dist{}
+	}
+	return s.Latency[key]
+}
+
+// Artifact is the full versioned BENCH_dsud.json document. Throughput
+// and Soak are additive within schema v1: absent in older artifacts,
+// present since the multiplexed transport and the soak harness landed.
 type Artifact struct {
 	Schema     int                `json:"schema_version"`
 	Env        Env                `json:"env"`
 	Config     RunConfig          `json:"config"`
 	Algorithms []AlgoResult       `json:"algorithms"`
 	Throughput []ThroughputResult `json:"throughput,omitempty"`
+	Soak       *SoakResult        `json:"soak,omitempty"`
 }
 
 // MaxThroughput returns the highest-concurrency throughput entry, or nil

@@ -101,6 +101,15 @@ type Engine struct {
 	// finished query session. Nil-safe, so no guard at the record site.
 	flight *flight.Recorder
 
+	// win is the always-on rotating latency window behind the /statusz
+	// percentiles (LatencyP50Ms..P99Ms): request durations measured from
+	// Handle entry to exit, so time queued behind e.mu counts — that is
+	// the latency the coordinator actually experiences. workerStats, when
+	// set (SetWorkerStats), lets the same snapshot report the serving
+	// transport's v2 worker-pool saturation.
+	win         *obs.Window
+	workerStats func() transport.WorkerStats
+
 	// forceBadPrune is a test-only fault injection: when set,
 	// handleEvaluate prunes every dominated candidate regardless of the
 	// Observation-2 bound — an unsound prune the online auditor must
@@ -168,6 +177,7 @@ func New(id int, part uncertain.DB, dims, capacity int) *Engine {
 		sessions: make(map[uint64]*session),
 		dedup:    make(map[uint64]*dedupState),
 		start:    time.Now(),
+		win:      obs.NewWindow(obs.DefWindowWidth),
 	}
 }
 
@@ -198,6 +208,20 @@ func (e *Engine) TestingForceBadPrune(on bool) {
 	e.forceBadPrune = on
 }
 
+// SetWorkerStats attaches the serving transport's worker-pool gauge
+// (transport.Server.WorkerStats) so Status can report mux saturation
+// next to the engine's own in-flight count. nil detaches.
+func (e *Engine) SetWorkerStats(fn func() transport.WorkerStats) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.workerStats = fn
+}
+
+// Window returns the engine's rotating request-latency window, so
+// daemons can export its quantiles on their metrics registry
+// (obs.ExposeWindow) and SLO monitors can target it.
+func (e *Engine) Window() *obs.Window { return e.win }
+
 // ID returns the site's index, fixed at construction.
 func (e *Engine) ID() int { return e.id }
 
@@ -223,6 +247,8 @@ func (e *Engine) Handle(ctx context.Context, req *transport.Request) (*transport
 	e.inFlight.Add(1)
 	defer e.inFlight.Add(-1)
 	e.requestsTotal.Add(1)
+	reqStart := time.Now()
+	defer func() { e.win.Observe(time.Since(reqStart)) }()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if req.Seq != 0 {

@@ -22,7 +22,7 @@ func (e *Engine) Status() transport.SiteStatus {
 // probe observing "1 in flight" is watching itself be served.
 func (e *Engine) statusLocked() *transport.SiteStatus {
 	now := time.Now()
-	return &transport.SiteStatus{
+	st := &transport.SiteStatus{
 		ID:                 e.id,
 		Tuples:             e.index.Len(),
 		TreeHeight:         e.index.Height(),
@@ -35,6 +35,21 @@ func (e *Engine) statusLocked() *transport.SiteStatus {
 		LastUpdateUnixNano: e.lastUpdate.Load(),
 		RequestsTotal:      e.requestsTotal.Load(),
 	}
+	if s := e.win.Snapshot(); s.Count > 0 {
+		st.LatencyP50Ms = float64(s.Quantile(0.50)) / float64(time.Millisecond)
+		st.LatencyP95Ms = float64(s.Quantile(0.95)) / float64(time.Millisecond)
+		st.LatencyP99Ms = float64(s.Quantile(0.99)) / float64(time.Millisecond)
+		st.WindowRate = s.Rate()
+		st.WindowSeconds = s.Span.Seconds()
+	}
+	if e.workerStats != nil {
+		w := e.workerStats()
+		st.MuxConns = w.Conns
+		st.MuxWorkersBusy = w.Busy
+		st.MuxWorkerLimit = w.Limit
+		st.MuxQueued = w.Queued
+	}
+	return st
 }
 
 // StatusHandler serves the snapshot as JSON — mount it at /statusz on

@@ -299,6 +299,8 @@ func (s *Server) serveMux(conn net.Conn, br *bufio.Reader, w io.Writer) {
 	if _, err := w.Write(hello[:]); err != nil {
 		return
 	}
+	s.muxConns.Add(1)
+	defer s.muxConns.Add(-1)
 
 	var (
 		// wmu serialises the shared response gob stream + frame writes.
@@ -345,7 +347,13 @@ func (s *Server) serveMux(conn net.Conn, br *bufio.Reader, w io.Writer) {
 		if err := dec.Decode(&wreq); err != nil {
 			return // the shared gob stream is corrupt; the connection is done
 		}
+		// A full pool parks this read loop on sem; the queued gauge is
+		// what makes that saturation visible to /statusz before clients
+		// feel it as TCP backpressure.
+		s.queuedReqs.Add(1)
 		sem <- struct{}{}
+		s.queuedReqs.Add(-1)
+		s.busyWorkers.Add(1)
 		reqCtx, cancel := context.WithCancel(connCtx)
 		imu.Lock()
 		inflight[fr.ID] = cancel
@@ -353,7 +361,7 @@ func (s *Server) serveMux(conn net.Conn, br *bufio.Reader, w io.Writer) {
 		wg.Add(1)
 		go func(id uint64, req Request, ctx context.Context, cancel context.CancelFunc) {
 			defer wg.Done()
-			defer func() { <-sem }()
+			defer func() { <-sem; s.busyWorkers.Add(-1) }()
 			defer func() {
 				imu.Lock()
 				delete(inflight, id)

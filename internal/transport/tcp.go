@@ -49,6 +49,47 @@ type Server struct {
 	// request (if any) completes, instead of waiting for the next one —
 	// the graceful half of Shutdown.
 	draining atomic.Bool
+
+	// Saturation telemetry across every v2 connection: how many worker
+	// goroutines are inside the handler right now, and how many read
+	// loops are parked waiting for a worker slot (the moment queued goes
+	// nonzero, TCP backpressure has reached that connection's client).
+	muxConns    atomic.Int64
+	busyWorkers atomic.Int64
+	queuedReqs  atomic.Int64
+}
+
+// WorkerStats is a point-in-time view of the server's v2 worker-pool
+// saturation, aggregated across connections. Busy at Limit×Conns with
+// Queued > 0 is the backpressure regime: the server has stopped reading
+// some connections and clients are throttled by TCP flow control.
+type WorkerStats struct {
+	// Conns is the number of live v2 (mux) connections.
+	Conns int `json:"conns"`
+	// Busy is how many requests are inside handlers right now; Limit is
+	// the per-connection worker cap they are admitted under.
+	Busy  int `json:"busy"`
+	Limit int `json:"limit"`
+	// Queued is how many connections' read loops are blocked waiting for
+	// a free worker slot.
+	Queued int `json:"queued"`
+}
+
+// WorkerStats reports current v2 worker-pool saturation. Cheap enough
+// for status handlers; safe for concurrent use.
+func (s *Server) WorkerStats() WorkerStats {
+	s.mu.Lock()
+	limit := s.workerLimit
+	s.mu.Unlock()
+	if limit < 1 {
+		limit = DefaultWorkerLimit
+	}
+	return WorkerStats{
+		Conns:  int(s.muxConns.Load()),
+		Busy:   int(s.busyWorkers.Load()),
+		Limit:  limit,
+		Queued: int(s.queuedReqs.Load()),
+	}
 }
 
 // DefaultWorkerLimit bounds concurrent v2 request handlers per

@@ -250,6 +250,28 @@ type SiteStatus struct {
 	// RequestsTotal counts requests executed since start (replays served
 	// from the dedup cache included).
 	RequestsTotal uint64 `json:"requests_total"`
+
+	// Windowed request-latency percentiles in milliseconds, estimated by
+	// bucket interpolation over the engine's rotating window (obs.Window);
+	// WindowRate is the windowed request rate in requests/second and
+	// WindowSeconds the window span the figures cover. All zero on sites
+	// that predate windowed latency (gob encodes by field name, so the
+	// fields simply arrive absent).
+	LatencyP50Ms  float64 `json:"latency_p50_ms,omitempty"`
+	LatencyP95Ms  float64 `json:"latency_p95_ms,omitempty"`
+	LatencyP99Ms  float64 `json:"latency_p99_ms,omitempty"`
+	WindowRate    float64 `json:"window_rate,omitempty"`
+	WindowSeconds float64 `json:"window_seconds,omitempty"`
+
+	// v2 worker-pool saturation (satellite of the soak-observability
+	// work): MuxWorkersBusy of MuxWorkerLimit per-connection slots are in
+	// handlers across MuxConns live mux connections, and MuxQueued read
+	// loops are parked waiting for a slot — the backpressure signal
+	// in-flight counts alone cannot show. Zero on legacy-only sites.
+	MuxConns       int `json:"mux_conns,omitempty"`
+	MuxWorkersBusy int `json:"mux_workers_busy,omitempty"`
+	MuxWorkerLimit int `json:"mux_worker_limit,omitempty"`
+	MuxQueued      int `json:"mux_queued,omitempty"`
 }
 
 // Client is the coordinator's handle to one site.
