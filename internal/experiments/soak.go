@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"net"
 	"sort"
@@ -151,6 +152,26 @@ func (o SoakOptions) rate(t time.Duration) float64 {
 	}
 }
 
+// gap returns the inter-arrival delay after an arrival at elapsed time t.
+// The ramp profile cannot sample rate(t) pointwise: rate(0) is zero, so
+// the first gap would be effectively infinite and the whole iteration
+// would emit one request. Instead integrate the linear rate — cumulative
+// arrivals satisfy N(t) = RPS·t²/Duration, so the arrival after t lands
+// at sqrt(t² + Duration/RPS) — which also yields exactly RPS·Duration
+// arrivals per iteration (the documented mean).
+func (o SoakOptions) gap(t time.Duration) time.Duration {
+	if o.Profile == ProfileRamp {
+		ts := t.Seconds()
+		next := math.Sqrt(ts*ts + o.Duration.Seconds()/o.RPS)
+		return time.Duration((next - ts) * float64(time.Second))
+	}
+	r := o.rate(t)
+	if r < 1e-3 {
+		r = 1e-3
+	}
+	return time.Duration(float64(time.Second) / r)
+}
+
 // soakTally accumulates one iteration's outcomes.
 type soakTally struct {
 	mu       sync.Mutex
@@ -163,7 +184,23 @@ type soakTally struct {
 	failures *obs.Counter
 }
 
+// record classifies one completed query and, on success, contributes its
+// scheduled-arrival latency to the iteration's percentiles.
 func (t *soakTally) record(lat time.Duration, err error) {
+	t.recordOutcome(err)
+	if err == nil {
+		ms := float64(lat) / float64(time.Millisecond)
+		t.mu.Lock()
+		t.latsMS = append(t.latsMS, ms)
+		t.mu.Unlock()
+	}
+}
+
+// recordOutcome classifies a completed request without contributing a
+// latency sample — update traffic counts toward outcomes and the live
+// SLO feeds, but its latency (taken under the quiesce write lock) stays
+// out of the query latency distribution.
+func (t *soakTally) recordOutcome(err error) {
 	t.requests.Inc()
 	switch {
 	case err == nil:
@@ -174,12 +211,6 @@ func (t *soakTally) record(lat time.Duration, err error) {
 	default:
 		t.errs.Add(1)
 		t.failures.Inc()
-	}
-	if err == nil {
-		ms := float64(lat) / float64(time.Millisecond)
-		t.mu.Lock()
-		t.latsMS = append(t.latsMS, ms)
-		t.mu.Unlock()
 	}
 }
 
@@ -391,19 +422,7 @@ func soakIteration(ctx context.Context, cluster *core.Cluster, opts SoakOptions,
 			err := upd.step(uctx)
 			quiesce.Unlock()
 			cancel()
-			lat := time.Since(at)
-			tally.record(lat, err)
-			_ = lat // update latency classifies outcomes but stays out of the query percentiles
-			if err == nil {
-				// record already stored the latency sample; updates should
-				// not contribute to the query latency distribution, so take
-				// it back out.
-				tally.mu.Lock()
-				if n := len(tally.latsMS); n > 0 {
-					tally.latsMS = tally.latsMS[:n-1]
-				}
-				tally.mu.Unlock()
-			}
+			tally.recordOutcome(err)
 		}
 	}()
 
@@ -428,11 +447,7 @@ func soakIteration(ctx context.Context, cluster *core.Cluster, opts SoakOptions,
 		} else {
 			queries <- sched
 		}
-		r := opts.rate(sched.Sub(start))
-		if r < 1e-3 {
-			r = 1e-3
-		}
-		sched = sched.Add(time.Duration(float64(time.Second) / r))
+		sched = sched.Add(opts.gap(sched.Sub(start)))
 	}
 	close(queries)
 	close(updates)

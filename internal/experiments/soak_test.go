@@ -56,6 +56,63 @@ func TestSoakRateProfiles(t *testing.T) {
 	}
 }
 
+// TestSoakGapProfiles pins the scheduler's inter-arrival arithmetic. The
+// ramp case is the regression guard for rate(0)=0: sampling the rate at
+// the last arrival would clamp to 1e-3 rps and schedule the next arrival
+// ~1000s out, past the iteration end, so a ramp soak would emit exactly
+// one request. The integrated schedule instead starts at sqrt(D/RPS) and
+// delivers the documented mean of RPS·Duration arrivals per iteration.
+func TestSoakGapProfiles(t *testing.T) {
+	o := SoakOptions{RPS: 100, Duration: 10 * time.Second, Profile: ProfileSteady}.withDefaults()
+	if g := o.gap(3 * time.Second); g != 10*time.Millisecond {
+		t.Errorf("steady gap = %v, want 10ms", g)
+	}
+	o.Profile = ProfileBurst
+	if g := o.gap(500 * time.Millisecond); g != 2500*time.Microsecond {
+		t.Errorf("burst-on gap = %v, want 2.5ms", g)
+	}
+
+	o.Profile = ProfileRamp
+	// First gap: N(t) = RPS·t²/D = 1 at sqrt(D/RPS) ≈ 316ms. Anything on
+	// the order of Duration means the degenerate one-request schedule.
+	if g := o.gap(0); g < 300*time.Millisecond || g > 330*time.Millisecond {
+		t.Errorf("ramp first gap = %v, want ~316ms", g)
+	}
+	// Walk the whole schedule: arrivals over one iteration must total
+	// ~RPS·Duration (the ramp's mean rate is RPS).
+	arrivals := 0
+	for elapsed := time.Duration(0); elapsed < o.Duration; elapsed += o.gap(elapsed) {
+		arrivals++
+		if arrivals > 2000 {
+			t.Fatal("ramp schedule did not terminate")
+		}
+	}
+	if arrivals < 990 || arrivals > 1010 {
+		t.Errorf("ramp arrivals = %d, want ~1000 (RPS·Duration)", arrivals)
+	}
+}
+
+// TestSoakTallyUpdateLatency pins the update path's bookkeeping: updates
+// classify outcomes and feed the live counters but never contribute a
+// sample to the query latency distribution (their latency is taken under
+// the quiesce write lock and would pollute the percentiles).
+func TestSoakTallyUpdateLatency(t *testing.T) {
+	var req, fail obs.Counter
+	tally := &soakTally{requests: &req, failures: &fail}
+	tally.record(5*time.Millisecond, nil) // a query
+	tally.recordOutcome(nil)              // an ok update
+	tally.recordOutcome(context.DeadlineExceeded)
+	if got := len(tally.latsMS); got != 1 {
+		t.Errorf("latsMS holds %d samples, want 1 (queries only)", got)
+	}
+	if ok, dl := tally.ok.Load(), tally.deadline.Load(); ok != 2 || dl != 1 {
+		t.Errorf("ok=%d deadline=%d, want 2 and 1", ok, dl)
+	}
+	if req.Value() != 3 || fail.Value() != 1 {
+		t.Errorf("requests=%d failures=%d, want 3 and 1", req.Value(), fail.Value())
+	}
+}
+
 func TestSoakRejectsBadOptions(t *testing.T) {
 	ctx := context.Background()
 	if _, err := Soak(ctx, nil, SoakOptions{Profile: "nope"}); err == nil {

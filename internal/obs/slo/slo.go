@@ -57,9 +57,10 @@ type Objective interface {
 	Evaluate() Status
 }
 
-// minSamples is the floor below which latency objectives abstain rather
-// than declare a breach: a p99 over a handful of requests is noise, and a
-// flight-recorder dump triggered by it would be an alert on silence.
+// minSamples is the floor below which objectives abstain rather than
+// declare a breach: a p99 — or an error fraction — over a handful of
+// requests is noise, and a flight-recorder dump triggered by it would be
+// an alert on silence.
 const minSamples = 20
 
 // latencyObjective targets a windowed latency quantile.
@@ -110,7 +111,10 @@ type errorRateObjective struct {
 // ErrorRate declares "errors/total stays below max" over the interval
 // between evaluations. total and errors are monotone counters (e.g.
 // obs.Counter values); the objective diffs consecutive readings so a
-// historical error burst does not poison the rate forever. max is a
+// historical error burst does not poison the rate forever. Intervals
+// with fewer than a minimum number of requests abstain without consuming
+// the delta, so a short tail window cannot fail a run on noise and a
+// slow trickle is still judged once enough samples accumulate. max is a
 // fraction (0.01 = 1%).
 func ErrorRate(name string, total, errors func() int64, max float64) Objective {
 	return &errorRateObjective{name: name, total: total, errors: errors, max: max}
@@ -122,19 +126,28 @@ func (o *errorRateObjective) Evaluate() Status {
 	st := Status{Name: o.name, Kind: "error-rate", Target: o.max}
 	t, e := o.total(), o.errors()
 	o.mu.Lock()
-	dt, de := t-o.lastTotal, e-o.lastErrors
-	primed := o.primed
-	o.lastTotal, o.lastErrors = t, e
-	o.primed = true
-	o.mu.Unlock()
-	if !primed {
+	if !o.primed {
 		// First evaluation sees process-lifetime totals, not a window;
 		// abstain and measure from here.
+		o.lastTotal, o.lastErrors = t, e
+		o.primed = true
+		o.mu.Unlock()
 		return st
 	}
-	if dt <= 0 {
-		return st // idle interval: nothing to judge
+	dt, de := t-o.lastTotal, e-o.lastErrors
+	if dt < minSamples {
+		// Too few requests since the last judged window to call a
+		// breach: one failure among a handful of requests reads as a
+		// huge rate. Leave the window open (don't consume the delta) so
+		// a slow trickle is still judged once enough samples accumulate.
+		o.mu.Unlock()
+		if dt > 0 {
+			st.Samples = uint64(dt)
+		}
+		return st
 	}
+	o.lastTotal, o.lastErrors = t, e
+	o.mu.Unlock()
 	st.Samples = uint64(dt)
 	st.Current = float64(de) / float64(dt)
 	if o.max > 0 {
@@ -165,6 +178,12 @@ type Monitor struct {
 	last    []Status
 	lastAt  time.Time
 	onHook  func(name string)
+
+	// evalOnce guards Handler's lazy first evaluation: evaluating moves
+	// objective state (delta windows, breach streaks), so concurrent
+	// first scrapes must not each run Evaluate and skew the cadenced
+	// Run()'s bookkeeping.
+	evalOnce sync.Once
 
 	breachTotal map[string]*obs.Counter
 }
@@ -325,8 +344,10 @@ type statusPage struct {
 }
 
 // Handler serves the latest evaluation as JSON (mount at /slostatusz).
-// If the monitor has never been evaluated it evaluates once inline, so
-// the page is never empty on a freshly started daemon. GET/HEAD only.
+// If the monitor has never been evaluated it evaluates inline — at most
+// once for the monitor's lifetime, so racing first scrapes cannot
+// repeatedly advance objective state — and the page is never empty on a
+// freshly started daemon. GET/HEAD only.
 func (m *Monitor) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		if req.Method != http.MethodGet && req.Method != http.MethodHead {
@@ -340,8 +361,13 @@ func (m *Monitor) Handler() http.Handler {
 			last, at := m.last, m.lastAt
 			m.mu.Unlock()
 			if last == nil {
-				last = m.Evaluate()
-				at = time.Now()
+				m.evalOnce.Do(func() { m.Evaluate() })
+				// Either this Do evaluated, a concurrent one did (Do
+				// blocks until it finishes), or the cadenced Run() got
+				// there first; in all cases the cache is populated.
+				m.mu.Lock()
+				last, at = m.last, m.lastAt
+				m.mu.Unlock()
 			}
 			page.Objectives = last
 			if !at.IsZero() {

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -79,6 +80,38 @@ func TestErrorRateObjective(t *testing.T) {
 	}
 }
 
+// TestErrorRateObjectiveAbstainsOnSmallWindow pins the minimum-sample
+// rule: one failure among a handful of requests (a short tail window
+// after the last cadenced evaluation) must not read as a huge error rate,
+// and the unconsumed delta is still judged once enough samples accrue.
+func TestErrorRateObjectiveAbstainsOnSmallWindow(t *testing.T) {
+	var total, errs atomic.Int64
+	o := ErrorRate("errors", total.Load, errs.Load, 0.05)
+	o.Evaluate() // prime
+
+	// 1 failure in 5 requests would be a burn of 4 — abstain instead.
+	total.Add(5)
+	errs.Add(1)
+	st := o.Evaluate()
+	if st.Breached || st.Burn != 0 {
+		t.Fatalf("small window judged: %+v", st)
+	}
+	if st.Samples != 5 {
+		t.Fatalf("Samples = %d, want 5 (reported but not judged)", st.Samples)
+	}
+
+	// The abstained delta stays in the window: once it grows past the
+	// floor the trickle is judged, failure included.
+	total.Add(20)
+	st = o.Evaluate()
+	if st.Samples != 25 || st.Current != 0.04 {
+		t.Fatalf("accumulated window = %+v, want 1/25 judged", st)
+	}
+	if st.Breached {
+		t.Fatalf("4%% under a 5%% budget breached: %+v", st)
+	}
+}
+
 func TestMonitorSustainedBreach(t *testing.T) {
 	w := obs.NewWindow(time.Minute)
 	for i := 0; i < 100; i++ {
@@ -146,6 +179,42 @@ func TestMonitorHandler(t *testing.T) {
 	m.Handler().ServeHTTP(rr, httptest.NewRequest("POST", "/slostatusz", nil))
 	if rr.Code != 405 {
 		t.Fatalf("POST status %d, want 405", rr.Code)
+	}
+}
+
+// countingObjective counts how often it is evaluated, to pin Handler's
+// at-most-once lazy evaluation.
+type countingObjective struct{ evals atomic.Int64 }
+
+func (c *countingObjective) Name() string { return "counting" }
+func (c *countingObjective) Evaluate() Status {
+	c.evals.Add(1)
+	return Status{Name: "counting", Kind: "latency"}
+}
+
+// TestMonitorHandlerEvaluatesAtMostOnce races first scrapes against each
+// other: evaluation advances objective state (delta windows, breach
+// streaks), so scrapes on a never-evaluated monitor may trigger at most
+// one evaluation between them.
+func TestMonitorHandlerEvaluatesAtMostOnce(t *testing.T) {
+	var obj countingObjective
+	m := New(&obj)
+	h := m.Handler()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rr := httptest.NewRecorder()
+			h.ServeHTTP(rr, httptest.NewRequest("GET", "/slostatusz", nil))
+			if rr.Code != 200 {
+				t.Errorf("scrape status %d", rr.Code)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := obj.evals.Load(); got != 1 {
+		t.Fatalf("objective evaluated %d times by concurrent scrapes, want 1", got)
 	}
 }
 
