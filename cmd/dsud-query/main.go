@@ -8,7 +8,11 @@
 //	dsud-query -addrs 127.0.0.1:7101,127.0.0.1:7102 -dims 3 -q 0.3 -algo edsud
 //
 // With -cluster-status it instead probes every site's health and prints
-// one row per site. With -audit-fraction the completed query is
+// one row per site (including each site's telemetry last-push age). With
+// -watch it runs as a long-lived telemetry coordinator: every site's
+// pushed telemetry stream feeds a time-series store served at /clusterz
+// (and as a Prometheus federation view) on -debug-addr — the endpoint
+// dsud-top -cluster reads. With -audit-fraction the completed query is
 // re-checked against exact oracles at that sampling rate, and with
 // -flight-dir the coordinator's flight recorder is dumped on exit (and
 // automatically on slow queries or audit violations).
@@ -16,6 +20,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
@@ -44,6 +49,8 @@ func main() {
 		stats = flag.Bool("stats", false, "print the per-phase timing table after the query")
 
 		clusterStatus = flag.Bool("cluster-status", false, "probe every site's health over the wire, print a status table and exit")
+		watch         = flag.Bool("watch", false, "run as a telemetry coordinator: subscribe to every site's pushed telemetry and serve /clusterz plus the cluster federation view on -debug-addr until interrupted (no query runs)")
+		telemetryInt  = flag.Duration("telemetry-interval", 0, "push cadence requested from the sites in -watch mode (0 = 1s default)")
 		auditFraction = flag.Float64("audit-fraction", 0, "fraction of completed queries re-checked against exact oracles (0 = off, 1 = every query)")
 		auditMC       = flag.Int("audit-mc-samples", 0, "Monte-Carlo possible worlds per audited query (0 = exact checks only)")
 		flightDir     = flag.String("flight-dir", "", "directory for flight-recorder dumps (slow queries, audit violations, exit)")
@@ -56,13 +63,23 @@ func main() {
 		slowQuery   = flag.Duration("slow-query", 0, "log queries at least this slow at Warn with a phase breakdown (0 = off; needs -log-level)")
 	)
 	flag.Parse()
-	if *addrs == "" || (!*clusterStatus && *dims <= 0) {
+	if *addrs == "" || (!*clusterStatus && !*watch && *dims <= 0) {
 		flag.Usage()
 		os.Exit(2)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *watch {
+		if *debugAddr == "" {
+			fatalf("-watch needs -debug-addr to serve /clusterz")
+		}
+		if err := watchCluster(ctx, *addrs, *dims, *debugAddr, *telemetryInt, *logLevel, *logFormat); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
 
 	if *clusterStatus {
 		// Status probes don't need the data dimensionality; any positive
@@ -253,6 +270,68 @@ func finalSnapshot(fr *dsq.FlightRecorder, reg *dsq.Metrics, dir string) {
 		return
 	}
 	fmt.Printf("metrics snapshot -> %s\n", path)
+}
+
+// watchCluster is the -watch serve mode: the coordinator as the cluster's
+// telemetry aggregation point. It subscribes to every site's pushed
+// telemetry stream (wire v2), retains recent history in the time-series
+// store, and serves /clusterz (JSON and ?format=text), the federation
+// /metrics view and the usual debug endpoints until ctx is cancelled.
+func watchCluster(ctx context.Context, addrs string, dims int, debugAddr string, interval time.Duration, logLevel, logFormat string) error {
+	d := dims
+	if d <= 0 {
+		d = 1 // telemetry never ships tuples; any positive dims satisfies the constructor
+	}
+	reg := dsq.NewMetrics()
+	cluster, err := dsq.Connect(dsq.ClusterConfig{
+		Addrs:   strings.Split(addrs, ","),
+		Dims:    d,
+		Metrics: reg,
+		// Redialling transport: a site restart only costs the staleness
+		// window, not the subscription.
+		RetryAttempts: 3,
+	})
+	if err != nil {
+		return err
+	}
+	defer cluster.Close()
+
+	cfg := dsq.TelemetryConfig{Interval: interval}
+	if logLevel != "" {
+		level, err := dsq.ParseLogLevel(logLevel)
+		if err != nil {
+			return err
+		}
+		logger, err := dsq.NewLogger(os.Stderr, logFormat, level)
+		if err != nil {
+			return err
+		}
+		cfg.Logger = logger
+	}
+	ct, err := cluster.StartTelemetry(ctx, cfg)
+	if err != nil {
+		return err
+	}
+	defer ct.Stop()
+	ct.Expose(reg)
+
+	lis, err := net.Listen("tcp", debugAddr)
+	if err != nil {
+		return fmt.Errorf("debug listen: %w", err)
+	}
+	fmt.Printf("cluster telemetry on http://%s/clusterz (%d sites, push interval %v)\n",
+		lis.Addr(), cluster.Sites(), ct.Interval())
+	srv := &http.Server{Handler: obs.DebugMux(reg, map[string]http.Handler{
+		"/clusterz": ct.Handler(),
+	})}
+	go func() {
+		<-ctx.Done()
+		srv.Close()
+	}()
+	if err := srv.Serve(lis); !errors.Is(err, http.ErrServerClosed) && ctx.Err() == nil {
+		return err
+	}
+	return nil
 }
 
 func fatalf(format string, args ...interface{}) {

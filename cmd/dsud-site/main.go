@@ -104,6 +104,11 @@ func main() {
 	// /metrics — the live feed dsud-top renders.
 	eng.SetWorkerStats(srv.WorkerStats)
 	obs.ExposeWindow(reg, "dsud_site_request_window_seconds", eng.Window(), "site", fmt.Sprint(*id))
+	// Telemetry push plane: wire-v2 coordinators subscribe and receive one
+	// snapshot per interval; /statusz reports the publisher's own counters
+	// so operators can see who is listening and when the last push went out.
+	srv.SetTelemetrySource(eng)
+	eng.SetTelemetryStats(srv.TelemetryStats)
 	fmt.Printf("dsud-site %d serving %d tuples (%d dims) on %s\n", *id, len(part), dims, lis.Addr())
 
 	// Declarative site-level SLO over the windowed request latency:
@@ -113,6 +118,7 @@ func main() {
 	if *sloP99 > 0 {
 		mon = slo.New(slo.Latency("request_p99", eng.Window(), 0.99, *sloP99))
 		mon.Instrument(reg)
+		eng.SetSLOMonitor(mon) // pushed telemetry carries the cached SLO state
 		mon.OnSustainedBreach(func(name string) {
 			fmt.Fprintf(os.Stderr, "dsud-site %d: SLO %q in sustained breach\n", *id, name)
 			if *flightDir != "" {

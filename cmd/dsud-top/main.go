@@ -9,13 +9,22 @@
 //	dsud-top -sites http://127.0.0.1:9101,http://127.0.0.1:9102
 //	dsud-top -sites ... -slo http://127.0.0.1:9100 -interval 1s
 //	dsud-top -sites ... -once        # single frame, no clearing (CI)
+//	dsud-top -cluster http://127.0.0.1:9100
+//
+// With -cluster it reads a telemetry coordinator's single /clusterz
+// endpoint (dsud-query -watch) instead of scraping sites directly: every
+// row comes from the sites' pushed telemetry, annotated with push age,
+// staleness marks, and a sparkline of recent p99 history from the
+// coordinator's time-series ring.
 //
 // Site addresses may omit the scheme (host:port implies http://). The
 // request rate prefers the site's own rotating-window rate (exact over
 // the last ~10-20s) and falls back to Δrequests/Δpoll for sites that
 // predate the windowed telemetry.
 //
-// Exit status: 0; with -once, 1 when any site was unreachable.
+// Exit status: 0; with -once, 1 when any scrape failed (site, SLO page,
+// or coordinator) or any site in the cluster view is stale — a partial
+// frame must not pass a CI smoke.
 package main
 
 import (
@@ -28,7 +37,9 @@ import (
 	"strings"
 	"time"
 
+	"repro/dsq"
 	"repro/internal/obs/slo"
+	"repro/internal/obs/tsdb"
 	"repro/internal/transport"
 )
 
@@ -38,19 +49,22 @@ func main() {
 
 func run() int {
 	var (
-		sitesFlag = flag.String("sites", "", "comma-separated site /statusz base URLs (required)")
-		sloFlag   = flag.String("slo", "", "optional /slostatusz base URL (e.g. a dsud-loadgen -debug-addr)")
-		interval  = flag.Duration("interval", 2*time.Second, "poll and redraw cadence")
-		once      = flag.Bool("once", false, "render a single frame without clearing and exit (scripting/CI)")
+		sitesFlag   = flag.String("sites", "", "comma-separated site /statusz base URLs (this or -cluster is required)")
+		clusterFlag = flag.String("cluster", "", "telemetry coordinator /clusterz base URL (a dsud-query -watch -debug-addr); replaces per-site scraping")
+		sloFlag     = flag.String("slo", "", "optional /slostatusz base URL (e.g. a dsud-loadgen -debug-addr)")
+		interval    = flag.Duration("interval", 2*time.Second, "poll and redraw cadence")
+		once        = flag.Bool("once", false, "render a single frame without clearing and exit (scripting/CI)")
 	)
 	flag.Parse()
-	if *sitesFlag == "" {
+	if (*sitesFlag == "") == (*clusterFlag == "") {
 		flag.Usage()
 		return 2
 	}
 	var sites []string
-	for _, s := range strings.Split(*sitesFlag, ",") {
-		sites = append(sites, normalizeURL(strings.TrimSpace(s)))
+	if *sitesFlag != "" {
+		for _, s := range strings.Split(*sitesFlag, ",") {
+			sites = append(sites, normalizeURL(strings.TrimSpace(s)))
+		}
 	}
 	sloURL := ""
 	if *sloFlag != "" {
@@ -62,6 +76,9 @@ func run() int {
 		sites:  sites,
 		slo:    sloURL,
 		prev:   make(map[string]sample),
+	}
+	if *clusterFlag != "" {
+		top.cluster = normalizeURL(strings.TrimSpace(*clusterFlag))
 	}
 
 	if *once {
@@ -96,14 +113,20 @@ type sample struct {
 }
 
 type top struct {
-	client *http.Client
-	sites  []string
-	slo    string
-	prev   map[string]sample
+	client  *http.Client
+	sites   []string
+	cluster string // /clusterz base URL; when set, replaces direct scrapes
+	slo     string
+	prev    map[string]sample
 }
 
-// render draws one frame and returns how many sites were unreachable.
+// render draws one frame and returns how many scrapes failed (dead
+// sites, a failed SLO fetch, an unreachable coordinator, stale cluster
+// entries) — the -once exit signal.
 func (t *top) render(w *os.File) int {
+	if t.cluster != "" {
+		return t.renderCluster(w)
+	}
 	now := time.Now()
 	fmt.Fprintf(w, "dsud-top  %s  %d site(s)\n\n", now.Format("15:04:05"), len(t.sites))
 	fmt.Fprintf(w, "%-28s %-7s %8s %8s %8s %8s %8s %8s %8s %6s\n",
@@ -138,7 +161,10 @@ func (t *top) render(w *os.File) int {
 		statuses, err := t.fetchSLO(t.slo)
 		switch {
 		case err != nil:
+			// A failed SLO scrape is a failed scrape: -once must not pass
+			// a CI smoke on a partial frame.
 			fmt.Fprintf(w, "slo %s: %v\n", trimURL(t.slo), err)
+			down++
 		case len(statuses) == 0:
 			fmt.Fprintf(w, "slo %s: no objectives configured\n", trimURL(t.slo))
 		default:
@@ -146,6 +172,109 @@ func (t *top) render(w *os.File) int {
 		}
 	}
 	return down
+}
+
+// renderCluster draws one frame from the coordinator's aggregated
+// /clusterz document — no direct site scrapes. Returns how many entries
+// are bad (coordinator unreachable, or sites stale/unsubscribed).
+func (t *top) renderCluster(w *os.File) int {
+	doc, err := t.fetchClusterz()
+	if err != nil {
+		fmt.Fprintf(w, "cluster %s: %v\n", trimURL(t.cluster), err)
+		return 1
+	}
+	fmt.Fprintf(w, "dsud-top  %s  cluster %s  %d site(s): %d fresh, %d stale\n",
+		time.Now().Format("15:04:05"), trimURL(t.cluster), doc.Sites, doc.Fresh, doc.Stale)
+	fmt.Fprintf(w, "cluster rate %.1f/s  p50 %s  p95 %s  p99 %s  (merged over fresh sites, push interval %v)\n\n",
+		doc.Rate, ms(doc.P50Ms), ms(doc.P95Ms), ms(doc.P99Ms), time.Duration(doc.IntervalNS))
+	fmt.Fprintf(w, "%-5s %-6s %7s %8s %8s %8s %8s %8s %8s %6s %6s  %s\n",
+		"SITE", "STATE", "AGE", "PUSHES", "TUPLES", "INFLIGHT", "RPS", "P50MS", "P99MS", "BUSY", "QUEUED", "P99 HISTORY")
+	bad := 0
+	for _, s := range doc.PerSite {
+		if s.Err != "" && s.Pushes == 0 {
+			fmt.Fprintf(w, "%-5d %-6s %s\n", s.Site, "DOWN", s.Err)
+			bad++
+			continue
+		}
+		state := "FRESH"
+		if s.Stale {
+			state = "STALE"
+			bad++
+		}
+		rps := 0.0
+		if s.Latest.WindowSpanNS > 0 {
+			rps = float64(s.Latest.WindowCount) / (float64(s.Latest.WindowSpanNS) / float64(time.Second))
+		}
+		fmt.Fprintf(w, "%-5d %-6s %6.1fs %8d %8d %8d %8.1f %8s %8s %6d %6d  %s\n",
+			s.Site, state, s.AgeSeconds, s.Pushes, s.Latest.Tuples, s.Latest.InFlight, rps,
+			ms(lastValue(s.History[tsdb.SeriesP50])), ms(lastValue(s.History[tsdb.SeriesP99])),
+			s.Latest.MuxBusy, s.Latest.MuxQueued, spark(s.History[tsdb.SeriesP99], 32))
+		for _, o := range s.Latest.SLO {
+			if o.Breached {
+				fmt.Fprintf(w, "      slo %s BREACHED: current %.4g target %.4g burn %.2f\n",
+					o.Name, o.Current, o.Target, o.Burn)
+			}
+		}
+	}
+	return bad
+}
+
+func (t *top) fetchClusterz() (*dsq.Clusterz, error) {
+	resp, err := t.client.Get(t.cluster + "/clusterz")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("http %d", resp.StatusCode)
+	}
+	var doc dsq.Clusterz
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return nil, err
+	}
+	return &doc, nil
+}
+
+// lastValue is the newest sample of a series history ("" -> "-" via ms).
+func lastValue(pts []tsdb.Point) float64 {
+	if len(pts) == 0 {
+		return 0
+	}
+	return pts[len(pts)-1].Value
+}
+
+var sparkLevels = []rune("▁▂▃▄▅▆▇█")
+
+// spark renders up to width samples as a unicode sparkline, scaled to
+// the window's own maximum (flat zero history renders as a floor line).
+func spark(pts []tsdb.Point, width int) string {
+	if len(pts) == 0 {
+		return ""
+	}
+	if len(pts) > width {
+		pts = pts[len(pts)-width:]
+	}
+	max := 0.0
+	for _, p := range pts {
+		if p.Value > max {
+			max = p.Value
+		}
+	}
+	var b strings.Builder
+	for _, p := range pts {
+		i := 0
+		if max > 0 {
+			i = int(p.Value / max * float64(len(sparkLevels)-1))
+			if i < 0 {
+				i = 0
+			}
+			if i >= len(sparkLevels) {
+				i = len(sparkLevels) - 1
+			}
+		}
+		b.WriteRune(sparkLevels[i])
+	}
+	return b.String()
 }
 
 func (t *top) fetchStatus(base string) (*transport.SiteStatus, error) {

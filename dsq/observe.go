@@ -177,8 +177,26 @@ func ErrorRateSLO(name string, total, errors func() int64, max float64) SLOObjec
 	return slo.ErrorRate(name, total, errors, max)
 }
 
-// ExposeWindow registers w's live p50/p95/p99 (seconds) and rate as
-// gauges on reg, Prometheus-summary style.
+// ExposeWindow registers w's live p50/p95/p99 (seconds), rate, sample
+// count and sum as gauges on reg, Prometheus-summary style.
 func ExposeWindow(reg *Metrics, name string, w *Window, labels ...string) {
 	obs.ExposeWindow(reg, name, w, labels...)
 }
+
+// The cluster telemetry plane: pushed per-site snapshots over wire v2
+// aggregated into a coordinator time-series store (start it with
+// Cluster.StartTelemetry, serve ClusterTelemetry.Handler at /clusterz).
+type (
+	// ClusterTelemetry is a running telemetry plane: per-site push
+	// subscriptions, the backing store, and the /clusterz + federation
+	// read surfaces.
+	ClusterTelemetry = core.ClusterTelemetry
+	// TelemetryConfig sizes a telemetry plane (push interval, retention,
+	// staleness cutoff); the zero value works.
+	TelemetryConfig = core.TelemetryConfig
+	// Clusterz is the one-endpoint cluster introspection document served
+	// at /clusterz.
+	Clusterz = core.Clusterz
+	// ClusterzSite is one site's entry in the Clusterz document.
+	ClusterzSite = core.ClusterzSite
+)

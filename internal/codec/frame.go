@@ -58,8 +58,22 @@ const (
 	// FrameCancel tells the peer the identified request was abandoned;
 	// it has no payload and receives no reply. Best-effort: the
 	// response may already be in flight, in which case it is dropped at
-	// the receiver.
+	// the receiver. It also cancels a telemetry subscription when its ID
+	// names one (the two ID spaces are caller-assigned and disjoint).
 	FrameCancel FrameType = 3
+	// FrameSubscribe opens a server→client telemetry stream: the payload
+	// is an AppendSubscribe body carrying the requested push interval,
+	// and the ID names the subscription in every subsequent
+	// FrameTelemetry push and in the FrameCancel that ends it. A server
+	// that predates telemetry ignores the frame (unknown types are
+	// padding), so the client simply never sees a push — the same
+	// degraded-visibility story as a v1 peer.
+	FrameSubscribe FrameType = 4
+	// FrameTelemetry is one pushed site-telemetry snapshot: the ID
+	// echoes the subscription and the payload is an AppendTelemetry
+	// body (full or delta-encoded against the previous push). Clients
+	// that predate telemetry ignore it.
+	FrameTelemetry FrameType = 5
 )
 
 func (t FrameType) String() string {
@@ -70,6 +84,10 @@ func (t FrameType) String() string {
 		return "response"
 	case FrameCancel:
 		return "cancel"
+	case FrameSubscribe:
+		return "subscribe"
+	case FrameTelemetry:
+		return "telemetry"
 	default:
 		return fmt.Sprintf("FrameType(%d)", uint8(t))
 	}
@@ -106,7 +124,7 @@ func AppendFrame(dst []byte, t FrameType, id uint64, payload []byte) []byte {
 	dst = append(dst, FrameVersion, byte(t))
 	dst = binary.LittleEndian.AppendUint64(dst, id)
 	dst = append(dst, payload...)
-	crc := crc32.ChecksumIEEE(dst[start : len(dst)])
+	crc := crc32.ChecksumIEEE(dst[start:len(dst)])
 	return binary.LittleEndian.AppendUint32(dst, crc)
 }
 

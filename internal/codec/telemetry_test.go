@@ -1,0 +1,174 @@
+package codec
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func sampleTelemetry(seq uint64) *Telemetry {
+	return &Telemetry{
+		Seq: seq, WallNano: 1_700_000_000_000_000_000 + int64(seq)*1e9, Site: 3,
+		Tuples: 12_000, Sessions: 2, InFlight: 5, ReplicaSize: 40, ReplicaVersion: 7,
+		MuxConns: 1, MuxBusy: 4, MuxLimit: 32, MuxQueued: 0,
+		Requests: 90_000 + int64(seq)*137, LastUpdateNano: 55,
+		WindowWidthNS: 10e9, WindowSpanNS: 17e9, WindowCount: 412 + int64(seq), WindowSumNS: 9e9,
+		Bounds: []int64{10_000, 15_000, 22_500, 1_000_000},
+		Counts: []uint64{1, 2 + seq, 3, 0, 7},
+		SLO: []TelemetrySLO{
+			{Name: "request_p99", Current: 0.004, Target: 0.01, Burn: 0.4},
+			{Name: "error-rate", Current: 0.02, Target: 0.01, Burn: 2, Breached: true},
+		},
+	}
+}
+
+func telemetryEqual(a, b *Telemetry) bool {
+	if a.Seq != b.Seq || a.WallNano != b.WallNano || a.Site != b.Site ||
+		a.Tuples != b.Tuples || a.Sessions != b.Sessions || a.InFlight != b.InFlight ||
+		a.ReplicaSize != b.ReplicaSize || a.ReplicaVersion != b.ReplicaVersion ||
+		a.MuxConns != b.MuxConns || a.MuxBusy != b.MuxBusy ||
+		a.MuxLimit != b.MuxLimit || a.MuxQueued != b.MuxQueued ||
+		a.Requests != b.Requests || a.LastUpdateNano != b.LastUpdateNano ||
+		a.WindowWidthNS != b.WindowWidthNS || a.WindowSpanNS != b.WindowSpanNS ||
+		a.WindowCount != b.WindowCount || a.WindowSumNS != b.WindowSumNS ||
+		len(a.Bounds) != len(b.Bounds) || len(a.Counts) != len(b.Counts) || len(a.SLO) != len(b.SLO) {
+		return false
+	}
+	for i := range a.Bounds {
+		if a.Bounds[i] != b.Bounds[i] {
+			return false
+		}
+	}
+	for i := range a.Counts {
+		if a.Counts[i] != b.Counts[i] {
+			return false
+		}
+	}
+	for i := range a.SLO {
+		if a.SLO[i] != b.SLO[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestTelemetryRoundTripFull(t *testing.T) {
+	in := sampleTelemetry(1)
+	wire := AppendTelemetry(nil, in, nil)
+	var out Telemetry
+	if err := DecodeTelemetry(wire, &out, nil); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !telemetryEqual(in, &out) {
+		t.Fatalf("round trip mismatch:\n in %+v\nout %+v", in, out)
+	}
+}
+
+// A delta frame must be smaller than its full equivalent and decode to
+// the same snapshot, and the decoder must accept prev aliasing out (the
+// subscriber's natural in-place usage).
+func TestTelemetryDeltaRoundTrip(t *testing.T) {
+	t1, t2 := sampleTelemetry(1), sampleTelemetry(2)
+	full1 := AppendTelemetry(nil, t1, nil)
+	deltaWire := AppendTelemetry(nil, t2, t1)
+	full2 := AppendTelemetry(nil, t2, nil)
+	if len(deltaWire) >= len(full2) {
+		t.Fatalf("delta frame (%d bytes) not smaller than full (%d bytes)", len(deltaWire), len(full2))
+	}
+	var cur Telemetry
+	if err := DecodeTelemetry(full1, &cur, nil); err != nil {
+		t.Fatalf("decode full: %v", err)
+	}
+	// In-place: prev and out are the same struct.
+	if err := DecodeTelemetry(deltaWire, &cur, &cur); err != nil {
+		t.Fatalf("decode delta in place: %v", err)
+	}
+	if !telemetryEqual(t2, &cur) {
+		t.Fatalf("delta decode mismatch:\n in %+v\nout %+v", t2, cur)
+	}
+}
+
+func TestTelemetryDeltaNeedsPredecessor(t *testing.T) {
+	t1, t2 := sampleTelemetry(1), sampleTelemetry(2)
+	deltaWire := AppendTelemetry(nil, t2, t1)
+	var out Telemetry
+	if err := DecodeTelemetry(deltaWire, &out, nil); !errors.Is(err, ErrTelemetryDelta) {
+		t.Fatalf("delta without prev: got %v, want ErrTelemetryDelta", err)
+	}
+	// Wrong predecessor (sequence gap) must be rejected too.
+	t0 := sampleTelemetry(5)
+	if err := DecodeTelemetry(deltaWire, &out, t0); !errors.Is(err, ErrTelemetryDelta) {
+		t.Fatalf("delta with gapped prev: got %v, want ErrTelemetryDelta", err)
+	}
+}
+
+// A publisher whose prev is incompatible (first push, site restart,
+// resized window) silently falls back to a full frame.
+func TestTelemetryIncompatiblePrevEncodesFull(t *testing.T) {
+	t1 := sampleTelemetry(1)
+	other := sampleTelemetry(0)
+	other.Site = 9 // different site: never delta-compatible
+	wire := AppendTelemetry(nil, t1, other)
+	var out Telemetry
+	if err := DecodeTelemetry(wire, &out, nil); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !telemetryEqual(t1, &out) {
+		t.Fatalf("fallback-full mismatch: %+v", out)
+	}
+}
+
+func TestTelemetryCorrupt(t *testing.T) {
+	wire := AppendTelemetry(nil, sampleTelemetry(1), nil)
+	var out Telemetry
+	for name, mutate := range map[string]func([]byte) []byte{
+		"truncated":     func(b []byte) []byte { return b[:len(b)/2] },
+		"flipped bit":   func(b []byte) []byte { b[8] ^= 0x40; return b },
+		"bad magic":     func(b []byte) []byte { b[0] = 'X'; return b },
+		"empty":         func(b []byte) []byte { return nil },
+		"trailing junk": func(b []byte) []byte { return append(b, 0xEE) },
+	} {
+		mutated := mutate(append([]byte(nil), wire...))
+		if err := DecodeTelemetry(mutated, &out, nil); err == nil {
+			t.Errorf("%s: decode accepted corrupt input", name)
+		}
+	}
+}
+
+// The steady-state publisher path — encode a delta frame into a reused
+// buffer and wrap it in a mux frame — must not allocate.
+func TestTelemetryAppendZeroAlloc(t *testing.T) {
+	t1, t2 := sampleTelemetry(1), sampleTelemetry(2)
+	buf := AppendTelemetry(nil, t2, t1)
+	frame := AppendFrame(nil, FrameTelemetry, 42, buf)
+	allocs := testing.AllocsPerRun(1000, func() {
+		buf = AppendTelemetry(buf[:0], t2, t1)
+		frame = AppendFrame(frame[:0], FrameTelemetry, 42, buf)
+	})
+	if allocs != 0 {
+		t.Fatalf("telemetry encode allocates %v per run, want 0", allocs)
+	}
+}
+
+// FuzzDecodeTelemetry feeds arbitrary bytes to the decoder: it must only
+// return data or an error — never panic, never over-read — and anything
+// accepted as a full frame must re-encode byte-identically.
+func FuzzDecodeTelemetry(f *testing.F) {
+	t1, t2 := sampleTelemetry(1), sampleTelemetry(2)
+	f.Add(AppendTelemetry(nil, t1, nil))
+	f.Add(AppendTelemetry(nil, t2, t1))
+	f.Add([]byte("DSTY"))
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var out Telemetry
+		if err := DecodeTelemetry(data, &out, nil); err != nil {
+			return
+		}
+		// prev == nil means only full frames decode; they must round-trip.
+		again := AppendTelemetry(nil, &out, nil)
+		if !bytes.Equal(again, data) {
+			t.Fatalf("re-encode mismatch:\n got %x\nwant %x", again, data)
+		}
+	})
+}

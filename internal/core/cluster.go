@@ -51,6 +51,11 @@ type Cluster struct {
 	// and SLO evaluation. Nil-safe at the observe sites.
 	winQuery *obs.Window
 	winFirst *obs.Window
+
+	// telemetry, when set (StartTelemetry), is the running cluster
+	// telemetry plane; Health consults it for degraded marks. Like the
+	// other observability attachments, start it before serving queries.
+	telemetry *ClusterTelemetry
 }
 
 // SetLatencyWindows attaches rotating latency windows to the query path:

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/obs"
+	"repro/internal/site"
+	"repro/internal/transport"
+	"repro/internal/uncertain"
+)
+
+// startTelemetrySite serves one partition from a TCP server with the
+// telemetry push plane wired, the way cmd/dsud-site does it.
+func startTelemetrySite(t *testing.T, id int, part uncertain.DB, dims int, addrHint string) (string, *transport.Server) {
+	t.Helper()
+	lis, err := net.Listen("tcp", addrHint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := site.New(id, part, dims, 0)
+	srv := transport.NewServer(eng, nil)
+	srv.SetTelemetrySource(eng)
+	eng.SetWorkerStats(srv.WorkerStats)
+	eng.SetTelemetryStats(srv.TelemetryStats)
+	go srv.Serve(lis)
+	t.Cleanup(func() { srv.Close() })
+	return lis.Addr().String(), srv
+}
+
+// waitUntil polls cond until it holds or the deadline passes.
+func waitUntil(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// clusterzDoc fetches and decodes the handler's JSON document.
+func clusterzDoc(t *testing.T, ct *ClusterTelemetry, query string) Clusterz {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	ct.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/clusterz"+query, nil))
+	if rec.Code != 200 {
+		t.Fatalf("/clusterz status %d: %s", rec.Code, rec.Body)
+	}
+	var doc Clusterz
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("decode /clusterz: %v", err)
+	}
+	return doc
+}
+
+// freshSites counts fresh entries in the store-backed snapshot.
+func freshSites(ct *ClusterTelemetry) int {
+	return ct.Snapshot(false).Fresh
+}
+
+// The acceptance path of the telemetry plane, under -race: two real TCP
+// sites push telemetry into the coordinator store; killing one marks it
+// degraded in /clusterz and Cluster.Health within the staleness cutoff
+// (3 push intervals, asserted with scheduling slack); restarting it
+// brings it back through the resubscribe loop and a retry redial.
+func TestClusterTelemetryKillAndRecover(t *testing.T) {
+	parts, _ := makeWorkload(t, 300, 2, 2, gen.Independent, 71)
+	const interval = 200 * time.Millisecond
+
+	addr0, _ := startTelemetrySite(t, 0, parts[0], 2, "127.0.0.1:0")
+	addr1, srv1 := startTelemetrySite(t, 1, parts[1], 2, "127.0.0.1:0")
+
+	cluster, err := Open(ClusterConfig{Addrs: []string{addr0, addr1}, Dims: 2, RetryAttempts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ct, err := cluster.StartTelemetry(ctx, TelemetryConfig{Interval: interval})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ct.Stop()
+	if _, err := cluster.StartTelemetry(ctx, TelemetryConfig{}); !errors.Is(err, ErrTelemetryStarted) {
+		t.Fatalf("second StartTelemetry: %v", err)
+	}
+
+	// Queries keep flowing while the plane runs.
+	if _, err := cluster.Query(ctx, Options{Threshold: 0.3}); err != nil {
+		t.Fatal(err)
+	}
+
+	waitUntil(t, 5*time.Second, "both sites fresh", func() bool { return freshSites(ct) == 2 })
+
+	doc := clusterzDoc(t, ct, "")
+	if doc.Sites != 2 || doc.Fresh != 2 || doc.Stale != 0 {
+		t.Fatalf("clusterz = %+v", doc)
+	}
+	if len(doc.PerSite) != 2 || doc.PerSite[0].Latest.Tuples == 0 {
+		t.Fatalf("per-site = %+v", doc.PerSite)
+	}
+	if len(doc.PerSite[0].History) == 0 || len(doc.PerSite[0].History["tuples"]) == 0 {
+		t.Fatalf("history missing: %+v", doc.PerSite[0].History)
+	}
+	if withoutHist := clusterzDoc(t, ct, "?history=0"); len(withoutHist.PerSite[0].History) != 0 {
+		t.Fatal("?history=0 still carries history")
+	}
+
+	// The federation view exposes every site on one registry.
+	reg := obs.NewRegistry()
+	ct.Expose(reg)
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`dsud_cluster_site_up{site="0"} 1`,
+		`dsud_cluster_site_up{site="1"} 1`,
+		`dsud_cluster_tuples{site="0"}`,
+		"dsud_cluster_merged_p99_ms",
+	} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("federation view missing %q in:\n%s", want, sb.String())
+		}
+	}
+
+	// Kill site 1 mid-run: degraded within the cutoff (3 intervals; the
+	// deadline below is x2 for scheduler slack — the tight bound is pinned
+	// by the tsdb unit tests with an injected clock).
+	killed := time.Now()
+	srv1.Close()
+	waitUntil(t, 6*interval, "site 1 stale in /clusterz", func() bool {
+		d := clusterzDoc(t, ct, "?history=0")
+		return d.Stale == 1 && d.Fresh == 1
+	})
+	t.Logf("degraded after %v (cutoff %v)", time.Since(killed).Round(time.Millisecond), 3*interval)
+
+	healths := cluster.Health(ctx)
+	if healths[0].TelemetryStale {
+		t.Fatalf("site 0 marked stale: %+v", healths[0])
+	}
+	if !healths[1].TelemetryStale {
+		t.Fatalf("site 1 not marked stale: %+v", healths[1])
+	}
+	if body := clusterzText(t, ct); !strings.Contains(body, "STALE") {
+		t.Fatalf("text view lacks STALE:\n%s", body)
+	}
+
+	// Restart the site on the same address: the resubscribe loop redials
+	// through the retry transport and pushes resume.
+	startTelemetrySite(t, 1, parts[1], 2, addr1)
+	waitUntil(t, 5*time.Second, "site 1 fresh again", func() bool { return freshSites(ct) == 2 })
+
+	sb.Reset()
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `dsud_cluster_site_up{site="1"} 1`) {
+		t.Fatal("federation view did not recover site 1")
+	}
+}
+
+// clusterzText fetches the ?format=text rendering.
+func clusterzText(t *testing.T, ct *ClusterTelemetry) string {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	ct.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/clusterz?format=text", nil))
+	if rec.Code != 200 {
+		t.Fatalf("text status %d", rec.Code)
+	}
+	return rec.Body.String()
+}
+
+// A local (in-process) cluster has no push transport: every site reports
+// ErrTelemetryUnsupported, nothing is marked degraded, and health stays
+// exactly as it was before the plane existed.
+func TestClusterTelemetryLocalUnsupported(t *testing.T) {
+	parts, _ := makeWorkload(t, 100, 2, 2, gen.Independent, 72)
+	cluster, err := NewLocalCluster(parts, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ct, err := cluster.StartTelemetry(ctx, TelemetryConfig{Interval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ct.Stop()
+
+	if ct.Interval() != transport.MinTelemetryInterval {
+		t.Fatalf("interval not clamped: %v", ct.Interval())
+	}
+	for i, serr := range ct.SiteErrors() {
+		if !errors.Is(serr, transport.ErrTelemetryUnsupported) {
+			t.Fatalf("site %d: %v", i, serr)
+		}
+	}
+	for _, h := range cluster.Health(ctx) {
+		if h.TelemetryStale || h.Degraded() {
+			t.Fatalf("local site marked degraded: %+v", h)
+		}
+	}
+	doc := clusterzDoc(t, ct, "")
+	if doc.Stale != 0 || doc.Fresh != 0 || doc.Sites != 2 {
+		t.Fatalf("local clusterz = %+v", doc)
+	}
+}

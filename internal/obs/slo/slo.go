@@ -273,6 +273,21 @@ func (m *Monitor) status(name string) Status {
 	return Status{Name: name}
 }
 
+// LastInto appends the most recent cached evaluation (what the cadenced
+// Run produced) to dst and returns the extended slice — allocation-free
+// given capacity, so the telemetry publisher can ship SLO state every
+// push without re-evaluating objectives (which would move delta windows
+// and breach streaks). Empty result until the first evaluation. Nil-safe.
+func (m *Monitor) LastInto(dst []Status) []Status {
+	if m == nil {
+		return dst
+	}
+	m.mu.Lock()
+	dst = append(dst, m.last...)
+	m.mu.Unlock()
+	return dst
+}
+
 // Evaluate runs every objective once, updates breach streaks, fires the
 // sustained-breach hook for objectives that just crossed the threshold,
 // and returns the statuses in declaration order. Nil-safe (returns nil).

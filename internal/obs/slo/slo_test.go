@@ -218,6 +218,37 @@ func TestMonitorHandlerEvaluatesAtMostOnce(t *testing.T) {
 	}
 }
 
+func TestMonitorLastInto(t *testing.T) {
+	w := obs.NewWindow(time.Minute)
+	for i := 0; i < 100; i++ {
+		w.Observe(time.Millisecond)
+	}
+	m := New(Latency("query-p99", w, 0.99, 10*time.Millisecond))
+
+	// Empty before the first evaluation (and must not wipe dst).
+	dst := m.LastInto(nil)
+	if len(dst) != 0 {
+		t.Fatalf("LastInto before Evaluate = %+v", dst)
+	}
+	want := m.Evaluate()
+	dst = m.LastInto(dst[:0])
+	if len(dst) != 1 || dst[0] != want[0] {
+		t.Fatalf("LastInto = %+v, want %+v", dst, want)
+	}
+	// Steady-state append into pre-sized dst must not allocate.
+	allocs := testing.AllocsPerRun(1000, func() {
+		dst = m.LastInto(dst[:0])
+	})
+	if allocs != 0 {
+		t.Fatalf("warm LastInto allocates %v per run, want 0", allocs)
+	}
+	// Nil-safe.
+	var nilM *Monitor
+	if got := nilM.LastInto(dst[:0]); len(got) != 0 {
+		t.Fatalf("nil LastInto = %+v", got)
+	}
+}
+
 func TestMonitorNilSafe(t *testing.T) {
 	var m *Monitor
 	m.SetSustain(5)

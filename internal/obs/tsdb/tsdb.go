@@ -1,0 +1,376 @@
+// Package tsdb is the coordinator-side store behind the cluster
+// telemetry plane: a fixed-size, in-memory time-series ring per
+// site × per series, fed by pushed codec.Telemetry snapshots and read
+// by /clusterz, the Prometheus federation view and dsud-top's cluster
+// sparklines. It is deliberately not a database — retention is a small
+// ring of samples (minutes of history at the default 1s push interval),
+// enough to see a spike that ended before anyone looked, which is
+// exactly what poll-based scraping cannot do.
+//
+// Like the rest of the obs tree the package is dependency-free, safe
+// for concurrent use, and clock-injectable for deterministic tests.
+package tsdb
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/obs"
+)
+
+// Derived series recorded per site on every ingested snapshot. History
+// is keyed by these names; they double as the federation metric suffix.
+const (
+	SeriesRate     = "rate"      // windowed requests/second
+	SeriesP50      = "p50_ms"    // windowed latency quantiles, milliseconds
+	SeriesP95      = "p95_ms"    //
+	SeriesP99      = "p99_ms"    //
+	SeriesInFlight = "in_flight" // requests inside the engine
+	SeriesBusy     = "mux_busy"  // v2 workers inside handlers
+	SeriesQueued   = "mux_queued"
+	SeriesTuples   = "tuples"
+	SeriesSessions = "sessions"
+)
+
+// SeriesNames lists every derived series in render order.
+func SeriesNames() []string {
+	return []string{
+		SeriesRate, SeriesP50, SeriesP95, SeriesP99,
+		SeriesInFlight, SeriesBusy, SeriesQueued, SeriesTuples, SeriesSessions,
+	}
+}
+
+// Config sizes a Store.
+type Config struct {
+	// Retention is how many samples each series ring holds (<=0 selects
+	// 120 — two minutes of history at the default 1s push interval).
+	Retention int
+	// Interval is the expected push cadence, used only to derive
+	// staleness (<=0 selects 1s).
+	Interval time.Duration
+	// StaleAfter is how many silent intervals mark a site degraded
+	// (<=0 selects 3, the acceptance bound of the telemetry plane).
+	StaleAfter int
+}
+
+// DefRetention is the default per-series ring size.
+const DefRetention = 120
+
+// Point is one sample: the store's receive-side timestamp (site clocks
+// may skew; staleness must not depend on them) and the value.
+type Point struct {
+	UnixNano int64   `json:"unix_nano"`
+	Value    float64 `json:"value"`
+}
+
+// ring is a fixed-capacity sample ring.
+type ring struct {
+	pts  []Point
+	next int
+	full bool
+}
+
+func (r *ring) push(p Point) {
+	if len(r.pts) == 0 {
+		return
+	}
+	r.pts[r.next] = p
+	r.next++
+	if r.next == len(r.pts) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+// history appends the ring's points in chronological order to dst.
+func (r *ring) history(dst []Point) []Point {
+	if r.full {
+		dst = append(dst, r.pts[r.next:]...)
+	}
+	return append(dst, r.pts[:r.next]...)
+}
+
+// siteState is one site's retained state.
+type siteState struct {
+	latest   codec.Telemetry // deep copy of the newest snapshot
+	lastRecv int64           // receive-side UnixNano of the newest snapshot
+	pushes   uint64          // snapshots ingested
+	series   map[string]*ring
+	// win is the latest snapshot's histogram as an obs.WindowSnapshot,
+	// reused across ingests for quantile derivation and cross-site merge.
+	win obs.WindowSnapshot
+}
+
+// SiteState is the exported view of one site for /clusterz consumers.
+type SiteState struct {
+	Site int64 `json:"site"`
+	// LastPushUnixNano is when the store last received a snapshot from
+	// this site (receive-side clock); AgeSeconds derives from it at read
+	// time. Stale reports the degraded mark: silent > StaleAfter
+	// intervals.
+	LastPushUnixNano int64   `json:"last_push_unix_nano"`
+	AgeSeconds       float64 `json:"age_seconds"`
+	Stale            bool    `json:"stale"`
+	Pushes           uint64  `json:"pushes"`
+	// Latest is the newest decoded snapshot, verbatim.
+	Latest codec.Telemetry `json:"latest"`
+}
+
+// Store is the coordinator's telemetry retention. Safe for concurrent
+// use: one ingest goroutine per site races HTTP readers.
+type Store struct {
+	retention  int
+	interval   time.Duration
+	staleAfter int
+
+	mu    sync.Mutex
+	sites map[int64]*siteState
+
+	now func() int64 // injectable clock (UnixNano)
+}
+
+// New returns an empty store sized by cfg.
+func New(cfg Config) *Store {
+	if cfg.Retention <= 0 {
+		cfg.Retention = DefRetention
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = time.Second
+	}
+	if cfg.StaleAfter <= 0 {
+		cfg.StaleAfter = 3
+	}
+	return &Store{
+		retention:  cfg.Retention,
+		interval:   cfg.Interval,
+		staleAfter: cfg.StaleAfter,
+		sites:      make(map[int64]*siteState),
+		now:        func() int64 { return time.Now().UnixNano() },
+	}
+}
+
+// SetNow injects a clock for deterministic tests.
+func (s *Store) SetNow(fn func() int64) {
+	s.mu.Lock()
+	s.now = fn
+	s.mu.Unlock()
+}
+
+// Interval returns the expected push cadence the store was sized for.
+func (s *Store) Interval() time.Duration { return s.interval }
+
+// StaleAfter returns how many silent intervals mark a site degraded.
+func (s *Store) StaleAfter() int { return s.staleAfter }
+
+// staleCutoff is the age beyond which a site is degraded.
+func (s *Store) staleCutoff() time.Duration {
+	return time.Duration(s.staleAfter) * s.interval
+}
+
+// Ingest records one pushed snapshot. t is copied — the caller (a mux
+// demux goroutine) reuses it for the next push.
+func (s *Store) Ingest(t *codec.Telemetry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.now()
+	st := s.sites[t.Site]
+	if st == nil {
+		st = &siteState{series: make(map[string]*ring, len(SeriesNames()))}
+		for _, name := range SeriesNames() {
+			st.series[name] = &ring{pts: make([]Point, s.retention)}
+		}
+		s.sites[t.Site] = st
+	}
+	// Deep-copy the snapshot, reusing the previous copy's slices.
+	prev := st.latest
+	st.latest = *t
+	st.latest.Bounds = append(prev.Bounds[:0], t.Bounds...)
+	st.latest.Counts = append(prev.Counts[:0], t.Counts...)
+	st.latest.SLO = append(prev.SLO[:0], t.SLO...)
+	st.lastRecv = now
+	st.pushes++
+
+	// Rebuild the reusable window view and derive this push's samples.
+	st.win.Bounds = st.win.Bounds[:0]
+	for _, b := range t.Bounds {
+		st.win.Bounds = append(st.win.Bounds, time.Duration(b))
+	}
+	st.win.Counts = append(st.win.Counts[:0], t.Counts...)
+	st.win.Count = uint64(t.WindowCount)
+	st.win.Sum = time.Duration(t.WindowSumNS)
+	st.win.Span = time.Duration(t.WindowSpanNS)
+
+	record := func(name string, v float64) {
+		st.series[name].push(Point{UnixNano: now, Value: v})
+	}
+	record(SeriesRate, st.win.Rate())
+	record(SeriesP50, float64(st.win.Quantile(0.50))/float64(time.Millisecond))
+	record(SeriesP95, float64(st.win.Quantile(0.95))/float64(time.Millisecond))
+	record(SeriesP99, float64(st.win.Quantile(0.99))/float64(time.Millisecond))
+	record(SeriesInFlight, float64(t.InFlight))
+	record(SeriesBusy, float64(t.MuxBusy))
+	record(SeriesQueued, float64(t.MuxQueued))
+	record(SeriesTuples, float64(t.Tuples))
+	record(SeriesSessions, float64(t.Sessions))
+}
+
+// exportLocked builds the SiteState view of st; caller holds s.mu.
+func (s *Store) exportLocked(site int64, st *siteState, now int64) SiteState {
+	out := SiteState{
+		Site:             site,
+		LastPushUnixNano: st.lastRecv,
+		Pushes:           st.pushes,
+		Latest:           st.latest, // struct copy; slices shared, readers must not mutate
+	}
+	// Copy the slices so readers (JSON encoders running after the lock
+	// is released) never race the next ingest.
+	out.Latest.Bounds = append([]int64(nil), st.latest.Bounds...)
+	out.Latest.Counts = append([]uint64(nil), st.latest.Counts...)
+	out.Latest.SLO = append([]codec.TelemetrySLO(nil), st.latest.SLO...)
+	age := time.Duration(now - st.lastRecv)
+	out.AgeSeconds = age.Seconds()
+	out.Stale = age > s.staleCutoff()
+	return out
+}
+
+// Sites returns every known site's state, sorted by site index, with
+// staleness evaluated against the store's clock.
+func (s *Store) Sites() []SiteState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.now()
+	out := make([]SiteState, 0, len(s.sites))
+	for site, st := range s.sites {
+		out = append(out, s.exportLocked(site, st, now))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Site < out[j].Site })
+	return out
+}
+
+// Site returns one site's state (ok=false when the site has never
+// pushed).
+func (s *Store) Site(site int64) (SiteState, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.sites[site]
+	if st == nil {
+		return SiteState{}, false
+	}
+	return s.exportLocked(site, st, s.now()), true
+}
+
+// History returns one site's series in chronological order (nil when
+// the site or series is unknown).
+func (s *Store) History(site int64, series string) []Point {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.sites[site]
+	if st == nil {
+		return nil
+	}
+	r := st.series[series]
+	if r == nil {
+		return nil
+	}
+	return r.history(nil)
+}
+
+// LatestValue returns the newest sample of one site's series. ok=false
+// when the site or series is unknown or empty — callers exposing
+// federation gauges report 0 then.
+func (s *Store) LatestValue(site int64, series string) (float64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.sites[site]
+	if st == nil {
+		return 0, false
+	}
+	r := st.series[series]
+	if r == nil || (r.next == 0 && !r.full) {
+		return 0, false
+	}
+	i := r.next - 1
+	if i < 0 {
+		i = len(r.pts) - 1
+	}
+	return r.pts[i].Value, true
+}
+
+// Merged merges the latest histograms of every fresh (non-stale) site
+// into one cluster-wide window snapshot, so WindowSnapshot.Quantile
+// interpolates a cluster p99 exactly as it does per site. Sites whose
+// bucket bounds differ from the first fresh site's are re-bucketed by
+// upper bound — exact when every site uses the default bounds (the
+// shipped configuration), a conservative approximation otherwise.
+func (s *Store) Merged() obs.WindowSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.now()
+	cutoff := s.staleCutoff()
+
+	var out obs.WindowSnapshot
+	sites := make([]int64, 0, len(s.sites))
+	for site := range s.sites {
+		sites = append(sites, site)
+	}
+	sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+	for _, site := range sites {
+		st := s.sites[site]
+		if time.Duration(now-st.lastRecv) > cutoff || len(st.win.Bounds) == 0 {
+			continue
+		}
+		if len(out.Bounds) == 0 {
+			out.Bounds = append(out.Bounds, st.win.Bounds...)
+			out.Counts = make([]uint64, len(out.Bounds)+1)
+		}
+		mergeWindow(&out, &st.win)
+	}
+	return out
+}
+
+// MergedQuantile is Merged().Quantile(q) — the one-call cluster
+// latency estimate behind /clusterz and the federation gauges.
+func (s *Store) MergedQuantile(q float64) time.Duration {
+	return s.Merged().Quantile(q)
+}
+
+// mergeWindow adds src's counts into dst, re-bucketing by upper bound
+// when the bounds differ. dst's bounds are fixed by the first site.
+func mergeWindow(dst, src *obs.WindowSnapshot) {
+	dst.Count += src.Count
+	dst.Sum += src.Sum
+	if src.Span > dst.Span {
+		dst.Span = src.Span
+	}
+	sameBounds := len(src.Bounds) == len(dst.Bounds)
+	if sameBounds {
+		for i := range src.Bounds {
+			if src.Bounds[i] != dst.Bounds[i] {
+				sameBounds = false
+				break
+			}
+		}
+	}
+	if sameBounds {
+		for i, c := range src.Counts {
+			dst.Counts[i] += c
+		}
+		return
+	}
+	// Re-bucket: each source bucket's count lands in the destination
+	// bucket containing its upper bound (+Inf tail for overflow).
+	for i, c := range src.Counts {
+		if c == 0 {
+			continue
+		}
+		if i >= len(src.Bounds) {
+			dst.Counts[len(dst.Bounds)] += c // +Inf stays +Inf
+			continue
+		}
+		ub := src.Bounds[i]
+		j := sort.Search(len(dst.Bounds), func(k int) bool { return dst.Bounds[k] >= ub })
+		dst.Counts[j] += c
+	}
+}

@@ -1,0 +1,161 @@
+package tsdb
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/codec"
+)
+
+// snap builds a telemetry snapshot with a simple two-bucket histogram:
+// fast observations <= 1ms, slow <= 100ms.
+func snap(site int64, seq uint64, fast, slow uint64) *codec.Telemetry {
+	return &codec.Telemetry{
+		Seq: seq, Site: site,
+		Tuples: 100, Sessions: 1, InFlight: 2, MuxBusy: 3, MuxQueued: 1,
+		Requests:     int64(seq) * 10,
+		WindowSpanNS: int64(10 * time.Second),
+		WindowCount:  int64(fast + slow),
+		WindowSumNS:  int64(fast)*int64(time.Millisecond) + int64(slow)*int64(100*time.Millisecond),
+		Bounds:       []int64{int64(time.Millisecond), int64(100 * time.Millisecond)},
+		Counts:       []uint64{fast, slow, 0},
+		SLO:          []codec.TelemetrySLO{{Name: "query-p99", Burn: 0.5}},
+	}
+}
+
+func newTestStore(retention int) (*Store, *int64) {
+	s := New(Config{Retention: retention, Interval: time.Second, StaleAfter: 3})
+	now := int64(1_000_000_000_000)
+	s.SetNow(func() int64 { return now })
+	return s, &now
+}
+
+func TestStoreIngestAndSites(t *testing.T) {
+	s, now := newTestStore(8)
+	s.Ingest(snap(0, 1, 90, 10))
+	*now += int64(time.Second)
+	s.Ingest(snap(1, 1, 50, 50))
+
+	sites := s.Sites()
+	if len(sites) != 2 || sites[0].Site != 0 || sites[1].Site != 1 {
+		t.Fatalf("sites = %+v", sites)
+	}
+	if sites[0].Stale || sites[1].Stale {
+		t.Fatalf("fresh sites marked stale: %+v", sites)
+	}
+	if sites[0].AgeSeconds != 1 || sites[1].AgeSeconds != 0 {
+		t.Fatalf("ages = %v %v", sites[0].AgeSeconds, sites[1].AgeSeconds)
+	}
+	if sites[0].Latest.Tuples != 100 || len(sites[0].Latest.SLO) != 1 {
+		t.Fatalf("latest = %+v", sites[0].Latest)
+	}
+
+	// The ingested snapshot is copied: mutating the caller's struct must
+	// not leak into the store.
+	in := snap(0, 2, 80, 20)
+	s.Ingest(in)
+	in.Counts[0] = 9999
+	in.SLO[0].Name = "mutated"
+	st, ok := s.Site(0)
+	if !ok || st.Latest.Counts[0] != 80 || st.Latest.SLO[0].Name != "query-p99" {
+		t.Fatalf("store aliases caller memory: %+v", st.Latest)
+	}
+}
+
+func TestStoreStaleness(t *testing.T) {
+	s, now := newTestStore(8)
+	s.Ingest(snap(0, 1, 10, 0))
+	s.Ingest(snap(1, 1, 10, 0))
+
+	// 2 intervals of silence: still fresh (cutoff is > 3 intervals).
+	*now += int64(2 * time.Second)
+	for _, st := range s.Sites() {
+		if st.Stale {
+			t.Fatalf("site %d stale after 2 intervals", st.Site)
+		}
+	}
+	// Site 1 keeps pushing; site 0 goes silent past the cutoff.
+	*now += int64(2 * time.Second)
+	s.Ingest(snap(1, 2, 10, 0))
+	sites := s.Sites()
+	if !sites[0].Stale {
+		t.Fatalf("site 0 not stale after 4 silent intervals: %+v", sites[0])
+	}
+	if sites[1].Stale {
+		t.Fatalf("site 1 stale while pushing: %+v", sites[1])
+	}
+}
+
+func TestStoreHistoryRing(t *testing.T) {
+	s, now := newTestStore(4)
+	for i := 1; i <= 6; i++ {
+		s.Ingest(snap(0, uint64(i), uint64(i), 0))
+		*now += int64(time.Second)
+	}
+	h := s.History(0, SeriesTuples)
+	if len(h) != 4 {
+		t.Fatalf("retention: %d points, want 4", len(h))
+	}
+	// Chronological order after wrap-around.
+	for i := 1; i < len(h); i++ {
+		if h[i].UnixNano <= h[i-1].UnixNano {
+			t.Fatalf("history out of order: %+v", h)
+		}
+	}
+	if v, ok := s.LatestValue(0, SeriesInFlight); !ok || v != 2 {
+		t.Fatalf("LatestValue = %v %v", v, ok)
+	}
+	if _, ok := s.LatestValue(9, SeriesRate); ok {
+		t.Fatal("LatestValue for unknown site")
+	}
+	if s.History(0, "nope") != nil {
+		t.Fatal("history for unknown series")
+	}
+}
+
+func TestStoreMergedQuantile(t *testing.T) {
+	s, now := newTestStore(8)
+	// Site 0: 99 fast + 1 slow. Site 1: 50 fast + 50 slow. Merged:
+	// 149 fast of 200 → p50 in the fast bucket, p99 in the slow one.
+	s.Ingest(snap(0, 1, 99, 1))
+	s.Ingest(snap(1, 1, 50, 50))
+	m := s.Merged()
+	if m.Count != 200 {
+		t.Fatalf("merged count = %d", m.Count)
+	}
+	if p50 := s.MergedQuantile(0.50); p50 > time.Millisecond {
+		t.Fatalf("cluster p50 = %v, want <= 1ms", p50)
+	}
+	if p99 := s.MergedQuantile(0.99); p99 <= time.Millisecond || p99 > 100*time.Millisecond {
+		t.Fatalf("cluster p99 = %v, want in (1ms, 100ms]", p99)
+	}
+
+	// A stale site drops out of the merge.
+	*now += int64(10 * time.Second)
+	s.Ingest(snap(1, 2, 50, 50))
+	m = s.Merged()
+	if m.Count != 100 {
+		t.Fatalf("merged count with stale site = %d, want 100", m.Count)
+	}
+}
+
+func TestMergeWindowRebucket(t *testing.T) {
+	s, _ := newTestStore(8)
+	// Site 0 uses the canonical bounds; site 1 reports a coarser layout
+	// whose upper bounds differ — its counts re-bucket by upper bound.
+	s.Ingest(snap(0, 1, 10, 0))
+	other := snap(1, 1, 0, 0)
+	other.Bounds = []int64{int64(50 * time.Millisecond)}
+	other.Counts = []uint64{7, 3}
+	other.WindowCount = 10
+	s.Ingest(other)
+	m := s.Merged()
+	if m.Count != 20 {
+		t.Fatalf("merged count = %d", m.Count)
+	}
+	// 50ms-bucket counts land in the 100ms destination bucket; the +Inf
+	// tail stays in the tail.
+	if m.Counts[1] != 7 || m.Counts[2] != 3 {
+		t.Fatalf("rebucketed counts = %v", m.Counts)
+	}
+}

@@ -206,29 +206,49 @@ type WindowSnapshot struct {
 
 // Snapshot merges both phases into a copy (zero value for nil).
 func (w *Window) Snapshot() WindowSnapshot {
+	var s WindowSnapshot
+	w.SnapshotInto(&s)
+	return s
+}
+
+// SnapshotInto is Snapshot writing into s, reusing s's slices when they
+// have capacity — allocation-free once s has been filled once, which is
+// what the telemetry publisher's steady-state path needs. Nil w resets s
+// to the zero snapshot.
+func (w *Window) SnapshotInto(s *WindowSnapshot) {
 	if w == nil {
-		return WindowSnapshot{}
+		*s = WindowSnapshot{Bounds: s.Bounds[:0], Counts: s.Counts[:0]}
+		return
 	}
-	return w.snapshot(time.Now().UnixNano())
+	w.snapshotInto(time.Now().UnixNano(), s)
 }
 
 func (w *Window) snapshot(now int64) WindowSnapshot {
+	var s WindowSnapshot
+	w.snapshotInto(now, &s)
+	return s
+}
+
+func (w *Window) snapshotInto(now int64, s *WindowSnapshot) {
 	w.maybeRotate(now)
-	s := WindowSnapshot{
-		Bounds: make([]time.Duration, len(w.bounds)),
-		Counts: make([]uint64, len(w.bounds)+1),
+	bounds, counts := s.Bounds[:0], s.Counts[:0]
+	*s = WindowSnapshot{}
+	for _, b := range w.bounds {
+		bounds = append(bounds, time.Duration(b))
 	}
-	for i, b := range w.bounds {
-		s.Bounds[i] = time.Duration(b)
+	for range w.bounds {
+		counts = append(counts, 0)
 	}
+	counts = append(counts, 0)
 	for bi := range w.banks {
 		b := &w.banks[bi]
 		for i := range b.counts {
-			s.Counts[i] += b.counts[i].Load()
+			counts[i] += b.counts[i].Load()
 		}
 		s.Count += b.count.Load()
 		s.Sum += time.Duration(b.sumNS.Load())
 	}
+	s.Bounds, s.Counts = bounds, counts
 	start := w.epoch.Load()
 	if pe := w.prevEpoch.Load(); pe != 0 {
 		start = pe
@@ -239,7 +259,6 @@ func (w *Window) snapshot(now int64) WindowSnapshot {
 			s.Span = max
 		}
 	}
-	return s
 }
 
 // Quantile estimates the q-th quantile (q in [0,1]) by linear
@@ -300,8 +319,11 @@ func (s WindowSnapshot) Mean() time.Duration {
 
 // ExposeWindow registers w's live quantiles and rate as gauges on reg:
 // name{quantile="0.5"|"0.95"|"0.99"} in seconds (the Prometheus summary
-// idiom) plus name_rate in observations/second. Values are computed at
-// scrape time from a fresh snapshot. Nil-safe on both sides.
+// idiom) plus name_rate in observations/second, name_count (windowed
+// sample count) and name_sum (windowed latency sum in seconds) so
+// consumers can derive their own rates and means without trusting the
+// pre-interpolated quantiles. Values are computed at scrape time from a
+// fresh snapshot. Nil-safe on both sides.
 func ExposeWindow(reg *Registry, name string, w *Window, labels ...string) {
 	if reg == nil || w == nil {
 		return
@@ -317,5 +339,11 @@ func ExposeWindow(reg *Registry, name string, w *Window, labels ...string) {
 	}
 	reg.GaugeFunc(name+"_rate", func() float64 {
 		return w.Snapshot().Rate()
+	}, labels...)
+	reg.GaugeFunc(name+"_count", func() float64 {
+		return float64(w.Snapshot().Count)
+	}, labels...)
+	reg.GaugeFunc(name+"_sum", func() float64 {
+		return w.Snapshot().Sum.Seconds()
 	}, labels...)
 }

@@ -54,6 +54,39 @@ func TestWindowObserveZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestWindowSnapshotInto: reused-slice snapshots must match fresh ones
+// and, once warm, allocate nothing — the telemetry publisher's per-push
+// path.
+func TestWindowSnapshotInto(t *testing.T) {
+	w := NewWindow(time.Hour)
+	for i := 0; i < 50; i++ {
+		w.Observe(time.Duration(i) * time.Millisecond)
+	}
+	var s WindowSnapshot
+	w.SnapshotInto(&s)
+	fresh := w.Snapshot()
+	if s.Count != fresh.Count || s.Sum != fresh.Sum || len(s.Bounds) != len(fresh.Bounds) || len(s.Counts) != len(fresh.Counts) {
+		t.Fatalf("SnapshotInto mismatch: %+v vs %+v", s, fresh)
+	}
+	for i := range s.Counts {
+		if s.Counts[i] != fresh.Counts[i] {
+			t.Fatalf("Counts[%d]: %d vs %d", i, s.Counts[i], fresh.Counts[i])
+		}
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		w.SnapshotInto(&s)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm SnapshotInto allocates %v per run, want 0", allocs)
+	}
+	// Nil window resets without dropping capacity.
+	var nilW *Window
+	nilW.SnapshotInto(&s)
+	if s.Count != 0 || len(s.Bounds) != 0 || len(s.Counts) != 0 {
+		t.Fatalf("nil SnapshotInto left data: %+v", s)
+	}
+}
+
 // TestWindowRotation drives the rotation logic with explicit clocks:
 // observations older than two widths must age out of the snapshot, while
 // the previous (complete) window must remain visible.
@@ -233,6 +266,8 @@ func TestExposeWindow(t *testing.T) {
 		`dsud_query_window_seconds{algo="edsud",quantile="0.5"}`,
 		`dsud_query_window_seconds{algo="edsud",quantile="0.99"}`,
 		`dsud_query_window_seconds_rate{algo="edsud"}`,
+		`dsud_query_window_seconds_count{algo="edsud"} 100`,
+		`dsud_query_window_seconds_sum{algo="edsud"} 0.1`,
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("exposition missing %q:\n%s", want, out)

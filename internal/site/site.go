@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/obs/flight"
+	"repro/internal/obs/slo"
 	"repro/internal/prtree"
 	"repro/internal/synopsis"
 	"repro/internal/transport"
@@ -109,6 +110,15 @@ type Engine struct {
 	// transport's v2 worker-pool saturation.
 	win         *obs.Window
 	workerStats func() transport.WorkerStats
+
+	// Telemetry push-plane wiring (see telemetry.go): telemetryStats lets
+	// Status report the serving transport's publisher counters, sloMon is
+	// the monitor whose cached statuses ride in pushed snapshots, and the
+	// scratch fields keep FillTelemetry allocation-free (guarded by e.mu).
+	telemetryStats func() transport.TelemetryStats
+	sloMon         *slo.Monitor
+	telWin         obs.WindowSnapshot
+	telSLO         []slo.Status
 
 	// forceBadPrune is a test-only fault injection: when set,
 	// handleEvaluate prunes every dominated candidate regardless of the

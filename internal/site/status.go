@@ -49,6 +49,12 @@ func (e *Engine) statusLocked() *transport.SiteStatus {
 		st.MuxWorkerLimit = w.Limit
 		st.MuxQueued = w.Queued
 	}
+	if e.telemetryStats != nil {
+		ts := e.telemetryStats()
+		st.TelemetrySubscribers = ts.Subscribers
+		st.TelemetryPushes = ts.Pushes
+		st.TelemetryLastPushUnixNano = ts.LastPushUnixNano
+	}
 	return st
 }
 

@@ -1,0 +1,86 @@
+package site
+
+// The engine as a telemetry source: FillTelemetry is what the serving
+// transport's per-subscription publishers call once per push interval
+// (transport.TelemetrySource), so it follows the same discipline as the
+// request hot path — everything reused, nothing allocated at steady
+// state (TestFillTelemetryZeroAlloc pins it).
+
+import (
+	"repro/internal/codec"
+	"repro/internal/obs/slo"
+	"repro/internal/transport"
+)
+
+// SetTelemetryStats attaches the serving transport's publisher counters
+// (transport.Server.TelemetryStats) so Status can report last-push age
+// and subscriber counts on the pull plane. nil detaches.
+func (e *Engine) SetTelemetryStats(fn func() transport.TelemetryStats) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.telemetryStats = fn
+}
+
+// SetSLOMonitor attaches the daemon's SLO monitor so pushed telemetry
+// snapshots carry each objective's cached state (no re-evaluation on the
+// push path — that would advance delta windows and breach streaks).
+// nil detaches.
+func (e *Engine) SetSLOMonitor(m *slo.Monitor) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.sloMon = m
+}
+
+// FillTelemetry implements transport.TelemetrySource: it fills t with
+// the site's current gauges, counters, latency window and SLO state,
+// reusing t's slices and the engine's scratch buffers. Safe for
+// concurrent publishers (serialised on e.mu, like request dispatch).
+// Seq and WallNano belong to the publisher and are left untouched.
+func (e *Engine) FillTelemetry(t *codec.Telemetry) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	t.Site = int64(e.id)
+	t.Tuples = int64(e.index.Len())
+	t.Sessions = int64(len(e.sessions))
+	t.InFlight = e.inFlight.Load()
+	t.ReplicaSize = int64(len(e.replica))
+	t.ReplicaVersion = int64(e.replicaVersion)
+	t.Requests = int64(e.requestsTotal.Load())
+	t.LastUpdateNano = e.lastUpdate.Load()
+
+	t.MuxConns, t.MuxBusy, t.MuxLimit, t.MuxQueued = 0, 0, 0, 0
+	if e.workerStats != nil {
+		w := e.workerStats()
+		t.MuxConns = int64(w.Conns)
+		t.MuxBusy = int64(w.Busy)
+		t.MuxLimit = int64(w.Limit)
+		t.MuxQueued = int64(w.Queued)
+	}
+
+	e.win.SnapshotInto(&e.telWin)
+	t.WindowWidthNS = int64(e.win.Width())
+	t.WindowSpanNS = int64(e.telWin.Span)
+	t.WindowCount = int64(e.telWin.Count)
+	t.WindowSumNS = int64(e.telWin.Sum)
+	t.Bounds = t.Bounds[:0]
+	for _, b := range e.telWin.Bounds {
+		t.Bounds = append(t.Bounds, int64(b))
+	}
+	t.Counts = append(t.Counts[:0], e.telWin.Counts...)
+
+	t.SLO = t.SLO[:0]
+	if e.sloMon != nil {
+		e.telSLO = e.sloMon.LastInto(e.telSLO[:0])
+		for i := range e.telSLO {
+			s := &e.telSLO[i]
+			t.SLO = append(t.SLO, codec.TelemetrySLO{
+				Name:     s.Name,
+				Current:  s.Current,
+				Target:   s.Target,
+				Burn:     s.Burn,
+				Breached: s.Breached,
+			})
+		}
+	}
+}

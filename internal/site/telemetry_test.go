@@ -1,0 +1,96 @@
+package site
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/obs/slo"
+	"repro/internal/transport"
+)
+
+func TestFillTelemetry(t *testing.T) {
+	r := rand.New(rand.NewSource(61))
+	eng := New(3, randomPart(r, 50, 2), 2, 0)
+	eng.SetWorkerStats(func() transport.WorkerStats {
+		return transport.WorkerStats{Conns: 2, Busy: 1, Limit: 32}
+	})
+	mon := slo.New(slo.Latency("query-p99", eng.Window(), 0.99, time.Second))
+	mon.Evaluate()
+	eng.SetSLOMonitor(mon)
+
+	// Drive some traffic so the window and counters are non-trivial.
+	initSite(t, eng, 0.3, nil)
+	for i := 0; i < 5; i++ {
+		if _, err := eng.Handle(context.Background(), &transport.Request{Kind: transport.KindNext}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var tl codec.Telemetry
+	eng.FillTelemetry(&tl)
+	if tl.Site != 3 || tl.Tuples != 50 {
+		t.Fatalf("site/tuples = %d/%d", tl.Site, tl.Tuples)
+	}
+	if tl.Requests < 6 {
+		t.Fatalf("requests = %d, want >= 6", tl.Requests)
+	}
+	if tl.MuxConns != 2 || tl.MuxLimit != 32 {
+		t.Fatalf("mux gauges = %+v", tl)
+	}
+	if tl.WindowCount < 6 || len(tl.Bounds) == 0 || len(tl.Counts) != len(tl.Bounds)+1 {
+		t.Fatalf("window: count=%d bounds=%d counts=%d", tl.WindowCount, len(tl.Bounds), len(tl.Counts))
+	}
+	if len(tl.SLO) != 1 || tl.SLO[0].Name != "query-p99" {
+		t.Fatalf("slo = %+v", tl.SLO)
+	}
+	// The pushed snapshot must round-trip through the wire format.
+	tl.Seq = 1
+	wire := codec.AppendTelemetry(nil, &tl, nil)
+	var back codec.Telemetry
+	if err := codec.DecodeTelemetry(wire, &back, nil); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if back.Tuples != 50 || back.SLO[0].Name != "query-p99" {
+		t.Fatalf("round trip: %+v", back)
+	}
+}
+
+// The publisher calls FillTelemetry once per interval forever; it must
+// not allocate once its scratch state is warm.
+func TestFillTelemetryZeroAlloc(t *testing.T) {
+	r := rand.New(rand.NewSource(62))
+	eng := New(0, randomPart(r, 30, 2), 2, 0)
+	mon := slo.New(slo.Latency("query-p99", eng.Window(), 0.99, time.Second))
+	mon.Evaluate()
+	eng.SetSLOMonitor(mon)
+	initSite(t, eng, 0.3, nil)
+
+	var tl codec.Telemetry
+	eng.FillTelemetry(&tl) // warm scratch + output slices
+	allocs := testing.AllocsPerRun(1000, func() {
+		eng.FillTelemetry(&tl)
+	})
+	if allocs != 0 {
+		t.Fatalf("FillTelemetry allocates %v per run, want 0", allocs)
+	}
+}
+
+func TestStatusTelemetryFields(t *testing.T) {
+	r := rand.New(rand.NewSource(63))
+	eng := New(0, randomPart(r, 10, 2), 2, 0)
+	st := eng.Status()
+	if st.TelemetrySubscribers != 0 || st.TelemetryPushes != 0 {
+		t.Fatalf("unwired telemetry stats = %+v", st)
+	}
+	now := time.Now().UnixNano()
+	eng.SetTelemetryStats(func() transport.TelemetryStats {
+		return transport.TelemetryStats{Subscribers: 1, Pushes: 42, LastPushUnixNano: now}
+	})
+	st = eng.Status()
+	if st.TelemetrySubscribers != 1 || st.TelemetryPushes != 42 || st.TelemetryLastPushUnixNano != now {
+		t.Fatalf("telemetry stats = %+v", st)
+	}
+}

@@ -99,3 +99,64 @@ func TestResponseToLegacyPeer(t *testing.T) {
 		t.Fatalf("protocol fields lost at legacy peer: %+v", got)
 	}
 }
+
+// legacySiteStatus is the pre-telemetry SiteStatus shape, before the
+// TelemetrySubscribers / TelemetryPushes / TelemetryLastPushUnixNano
+// publisher counters.
+type legacySiteStatus struct {
+	ID                 int
+	Tuples             int
+	TreeHeight         int
+	Sessions           int
+	InFlight           int
+	ReplicaSize        int
+	ReplicaVersion     uint64
+	StartUnixNano      int64
+	UptimeSeconds      float64
+	LastUpdateUnixNano int64
+	RequestsTotal      uint64
+	LatencyP50Ms       float64
+	LatencyP95Ms       float64
+	LatencyP99Ms       float64
+	WindowRate         float64
+	WindowSeconds      float64
+	MuxConns           int
+	MuxWorkersBusy     int
+	MuxWorkerLimit     int
+	MuxQueued          int
+}
+
+// An old site's status (no telemetry counters) must decode into the new
+// SiteStatus with the publisher fields zero — the health sweep reads
+// that as "site predates the push plane", not as an error.
+func TestSiteStatusFromLegacyPeer(t *testing.T) {
+	old := legacySiteStatus{
+		ID: 3, Tuples: 900, Sessions: 2, RequestsTotal: 41,
+		LatencyP99Ms: 7.5, MuxConns: 1, MuxWorkersBusy: 4,
+	}
+	var got SiteStatus
+	gobRoundTrip(t, old, &got)
+	if got.ID != 3 || got.Tuples != 900 || got.RequestsTotal != 41 ||
+		got.LatencyP99Ms != 7.5 || got.MuxWorkersBusy != 4 {
+		t.Fatalf("legacy fields lost: %+v", got)
+	}
+	if got.TelemetrySubscribers != 0 || got.TelemetryPushes != 0 ||
+		got.TelemetryLastPushUnixNano != 0 {
+		t.Fatalf("legacy status grew telemetry counters: %+v", got)
+	}
+}
+
+// A new site's status with live telemetry counters must decode at an
+// old coordinator (which has no such fields), preserving the rest.
+func TestSiteStatusToLegacyPeer(t *testing.T) {
+	st := SiteStatus{
+		ID: 1, Tuples: 500, InFlight: 3, WindowRate: 12.5,
+		TelemetrySubscribers: 2, TelemetryPushes: 99,
+		TelemetryLastPushUnixNano: 1234567890,
+	}
+	var got legacySiteStatus
+	gobRoundTrip(t, st, &got)
+	if got.ID != 1 || got.Tuples != 500 || got.InFlight != 3 || got.WindowRate != 12.5 {
+		t.Fatalf("protocol fields lost at legacy peer: %+v", got)
+	}
+}

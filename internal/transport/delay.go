@@ -42,6 +42,10 @@ func (c *delayedClient) CallBytes(ctx context.Context, req *Request) (*Response,
 
 func (c *delayedClient) Close() error { return c.inner.Close() }
 
+// Unwrap exposes the inner client so optional interfaces (telemetry
+// subscription) are discoverable through the wrapper.
+func (c *delayedClient) Unwrap() Client { return c.inner }
+
 // DelayedHandler wraps h so every request waits d before being handled
 // — the site-service-time analogue of Delayed, used by throughput
 // experiments to model real network/processing latency on loopback.

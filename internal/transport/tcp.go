@@ -57,6 +57,13 @@ type Server struct {
 	muxConns    atomic.Int64
 	busyWorkers atomic.Int64
 	queuedReqs  atomic.Int64
+
+	// Telemetry push plane (see telemetry.go): the snapshot source the
+	// publishers read (mu-guarded) and their aggregate counters.
+	telemetrySource   TelemetrySource
+	telemetrySubs     atomic.Int64
+	telemetryPushes   atomic.Uint64
+	telemetryLastPush atomic.Int64
 }
 
 // WorkerStats is a point-in-time view of the server's v2 worker-pool

@@ -272,6 +272,15 @@ type SiteStatus struct {
 	MuxWorkersBusy int `json:"mux_workers_busy,omitempty"`
 	MuxWorkerLimit int `json:"mux_worker_limit,omitempty"`
 	MuxQueued      int `json:"mux_queued,omitempty"`
+
+	// Telemetry push plane (the cluster-telemetry work): how many
+	// coordinators hold live subscriptions, how many snapshots have been
+	// pushed since start, and when the last one went out — so the pull
+	// plane can report last-push age per site. Zero from sites that
+	// predate telemetry (gob encodes by field name).
+	TelemetrySubscribers      int    `json:"telemetry_subscribers,omitempty"`
+	TelemetryPushes           uint64 `json:"telemetry_pushes,omitempty"`
+	TelemetryLastPushUnixNano int64  `json:"telemetry_last_push_unix_nano,omitempty"`
 }
 
 // Client is the coordinator's handle to one site.
