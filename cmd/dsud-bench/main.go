@@ -59,7 +59,7 @@ func run() int {
 		format  = flag.String("format", "table", "output format: table|csv")
 
 		traceOut    = flag.String("trace-out", "", "write per-phase timing tables for fig12/fig13 runs to this file")
-		benchJSON   = flag.String("bench-json", "BENCH_dsud.json", "write the machine-readable per-algorithm cost artifact (schema v1, see docs/BENCHMARKING.md) to this file (empty = off)")
+		benchJSON   = flag.String("bench-json", "BENCH_dsud.json", "write the machine-readable per-algorithm cost artifact incl. the DSUD/e-DSUD progressiveness section (schema v1, see docs/BENCHMARKING.md) to this file (empty = off)")
 		benchIters  = flag.Int("bench-iters", 5, "measured runs per algorithm behind each bench-json distribution")
 		benchWarmup = flag.Int("bench-warmup", 1, "unmeasured warmup runs per algorithm before measuring (-1 = none)")
 		benchCap    = flag.Int("bench-cap", experiments.DefaultBenchCap, "cardinality cap for the bench-json artifact (-n above this is clamped)")

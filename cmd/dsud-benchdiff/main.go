@@ -37,6 +37,7 @@ func run() int {
 		quiet         = flag.Bool("quiet", false, "suppress the markdown table; exit status only")
 		minMuxSpeedup = flag.Float64("min-mux-speedup", 0, "fail unless the new artifact's highest-concurrency throughput shows at least this mux-over-serial speedup (0 = no gate)")
 		maxP99Regress = flag.Float64("max-p99-regress", 0, "fail when the soak p99 latency median regressed by more than this relative amount, e.g. 0.25 = 25% (0 = no gate; requires a soak section in both artifacts)")
+		maxAUCRegress = flag.Float64("max-auc-regress", 0, "fail when any algorithm's bandwidth-AUC median dropped by more than this relative amount, e.g. 0.05 = 5% (0 = no gate; requires a progressiveness section in both artifacts)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: dsud-benchdiff [flags] old.json new.json\n")
@@ -111,6 +112,27 @@ func run() int {
 				fmt.Printf("\nsoak p99 gate: %+.1f%% (%.2fms → %.2fms) within %.1f%% ✔\n",
 					rel*100, oldMed, newMed, *maxP99Regress*100)
 			}
+		}
+	}
+	if *maxAUCRegress > 0 {
+		deltas := perf.AUCDeltas(oldA, newA)
+		if len(deltas) == 0 {
+			fmt.Fprintf(os.Stderr, "dsud-benchdiff: -max-auc-regress: both artifacts need a progressiveness section (run dsud-bench -bench-json)\n")
+			return 2
+		}
+		worst := deltas[0]
+		for _, d := range deltas[1:] {
+			if d.Drop > worst.Drop {
+				worst = d
+			}
+		}
+		if worst.Drop > *maxAUCRegress {
+			fmt.Fprintf(os.Stderr, "dsud-benchdiff: %s bandwidth AUC dropped %.1f%% (%.4f → %.4f), over the %.1f%% gate — the query got less progressive\n",
+				worst.Algorithm, worst.Drop*100, worst.Old, worst.New, *maxAUCRegress*100)
+			status = 1
+		} else if !*quiet {
+			fmt.Printf("\nprogressiveness gate: worst AUC drop %+.1f%% (%s, %.4f → %.4f) within %.1f%% ✔\n",
+				worst.Drop*100, worst.Algorithm, worst.Old, worst.New, *maxAUCRegress*100)
 		}
 	}
 	return status

@@ -79,7 +79,7 @@ func run() int {
 		sloStrict  = flag.Bool("slo-strict", false, "exit 1 when any SLO is breached at the final evaluation")
 
 		artifact  = flag.String("artifact", "", "merge the soak section into this BENCH_dsud.json (created fresh when absent)")
-		debugAddr = flag.String("debug-addr", "", "serve /metrics, /vars, /slostatusz and /debug/pprof/ here during the run")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics, /vars, /slostatusz, /queryz and /debug/pprof/ here during the run")
 		flightDir = flag.String("flight-dir", "", "directory for flight-recorder dumps on sustained SLO breach")
 		quiet     = flag.Bool("quiet", false, "suppress per-iteration progress lines")
 	)
@@ -147,6 +147,8 @@ func run() int {
 		fr.SetDumpDir(*flightDir)
 	}
 	cluster.SetFlightRecorder(fr)
+	plog := dsq.NewProgressLog(0)
+	cluster.SetProgressLog(plog)
 
 	var objectives []slo.Objective
 	if *sloP99 > 0 {
@@ -175,6 +177,7 @@ func run() int {
 		mux := obs.DebugMux(reg, map[string]http.Handler{
 			"/slostatusz":    mon.Handler(),
 			"/debug/flightz": fr.Handler(),
+			"/queryz":        plog.Handler(),
 		})
 		lis, err := net.Listen("tcp", *debugAddr)
 		if err != nil {

@@ -15,7 +15,10 @@
 // dsud-top -cluster reads. With -audit-fraction the completed query is
 // re-checked against exact oracles at that sampling rate, and with
 // -flight-dir the coordinator's flight recorder is dumped on exit (and
-// automatically on slow queries or audit violations).
+// automatically on slow queries or audit violations). With -explain the
+// finished query is rendered as an explain report: per-site
+// contribution, per-phase timing and the ASCII delivery timeline backing
+// the /queryz digest.
 package main
 
 import (
@@ -45,8 +48,9 @@ func main() {
 		sub   = flag.String("subspace", "", "comma-separated dimension indices (empty = full space)")
 		quiet = flag.Bool("quiet", false, "suppress per-tuple output")
 		topk  = flag.Int("topk", 0, "return only the K most probable answers (0 = all)")
-		trace = flag.Bool("trace", false, "print every protocol step")
-		stats = flag.Bool("stats", false, "print the per-phase timing table after the query")
+		trace   = flag.Bool("trace", false, "print every protocol step")
+		stats   = flag.Bool("stats", false, "print the per-phase timing table after the query")
+		explain = flag.Bool("explain", false, "render the per-query explain report after the query: per-site contribution, phase breakdown and the ASCII delivery timeline")
 
 		clusterStatus = flag.Bool("cluster-status", false, "probe every site's health over the wire, print a status table and exit")
 		watch         = flag.Bool("watch", false, "run as a telemetry coordinator: subscribe to every site's pushed telemetry and serve /clusterz plus the cluster federation view on -debug-addr until interrupted (no query runs)")
@@ -131,12 +135,14 @@ func main() {
 		fr.SetDumpDir(*flightDir)
 	}
 	reg := dsq.NewMetrics()
+	plog := dsq.NewProgressLog(0)
 
 	cluster, err := dsq.Connect(dsq.ClusterConfig{
 		Addrs:          strings.Split(*addrs, ","),
 		Dims:           *dims,
 		Metrics:        reg,
 		FlightRecorder: fr,
+		ProgressLog:    plog,
 	})
 	if err != nil {
 		fatalf("%v", err)
@@ -150,6 +156,7 @@ func main() {
 		fmt.Printf("debug endpoint on http://%s/metrics\n", lis.Addr())
 		go http.Serve(lis, obs.DebugMux(reg, map[string]http.Handler{
 			"/debug/flightz": fr.Handler(),
+			"/queryz":        plog.Handler(),
 		}))
 	}
 
@@ -166,10 +173,11 @@ func main() {
 		opts.Logger = logger
 		opts.SlowQuery = *slowQuery
 	}
-	if *traceExport != "" || *auditFraction > 0 {
+	if *traceExport != "" || *auditFraction > 0 || *explain {
 		// A caller-owned trace turns on sampling: every RPC carries the
 		// trace context and the sites' spans come back for the timeline.
-		// The auditor also needs it, for the query_id on its log records.
+		// The auditor also needs it, for the query_id on its log records,
+		// and -explain for its phase breakdown and cross-links.
 		opts.Trace = dsq.NewTrace()
 	}
 	if *trace {
@@ -195,6 +203,12 @@ func main() {
 		fmt.Println()
 		if err := qstats.Trace.WriteTable(os.Stdout); err != nil {
 			fatalf("stats: %v", err)
+		}
+	}
+	if *explain {
+		fmt.Println()
+		if err := dsq.WriteExplain(os.Stdout, report, qstats); err != nil {
+			fatalf("explain: %v", err)
 		}
 	}
 	if *traceExport != "" {

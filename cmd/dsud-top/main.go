@@ -15,7 +15,11 @@
 // endpoint (dsud-query -watch) instead of scraping sites directly: every
 // row comes from the sites' pushed telemetry, annotated with push age,
 // staleness marks, and a sparkline of recent p99 history from the
-// coordinator's time-series ring.
+// coordinator's time-series ring. When the same coordinator also serves
+// /queryz (delivery-curve digests), the frame gains a per-site DLVRD
+// (skyline tuples delivered) column and a progressiveness summary line
+// (median TTFR, median bandwidth AUC); a coordinator that predates
+// /queryz renders "-" there and still passes -once.
 //
 // Site addresses may omit the scheme (host:port implies http://). The
 // request rate prefers the site's own rotating-window rate (exact over
@@ -34,6 +38,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"time"
 
@@ -176,19 +181,22 @@ func (t *top) render(w *os.File) int {
 
 // renderCluster draws one frame from the coordinator's aggregated
 // /clusterz document — no direct site scrapes. Returns how many entries
-// are bad (coordinator unreachable, or sites stale/unsubscribed).
+// are bad (coordinator unreachable, or sites stale/unsubscribed). A
+// coordinator without /queryz (predates delivery-curve digests) is a
+// soft miss: the DLVRD column degrades to "-" and -once still passes.
 func (t *top) renderCluster(w *os.File) int {
 	doc, err := t.fetchClusterz()
 	if err != nil {
 		fmt.Fprintf(w, "cluster %s: %v\n", trimURL(t.cluster), err)
 		return 1
 	}
+	qz := t.fetchQueryz()
 	fmt.Fprintf(w, "dsud-top  %s  cluster %s  %d site(s): %d fresh, %d stale\n",
 		time.Now().Format("15:04:05"), trimURL(t.cluster), doc.Sites, doc.Fresh, doc.Stale)
 	fmt.Fprintf(w, "cluster rate %.1f/s  p50 %s  p95 %s  p99 %s  (merged over fresh sites, push interval %v)\n\n",
 		doc.Rate, ms(doc.P50Ms), ms(doc.P95Ms), ms(doc.P99Ms), time.Duration(doc.IntervalNS))
-	fmt.Fprintf(w, "%-5s %-6s %7s %8s %8s %8s %8s %8s %8s %6s %6s  %s\n",
-		"SITE", "STATE", "AGE", "PUSHES", "TUPLES", "INFLIGHT", "RPS", "P50MS", "P99MS", "BUSY", "QUEUED", "P99 HISTORY")
+	fmt.Fprintf(w, "%-5s %-6s %7s %8s %8s %8s %8s %8s %8s %6s %6s %6s  %s\n",
+		"SITE", "STATE", "AGE", "PUSHES", "TUPLES", "INFLIGHT", "RPS", "P50MS", "P99MS", "BUSY", "QUEUED", "DLVRD", "P99 HISTORY")
 	bad := 0
 	for _, s := range doc.PerSite {
 		if s.Err != "" && s.Pushes == 0 {
@@ -205,10 +213,10 @@ func (t *top) renderCluster(w *os.File) int {
 		if s.Latest.WindowSpanNS > 0 {
 			rps = float64(s.Latest.WindowCount) / (float64(s.Latest.WindowSpanNS) / float64(time.Second))
 		}
-		fmt.Fprintf(w, "%-5d %-6s %6.1fs %8d %8d %8d %8.1f %8s %8s %6d %6d  %s\n",
+		fmt.Fprintf(w, "%-5d %-6s %6.1fs %8d %8d %8d %8.1f %8s %8s %6d %6d %6s  %s\n",
 			s.Site, state, s.AgeSeconds, s.Pushes, s.Latest.Tuples, s.Latest.InFlight, rps,
 			ms(lastValue(s.History[tsdb.SeriesP50])), ms(lastValue(s.History[tsdb.SeriesP99])),
-			s.Latest.MuxBusy, s.Latest.MuxQueued, spark(s.History[tsdb.SeriesP99], 32))
+			s.Latest.MuxBusy, s.Latest.MuxQueued, qz.delivered(s.Site), spark(s.History[tsdb.SeriesP99], 32))
 		for _, o := range s.Latest.SLO {
 			if o.Breached {
 				fmt.Fprintf(w, "      slo %s BREACHED: current %.4g target %.4g burn %.2f\n",
@@ -216,7 +224,96 @@ func (t *top) renderCluster(w *os.File) int {
 			}
 		}
 	}
+	fmt.Fprintln(w)
+	qz.writeSummary(w)
 	return bad
+}
+
+// queryzDump is the slice of the coordinator's /queryz document dsud-top
+// renders: per-site delivered counts and the progressiveness summary of
+// the retained delivery-curve digests. nil means the coordinator has no
+// /queryz (older build) — every accessor degrades to "-".
+type queryzDump struct {
+	Total   uint64 `json:"total"`
+	Queries []struct {
+		Results      int32   `json:"results"`
+		AUCBandwidth float64 `json:"auc_bandwidth"`
+		TTFirstNS    int64   `json:"ttf_ns"`
+		Slow         bool    `json:"slow"`
+		PerSite      []int32 `json:"per_site"`
+	} `json:"queries"`
+}
+
+// delivered sums a site's skyline contributions over the retained
+// digests; "-" when /queryz is absent or the site is beyond the digest's
+// per-site capacity.
+func (qz *queryzDump) delivered(site int64) string {
+	if qz == nil {
+		return "-"
+	}
+	total, tracked := int64(0), false
+	for _, q := range qz.Queries {
+		if site < int64(len(q.PerSite)) {
+			tracked = true
+			total += int64(q.PerSite[site])
+		}
+	}
+	if !tracked {
+		return "-"
+	}
+	return fmt.Sprintf("%d", total)
+}
+
+// writeSummary prints the one-line progressiveness rollup of the
+// retained queries (median TTFR and bandwidth AUC), or the soft-miss
+// note for coordinators that predate /queryz.
+func (qz *queryzDump) writeSummary(w *os.File) {
+	if qz == nil {
+		fmt.Fprintf(w, "queries: /queryz unavailable (coordinator predates delivery-curve digests)\n")
+		return
+	}
+	if len(qz.Queries) == 0 {
+		fmt.Fprintf(w, "queries: none retained yet\n")
+		return
+	}
+	ttfr := make([]float64, 0, len(qz.Queries))
+	auc := make([]float64, 0, len(qz.Queries))
+	slow := 0
+	for _, q := range qz.Queries {
+		ttfr = append(ttfr, float64(q.TTFirstNS)/1e6)
+		auc = append(auc, q.AUCBandwidth)
+		if q.Slow {
+			slow++
+		}
+	}
+	fmt.Fprintf(w, "queries: %d retained (%d recorded, %d slow)  ttfr p50 %s ms  auc(bw) p50 %.3f\n",
+		len(qz.Queries), qz.Total, slow, ms(median(ttfr)), median(auc))
+}
+
+// median of a non-empty slice (sorts in place).
+func median(xs []float64) float64 {
+	sort.Float64s(xs)
+	return xs[len(xs)/2]
+}
+
+// fetchQueryz reads the coordinator's /queryz delivery-curve ring. Any
+// failure — 404 from an older coordinator, transport error — is a soft
+// miss returning nil: coordinator reachability is already gated by the
+// /clusterz fetch, and a missing digest ring must not fail -once.
+func (t *top) fetchQueryz() *queryzDump {
+	resp, err := t.client.Get(t.cluster + "/queryz")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	var qz queryzDump
+	if err := json.NewDecoder(resp.Body).Decode(&qz); err != nil {
+		return nil
+	}
+	return &qz
 }
 
 func (t *top) fetchClusterz() (*dsq.Clusterz, error) {

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// A coordinator serving /queryz feeds the DLVRD column and the
+// progressiveness summary; one without it (or an unreachable one) is a
+// soft miss — nil dump, every accessor degrades to "-".
+func TestFetchQueryzSoftMiss(t *testing.T) {
+	srv := httptest.NewServer(http.NotFoundHandler())
+	defer srv.Close()
+	tp := &top{client: srv.Client(), cluster: srv.URL}
+	if qz := tp.fetchQueryz(); qz != nil {
+		t.Fatalf("404 /queryz must be a soft miss, got %+v", qz)
+	}
+	tp.cluster = "http://127.0.0.1:1" // nothing listens here
+	if qz := tp.fetchQueryz(); qz != nil {
+		t.Fatalf("unreachable /queryz must be a soft miss, got %+v", qz)
+	}
+	var nilDump *queryzDump
+	if got := nilDump.delivered(0); got != "-" {
+		t.Errorf("nil dump delivered = %q, want -", got)
+	}
+}
+
+func TestFetchQueryzDelivered(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/queryz" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Write([]byte(`{"total": 3, "queries": [
+			{"results": 5, "auc_bandwidth": 0.4, "ttf_ns": 2000000, "per_site": [3, 2]},
+			{"results": 4, "auc_bandwidth": 0.5, "ttf_ns": 1000000, "slow": true, "per_site": [1, 3]}
+		]}`))
+	}))
+	defer srv.Close()
+	tp := &top{client: srv.Client(), cluster: srv.URL}
+	qz := tp.fetchQueryz()
+	if qz == nil {
+		t.Fatal("fetchQueryz returned nil for a serving coordinator")
+	}
+	if got := qz.delivered(0); got != "4" {
+		t.Errorf("site 0 delivered = %q, want 4", got)
+	}
+	if got := qz.delivered(1); got != "5" {
+		t.Errorf("site 1 delivered = %q, want 5", got)
+	}
+	// Beyond the digest's per-site capacity the column degrades.
+	if got := qz.delivered(99); got != "-" {
+		t.Errorf("untracked site delivered = %q, want -", got)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/obs/flight"
+	"repro/internal/obs/progress"
 	"repro/internal/obs/slo"
 	"repro/internal/transport"
 )
@@ -126,6 +127,34 @@ type (
 // NewFlightRecorder returns a flight recorder holding the most recent
 // size query records (size <= 0 selects the default of 256).
 func NewFlightRecorder(size int) *FlightRecorder { return flight.New(size) }
+
+// Progressive-delivery observability: per-query delivery curves and the
+// /queryz explain plane.
+type (
+	// ProgressLog is the fixed-size ring of recent delivery-curve
+	// digests (attach via ClusterConfig.ProgressLog, serve Handler() at
+	// /queryz — JSON, or ?format=text for the table view).
+	ProgressLog = progress.Log
+	// DeliveryDigest is one query's delivery curve: checkpointed (t, k)
+	// pairs, the normalized progress AUCs (time and bandwidth axes),
+	// time-to-first/last result and per-site delivered counts. Every
+	// Report/QueryStats carries one (Report.Curve, QueryStats.Curve).
+	DeliveryDigest = progress.Digest
+	// DeliveryPoint is one checkpoint on a delivery curve.
+	DeliveryPoint = progress.Point
+)
+
+// NewProgressLog returns a delivery-curve log retaining the most recent
+// size query digests (size <= 0 selects the default of 64).
+func NewProgressLog(size int) *ProgressLog { return progress.NewLog(size) }
+
+// WriteExplain renders a completed query as a per-query explain report:
+// delivery timeline, per-site contribution table, phase breakdown and
+// the query_id cross-links (the dsud-query -explain output). stats may
+// be nil; the phase breakdown is then omitted.
+func WriteExplain(w io.Writer, rep *Report, stats *QueryStats) error {
+	return core.WriteExplain(w, rep, stats)
+}
 
 // NewAuditor builds an online invariant auditor. reg may be nil.
 func NewAuditor(cfg AuditConfig, reg *Metrics) *Auditor { return audit.New(cfg, reg) }

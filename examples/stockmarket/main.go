@@ -17,6 +17,7 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"repro/dsq"
 )
@@ -44,7 +45,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	cluster, err := dsq.NewLocalCluster(parts, 2)
+	cluster, err := dsq.Connect(dsq.ClusterConfig{Partitions: parts, Dims: 2})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -54,7 +55,7 @@ func main() {
 		trades, exchanges, threshold)
 
 	first := true
-	report, err := dsq.Query(context.Background(), cluster, dsq.Options{
+	report, _, err := cluster.QueryWithStats(context.Background(), dsq.Options{
 		Threshold: threshold,
 		Algorithm: dsq.EDSUD,
 		OnResult: func(res dsq.Result) {
@@ -64,21 +65,26 @@ func main() {
 			}
 			price := res.Tuple.Point[0]
 			volume := 1<<20 - res.Tuple.Point[1] // invert the complement
-			fmt.Printf("  exchange %d: %8.0f shares at %6.2f  (P = %.3f)\n",
-				res.Site, volume, price, res.GlobalProb)
+			fmt.Printf("  deal #%-2d exchange %d: %8.0f shares at %6.2f  (P = %.3f)\n",
+				res.Index, res.Site, volume, price, res.GlobalProb)
 		},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("\nprogressiveness (cumulative network cost per confirmed deal):\n")
-	step := len(report.Progress)/6 + 1
-	for i := 0; i < len(report.Progress); i += step {
-		p := report.Progress[i]
+	// Every report carries the query's delivery-curve digest — the same
+	// record /queryz retains and dsud-query -explain renders. Its
+	// checkpoints are the paper's Fig. 13 progressiveness measure: how
+	// much network cost each confirmed deal required.
+	curve := report.Curve
+	fmt.Printf("\ndelivery curve (cumulative network cost per confirmed deal):\n")
+	for _, p := range curve.Checkpoints() {
 		fmt.Printf("  after %2d deal(s): %5d tuples moved, %8v elapsed\n",
-			p.Reported, p.Tuples, p.Elapsed.Round(1e4))
+			p.K, p.Tuples, time.Duration(p.NS).Round(1e4))
 	}
-	fmt.Printf("\ntotal: %d deals, %d tuples transmitted (of %d stored), %v\n",
+	fmt.Printf("\nprogress: auc(bandwidth) %.3f, auc(time) %.3f, first deal after %v\n",
+		curve.AUCBandwidth, curve.AUCTime, time.Duration(curve.TTFirstNS).Round(1e4))
+	fmt.Printf("total: %d deals, %d tuples transmitted (of %d stored), %v\n",
 		len(report.Skyline), report.Bandwidth.Tuples(), trades, report.Elapsed.Round(1e6))
 }

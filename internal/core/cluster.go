@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/obs/flight"
+	"repro/internal/obs/progress"
 	"repro/internal/transport"
 	"repro/internal/uncertain"
 )
@@ -40,6 +41,11 @@ type Cluster struct {
 	// flight, when set (SetFlightRecorder), receives one record per
 	// completed query — success or failure. Nil-safe at the record site.
 	flight *flight.Recorder
+
+	// progress, when set (SetProgressLog), retains each successful
+	// query's delivery-curve digest for /queryz. Nil-safe at the record
+	// site.
+	progress *progress.Log
 
 	// logger, when set (ClusterConfig.Logger), is the default query
 	// logger for runs whose Options carry none of their own.
@@ -85,6 +91,18 @@ func (c *Cluster) SetFlightRecorder(r *flight.Recorder) { c.flight = r }
 // (nil when none), so daemons can dump it on shutdown or mount its
 // /debug/flightz handler.
 func (c *Cluster) FlightRecorder() *flight.Recorder { return c.flight }
+
+// SetProgressLog attaches a delivery-curve log: every successful Run
+// leaves one digest (checkpointed (t, k) curve, progress AUCs, per-site
+// delivered counts), cross-linked to the flight recorder by query_id. A
+// nil log (the default) disables retention — the Report still carries
+// its own digest. Call before serving queries; not synchronised with
+// in-flight Runs.
+func (c *Cluster) SetProgressLog(l *progress.Log) { c.progress = l }
+
+// ProgressLog returns the log attached with SetProgressLog (nil when
+// none), so daemons can mount its /queryz handler.
+func (c *Cluster) ProgressLog() *progress.Log { return c.progress }
 
 // recordFlight writes one query's flight record. rep is nil on failure.
 func (c *Cluster) recordFlight(opts Options, sid uint64, rep *Report, err error, start time.Time, elapsed time.Duration) {

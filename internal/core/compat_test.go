@@ -1,0 +1,110 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+	"time"
+
+	"repro/internal/obs/progress"
+	"repro/internal/transport"
+	"repro/internal/uncertain"
+)
+
+// Gob compatibility for the report shapes that cross process boundaries
+// (replay files, remote-coordinator relays). Gob matches fields by name
+// and simply omits nil pointers, so a Report/QueryStats gaining the
+// Curve digest must decode cleanly against pre-progress peers in both
+// directions.
+
+// legacyReport is the pre-progress Report shape, before Curve.
+type legacyReport struct {
+	Skyline       []uncertain.SkylineMember
+	Sites         map[uncertain.TupleID]int
+	Bandwidth     transport.Snapshot
+	Iterations    int
+	Broadcasts    int
+	Expunged      int
+	Refills       int
+	PrunedLocal   int
+	Elapsed       time.Duration
+	Progress      []ProgressPoint
+	PerSite       []SiteTally
+	FeedbackLocal []float64
+}
+
+// legacyQueryStats is the pre-progress QueryStats shape, before Curve.
+type legacyQueryStats struct {
+	Algorithm Algorithm
+	Trace     TraceSummary
+	Bandwidth transport.Snapshot
+}
+
+func gobRoundTrip(t *testing.T, in, out any) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(in); err != nil {
+		t.Fatalf("encode %T: %v", in, err)
+	}
+	if err := gob.NewDecoder(&buf).Decode(out); err != nil {
+		t.Fatalf("decode %T into %T: %v", in, out, err)
+	}
+}
+
+// An old peer's report (no Curve) must decode into the new Report with
+// a nil digest — "peer predates the field", not an error.
+func TestReportFromLegacyPeer(t *testing.T) {
+	old := legacyReport{
+		Iterations: 7, Broadcasts: 5, PrunedLocal: 3,
+		Elapsed:  time.Second,
+		Progress: []ProgressPoint{{Reported: 1, Tuples: 10, Elapsed: time.Millisecond}},
+	}
+	var got Report
+	gobRoundTrip(t, old, &got)
+	if got.Iterations != 7 || got.Broadcasts != 5 || got.PrunedLocal != 3 || len(got.Progress) != 1 {
+		t.Fatalf("legacy fields lost: %+v", got)
+	}
+	if got.Curve != nil {
+		t.Fatalf("legacy report grew a curve digest: %+v", got.Curve)
+	}
+}
+
+// A new report with its curve digest must decode at an old peer (which
+// has no Curve field), preserving the protocol fields.
+func TestReportToLegacyPeer(t *testing.T) {
+	rep := Report{
+		Iterations: 4, Refills: 9, Elapsed: 2 * time.Second,
+		Curve: &progress.Digest{QueryID: 1, Results: 3, AUCBandwidth: 0.8},
+	}
+	var got legacyReport
+	gobRoundTrip(t, rep, &got)
+	if got.Iterations != 4 || got.Refills != 9 || got.Elapsed != 2*time.Second {
+		t.Fatalf("protocol fields lost at legacy peer: %+v", got)
+	}
+}
+
+// The same two directions for QueryStats.
+func TestQueryStatsFromLegacyPeer(t *testing.T) {
+	old := legacyQueryStats{Algorithm: EDSUD, Bandwidth: transport.Snapshot{Messages: 12}}
+	var got QueryStats
+	gobRoundTrip(t, old, &got)
+	if got.Algorithm != EDSUD || got.Bandwidth.Messages != 12 {
+		t.Fatalf("legacy fields lost: %+v", got)
+	}
+	if got.Curve != nil {
+		t.Fatalf("legacy stats grew a curve digest: %+v", got.Curve)
+	}
+}
+
+func TestQueryStatsToLegacyPeer(t *testing.T) {
+	st := QueryStats{
+		Algorithm: DSUD,
+		Bandwidth: transport.Snapshot{Messages: 3},
+		Curve:     &progress.Digest{Results: 2, AUCTime: 0.5},
+	}
+	var got legacyQueryStats
+	gobRoundTrip(t, st, &got)
+	if got.Algorithm != DSUD || got.Bandwidth.Messages != 3 {
+		t.Fatalf("protocol fields lost at legacy peer: %+v", got)
+	}
+}

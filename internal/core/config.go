@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/obs/flight"
+	"repro/internal/obs/progress"
 	"repro/internal/site"
 	"repro/internal/transport"
 	"repro/internal/uncertain"
@@ -60,6 +61,10 @@ type ClusterConfig struct {
 	// FlightRecorder, when set, receives one record per completed query
 	// exactly like Cluster.SetFlightRecorder.
 	FlightRecorder *flight.Recorder
+	// ProgressLog, when set, retains each successful query's
+	// delivery-curve digest exactly like Cluster.SetProgressLog (mount
+	// its Handler at /queryz).
+	ProgressLog *progress.Log
 }
 
 // ErrConfig reports an invalid ClusterConfig.
@@ -127,6 +132,7 @@ func Open(cfg ClusterConfig) (*Cluster, error) {
 	}
 	cluster.Instrument(cfg.Metrics)
 	cluster.SetFlightRecorder(cfg.FlightRecorder)
+	cluster.SetProgressLog(cfg.ProgressLog)
 	return cluster, nil
 }
 
@@ -150,6 +156,10 @@ type QueryStats struct {
 	Trace TraceSummary
 	// Bandwidth is the tuple/message/byte cost of this query.
 	Bandwidth transport.Snapshot
+	// Curve is the delivery-curve digest ((t, k) checkpoints, progress
+	// AUCs, per-site delivered counts). Nil when the stats crossed the
+	// wire from a peer that predates it — gob omits nil pointers.
+	Curve *progress.Digest `json:"curve,omitempty"`
 }
 
 // QueryWithStats is Query plus a populated QueryStats. If opts.Trace is
@@ -171,5 +181,6 @@ func (c *Cluster) QueryWithStats(ctx context.Context, opts Options) (*Report, *Q
 		Algorithm: algo,
 		Trace:     opts.Trace.Summary(),
 		Bandwidth: rep.Bandwidth,
+		Curve:     rep.Curve,
 	}, nil
 }

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/geom"
+	"repro/internal/obs/progress"
 	"repro/internal/synopsis"
 	"repro/internal/transport"
 	"repro/internal/uncertain"
@@ -195,13 +196,35 @@ func (o Options) validate(dims int) error {
 	return nil
 }
 
-// Result is one progressively reported skyline tuple.
+// Result is one progressively reported skyline tuple, carrying the
+// provenance that justified its delivery. All fields are values — the
+// result path allocates nothing beyond what the report itself retains.
 type Result struct {
 	Tuple uncertain.Tuple
-	// GlobalProb is the exact global skyline probability (eq. 4/5).
+	// GlobalProb is the exact global skyline probability (eq. 4/5) at
+	// delivery time — the paper's P_g-sky(t).
 	GlobalProb float64
 	// Site is the index of the tuple's home site.
 	Site int
+
+	// Index is the 1-based delivery ordinal: this is the Index-th result
+	// to reach the client (the k of the delivery curve).
+	Index int
+	// Phase is the protocol phase that produced the delivery. The
+	// DSUD-family algorithms confirm results while folding eq. 9 factors
+	// (PhaseLocalPruning), as does the Baseline's central solve.
+	Phase Phase
+	// Iteration is the coordinator feedback round that confirmed the
+	// tuple (0 for the Baseline, which has no rounds).
+	Iteration int
+
+	// Broadcasts, Expunged, Refills and PrunedLocal snapshot the
+	// query-wide protocol counters at the moment of delivery — the work
+	// spent, and the candidates discarded, to justify this result.
+	Broadcasts  int
+	Expunged    int
+	Refills     int
+	PrunedLocal int
 }
 
 // ProgressPoint records the cumulative cost at the moment one more skyline
@@ -260,6 +283,12 @@ type Report struct {
 	// larger than the popped head) — the invariant the online auditor
 	// spot-checks.
 	FeedbackLocal []float64
+	// Curve is the delivery-curve digest (checkpointed (t, k) pairs,
+	// normalized progress AUCs, per-site delivered counts); Run always
+	// populates it. Nil when the report came from a peer that predates
+	// it — gob omits nil pointers, so old and new coordinators
+	// interoperate.
+	Curve *progress.Digest `json:"curve,omitempty"`
 }
 
 // ErrNoSites reports a query against an empty cluster.

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/progress"
+)
+
+// WriteExplain renders a per-query explain report: identity header,
+// ASCII delivery timeline from the curve digest, per-site contribution
+// table (delivered / shipped / pruned), the per-phase timing breakdown,
+// and the query_id cross-link into the flight recorder and exported
+// trace timelines. stats may be nil (the phase breakdown is skipped);
+// rep must come from a completed query.
+func WriteExplain(w io.Writer, rep *Report, stats *QueryStats) error {
+	if rep == nil {
+		_, err := fmt.Fprintln(w, "explain: no report")
+		return err
+	}
+	d := rep.Curve
+	if d == nil {
+		// A report relayed by a pre-progress peer: the curve never
+		// crossed the wire. Explain what is known rather than failing.
+		d = &progress.Digest{Results: int32(len(rep.Skyline))}
+	}
+
+	qid := d.QueryID
+	algo := d.Algorithm
+	if stats != nil {
+		if qid == 0 {
+			qid = stats.Trace.TraceID
+		}
+		if algo == "" {
+			algo = stats.Algorithm.String()
+		}
+	}
+	fmt.Fprintf(w, "query %s  algorithm %s  q=%.2f: %d result(s) in %s\n",
+		obs.QueryID(qid), algo, d.Threshold, d.Results, time.Duration(d.ElapsedNS))
+	fmt.Fprintf(w, "progress: ttfr %s  ttlast %s  auc(time) %.3f  auc(bandwidth) %.3f  tuples %d\n",
+		fmtNano(d.TTFirstNS), fmtNano(d.TTLastNS), d.AUCTime, d.AUCBandwidth, d.TuplesTotal)
+
+	if pts := d.Checkpoints(); len(pts) > 0 {
+		fmt.Fprintf(w, "\ndelivery curve (k-th result · elapsed · cumulative tuples):\n")
+		const width = 40
+		for _, p := range pts {
+			bar := 1
+			if d.ElapsedNS > 0 {
+				bar = int(p.NS * width / d.ElapsedNS)
+				if bar < 1 {
+					bar = 1
+				}
+				if bar > width {
+					bar = width
+				}
+			}
+			fmt.Fprintf(w, "  k=%-6d %10s %8d tuples  |%s\n",
+				p.K, fmtNano(p.NS), p.Tuples, barString(bar))
+		}
+	}
+
+	fmt.Fprintf(w, "\nper-site contribution:\n")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "site\tdelivered\tshipped\tpruned")
+	sites := len(rep.PerSite)
+	if int(d.Sites) > sites {
+		sites = int(d.Sites)
+	}
+	for i := 0; i < sites; i++ {
+		var shipped, pruned int64
+		if i < len(rep.PerSite) {
+			shipped, pruned = rep.PerSite[i].Shipped, rep.PerSite[i].Pruned
+		}
+		delivered := "-"
+		if i < progress.MaxSites {
+			delivered = fmt.Sprintf("%d", d.PerSite[i])
+		}
+		fmt.Fprintf(tw, "%d\t%s\t%d\t%d\n", i, delivered, shipped, pruned)
+	}
+	if d.SitesTruncated {
+		fmt.Fprintf(tw, "(delivered counts beyond site %d folded into the last row)\t\t\t\n", progress.MaxSites-1)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	if stats != nil {
+		fmt.Fprintf(w, "\nphase breakdown:\n")
+		if err := stats.Trace.WriteTable(w); err != nil {
+			return err
+		}
+	}
+
+	_, err := fmt.Fprintf(w, "\ncross-link: query_id %s indexes /debug/flightz records, /queryz digests and -trace-export timelines\n",
+		obs.QueryID(qid))
+	return err
+}
+
+// fmtNano renders a nanosecond count as a rounded duration, "-" for 0.
+func fmtNano(ns int64) string {
+	if ns <= 0 {
+		return "-"
+	}
+	d := time.Duration(ns)
+	switch {
+	case d >= time.Second:
+		return d.Round(10 * time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(10 * time.Microsecond).String()
+	default:
+		return d.Round(100 * time.Nanosecond).String()
+	}
+}
+
+// barString returns an n-character ASCII bar (n clamped to [0, 40]).
+func barString(n int) string {
+	const full = "########################################"
+	if n < 0 {
+		n = 0
+	}
+	if n > len(full) {
+		n = len(full)
+	}
+	return full[:n]
+}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/progress"
 	"repro/internal/prtree"
 	"repro/internal/synopsis"
 	"repro/internal/transport"
@@ -40,16 +41,17 @@ func Run(ctx context.Context, c *Cluster, opts Options) (*Report, error) {
 	bytesBefore := c.meter.Snapshot().Bytes
 
 	var (
-		rep *Report
-		err error
+		rep   *Report
+		err   error
+		curve progress.Builder // per-delivery observations are alloc-free
 	)
 	switch opts.Algorithm {
 	case Baseline:
-		rep, err = runBaseline(ctx, v, opts, start, labels)
+		rep, err = runBaseline(ctx, v, opts, start, labels, &curve)
 	case DSUD:
-		rep, err = runDSUD(ctx, v, opts, false, start, sid, labels)
+		rep, err = runDSUD(ctx, v, opts, false, start, sid, labels, &curve)
 	default: // EDSUD, SDSUD
-		rep, err = runDSUD(ctx, v, opts, true, start, sid, labels)
+		rep, err = runDSUD(ctx, v, opts, true, start, sid, labels, &curve)
 	}
 	if err != nil {
 		elapsed := time.Since(start)
@@ -73,6 +75,17 @@ func Run(ctx context.Context, c *Cluster, opts Options) (*Report, error) {
 		rep.Bandwidth.Bytes = c.meter.Snapshot().Bytes - bytesBefore
 	}
 	rep.Elapsed = time.Since(start)
+	d := &progress.Digest{
+		QueryID:   opts.Trace.ID(),
+		Algorithm: opts.Algorithm.String(),
+		Threshold: opts.Threshold,
+		Start:     start.UnixNano(),
+		Slow:      opts.SlowQuery > 0 && rep.Elapsed >= opts.SlowQuery,
+		Sites:     int32(len(c.clients)),
+	}
+	curve.Finish(d, rep.Elapsed, rep.Bandwidth.Tuples())
+	rep.Curve = d
+	c.progress.Record(d)
 	c.winQuery.Observe(rep.Elapsed)
 	if opts.Trace != nil {
 		if ttf := opts.Trace.Summary().TimeToFirst(); ttf > 0 {
@@ -123,7 +136,7 @@ func (o Options) logQuery(rep *Report, err error, elapsed time.Duration) {
 
 // runBaseline ships every partition to the coordinator and solves eq. 5
 // centrally over a bulk-loaded PR-tree.
-func runBaseline(ctx context.Context, c *view, opts Options, start time.Time, labels *profLabels) (*Report, error) {
+func runBaseline(ctx context.Context, c *view, opts Options, start time.Time, labels *profLabels, curve *progress.Builder) (*Report, error) {
 	labels.enter(PhaseToServer)
 	sp := opts.Trace.StartSpan(PhaseToServer)
 	resps, err := c.broadcast(ctx, -1, &transport.Request{Kind: transport.KindShipAll})
@@ -150,13 +163,18 @@ func runBaseline(ctx context.Context, c *view, opts Options, start time.Time, la
 		rep.Skyline = append(rep.Skyline, m)
 		rep.Sites[m.Tuple.ID] = sites[m.Tuple.ID]
 		opts.emit(Event{Kind: EventReport, Site: sites[m.Tuple.ID], Tuple: m.Tuple, Prob: m.Prob})
-		rep.Progress = append(rep.Progress, ProgressPoint{
+		pp := ProgressPoint{
 			Reported: len(rep.Skyline),
 			Tuples:   c.meter.Snapshot().Tuples(),
 			Elapsed:  time.Since(start),
-		})
+		}
+		rep.Progress = append(rep.Progress, pp)
+		curve.Observe(sites[m.Tuple.ID], pp.Elapsed, pp.Tuples)
 		if opts.OnResult != nil {
-			opts.OnResult(Result{Tuple: m.Tuple, GlobalProb: m.Prob, Site: sites[m.Tuple.ID]})
+			opts.OnResult(Result{
+				Tuple: m.Tuple, GlobalProb: m.Prob, Site: sites[m.Tuple.ID],
+				Index: len(rep.Skyline), Phase: PhaseLocalPruning,
+			})
 		}
 		if opts.MaxResults > 0 && len(rep.Skyline) >= opts.MaxResults {
 			return false
@@ -183,7 +201,7 @@ type queued struct {
 // feedback is the queue head by local skyline probability (DSUD); with
 // enhanced=true the Corollary-2 approximate bounds drive both the feedback
 // selection and the expunge-without-broadcast rule (e-DSUD).
-func runDSUD(ctx context.Context, c *view, opts Options, enhanced bool, start time.Time, sid uint64, labels *profLabels) (*Report, error) {
+func runDSUD(ctx context.Context, c *view, opts Options, enhanced bool, start time.Time, sid uint64, labels *profLabels, curve *progress.Builder) (*Report, error) {
 	rep := &Report{Sites: make(map[uncertain.TupleID]int), PerSite: make([]SiteTally, len(c.clients))}
 	query := transport.Query{
 		Threshold: opts.Threshold,
@@ -391,7 +409,15 @@ func runDSUD(ctx context.Context, c *view, opts Options, enhanced bool, start ti
 			}
 			global *= resp.CrossProb
 			prunedNow += resp.Pruned
-			rep.PerSite[i].Pruned += int64(resp.Pruned)
+			if resp.SessionPruned > 0 {
+				// New sites report their session-cumulative prune count,
+				// which is exact even when a retried Evaluate replays its
+				// delta; legacy sites (SessionPruned 0) fall back to
+				// delta accumulation.
+				rep.PerSite[i].Pruned = int64(resp.SessionPruned)
+			} else {
+				rep.PerSite[i].Pruned += int64(resp.Pruned)
+			}
 		}
 		rep.PrunedLocal += prunedNow
 		if prunedNow > 0 {
@@ -404,13 +430,20 @@ func runDSUD(ctx context.Context, c *view, opts Options, enhanced bool, start ti
 			})
 			rep.Skyline = append(rep.Skyline, uncertain.SkylineMember{Tuple: head.rep.Tuple, Prob: global})
 			rep.Sites[head.rep.Tuple.ID] = head.site
-			rep.Progress = append(rep.Progress, ProgressPoint{
+			pp := ProgressPoint{
 				Reported: len(rep.Skyline),
 				Tuples:   c.meter.Snapshot().Tuples(),
 				Elapsed:  time.Since(start),
-			})
+			}
+			rep.Progress = append(rep.Progress, pp)
+			curve.Observe(head.site, pp.Elapsed, pp.Tuples)
 			if opts.OnResult != nil {
-				opts.OnResult(Result{Tuple: head.rep.Tuple, GlobalProb: global, Site: head.site})
+				opts.OnResult(Result{
+					Tuple: head.rep.Tuple, GlobalProb: global, Site: head.site,
+					Index: len(rep.Skyline), Phase: PhaseLocalPruning, Iteration: rep.Iterations,
+					Broadcasts: rep.Broadcasts, Expunged: rep.Expunged,
+					Refills: rep.Refills, PrunedLocal: rep.PrunedLocal,
+				})
 			}
 			if opts.MaxResults > 0 && len(rep.Skyline) >= opts.MaxResults {
 				lp.End()

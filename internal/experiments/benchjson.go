@@ -150,6 +150,15 @@ func BenchSummary(ctx context.Context, scale Scale, opts BenchOptions, w io.Writ
 			algo, opts.Warmup, opts.Iterations,
 			res.Metric(perf.MetricWallMillis).Median,
 			int64(res.Metric(perf.MetricTuplesTotal).Median))
+		// The progressiveness section reproduces the paper's §6 DSUD vs
+		// e-DSUD delivery-curve comparison; the shipping Baseline and
+		// SDSUD are out of scope for the gate.
+		if algo == core.DSUD || algo == core.EDSUD {
+			pr := perf.NewProgressResult(algo.String(), samples)
+			artifact.Progressiveness = append(artifact.Progressiveness, pr)
+			opts.Logf("bench-json: %s: progressiveness auc(bw) %.4f, ttfr %.2fms\n",
+				algo, pr.AUCBandwidth.Median, pr.TTFirstMS.Median)
+		}
 	}
 	if !opts.SkipThroughput {
 		// The throughput section runs on its own delayed sites (see
@@ -189,7 +198,7 @@ func benchIteration(ctx context.Context, addrs []string, algo core.Algorithm) (p
 		return perf.Sample{}, closeErr
 	}
 	bw := rep.Bandwidth
-	return perf.Sample{
+	s := perf.Sample{
 		Wall:       wall,
 		TuplesUp:   bw.TuplesUp,
 		TuplesDown: bw.TuplesDown,
@@ -197,5 +206,12 @@ func benchIteration(ctx context.Context, addrs []string, algo core.Algorithm) (p
 		WireBytes:  bw.Bytes,
 		Skyline:    len(rep.Skyline),
 		Rounds:     rep.Iterations,
-	}, nil
+	}
+	if d := rep.Curve; d != nil {
+		s.AUCBandwidth = d.AUCBandwidth
+		s.AUCTime = d.AUCTime
+		s.TTFirst = time.Duration(d.TTFirstNS)
+		s.TTLast = time.Duration(d.TTLastNS)
+	}
+	return s, nil
 }

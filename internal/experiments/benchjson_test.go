@@ -61,6 +61,52 @@ func TestBenchSummary(t *testing.T) {
 	}
 }
 
+// The artifact's progressiveness section must cover DSUD and e-DSUD
+// with deterministic bandwidth AUCs, and reproduce the paper's §6
+// comparison: e-DSUD delivers at least as progressively as DSUD along
+// the bandwidth axis on the default bench workload. The comparison
+// needs that workload — at toy cardinalities the feedback overhead
+// dominates and the ordering can invert.
+func TestBenchSummaryProgressiveness(t *testing.T) {
+	var buf bytes.Buffer
+	scale := Scale{N: DefaultBenchCap, Queries: 1, Seed: 1}
+	opts := BenchOptions{Warmup: -1, Iterations: 2, SkipThroughput: true}
+	if err := BenchSummary(context.Background(), scale, opts, &buf); err != nil {
+		t.Fatal(err)
+	}
+	res, err := perf.ReadArtifact(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Progressiveness) != 2 {
+		t.Fatalf("%d progressiveness entries, want 2 (dsud, e-dsud): %+v", len(res.Progressiveness), res.Progressiveness)
+	}
+	dsud, edsud := res.Progress("dsud"), res.Progress("e-dsud")
+	if dsud == nil || edsud == nil {
+		t.Fatalf("progressiveness entries missing: %+v", res.Progressiveness)
+	}
+	for _, p := range []*perf.ProgressResult{dsud, edsud} {
+		if p.AUCBandwidth.N != 2 || p.AUCTime.N != 2 || p.TTFirstMS.N != 2 {
+			t.Errorf("%s: distributions short: %+v", p.Algorithm, p)
+		}
+		if p.AUCBandwidth.Median <= 0 || p.AUCBandwidth.Median > 1 {
+			t.Errorf("%s: bandwidth AUC %v outside (0,1]", p.Algorithm, p.AUCBandwidth.Median)
+		}
+		// Identical samples can still leave float-epsilon variance in
+		// the E[x²]−E[x]² computation, so bound rather than compare.
+		if p.AUCBandwidth.CV > 1e-9 {
+			t.Errorf("%s: bandwidth AUC CV %v — count-based AUC must be deterministic", p.Algorithm, p.AUCBandwidth.CV)
+		}
+		if p.Results == 0 {
+			t.Errorf("%s: no delivered results", p.Algorithm)
+		}
+	}
+	if edsud.AUCBandwidth.Median < dsud.AUCBandwidth.Median {
+		t.Errorf("e-dsud bandwidth AUC %v < dsud %v — the paper's progressiveness advantage is gone",
+			edsud.AUCBandwidth.Median, dsud.AUCBandwidth.Median)
+	}
+}
+
 // Oversized -n must be clamped to the (configurable) cap, and the clamp
 // must be reported, not silent.
 func TestBenchSummaryCapsN(t *testing.T) {

@@ -1,0 +1,51 @@
+package progress
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// Concurrent queries record into one shared /queryz ring while dumps
+// snapshot it — the coordinator's steady state. Run under -race (the
+// Makefile race target covers this package).
+func TestLogConcurrent(t *testing.T) {
+	l := NewLog(16)
+	const writers, each = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var b Builder
+			for i := 0; i < each; i++ {
+				b.Reset()
+				b.Observe(w, time.Duration(i)*time.Microsecond, int64(i))
+				var d Digest
+				b.Finish(&d, time.Millisecond, 1000)
+				d.QueryID = uint64(w*each + i + 1)
+				l.Record(&d)
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			for _, d := range l.Snapshot() {
+				if d.Results != 1 {
+					t.Errorf("torn digest: %+v", d)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := l.Total(); got != writers*each {
+		t.Fatalf("Total = %d, want %d", got, writers*each)
+	}
+	if ds := l.Snapshot(); len(ds) != 16 {
+		t.Fatalf("%d digests retained, want 16", len(ds))
+	}
+}

@@ -172,7 +172,84 @@ func WriteMarkdown(w io.Writer, oldA, newA *Artifact, deltas []MetricDelta) erro
 		len(deltas), reg, imp, len(deltas)-reg-imp)
 	writeThroughputMarkdown(w, oldA, newA)
 	writeSoakMarkdown(w, oldA, newA)
+	writeProgressMarkdown(w, oldA, newA)
 	return nil
+}
+
+// AUCDelta is one algorithm's bandwidth-AUC movement between two
+// artifacts. Drop is (old−new)/old: positive means the new build
+// delivers results later along the bandwidth axis — less progressive —
+// which is the direction -max-auc-regress gates (the sign convention is
+// inverted versus latency deltas, where higher is worse).
+type AUCDelta struct {
+	Algorithm string
+	Old, New  float64 // bandwidth-AUC medians
+	Drop      float64
+}
+
+// AUCDeltas compares the bandwidth-AUC medians of every algorithm
+// present in both artifacts' progressiveness sections. An empty slice
+// means at least one side predates the section, leaving the gate
+// decision to the caller.
+func AUCDeltas(oldA, newA *Artifact) []AUCDelta {
+	var out []AUCDelta
+	for i := range oldA.Progressiveness {
+		op := &oldA.Progressiveness[i]
+		np := newA.Progress(op.Algorithm)
+		if np == nil || op.AUCBandwidth.N == 0 || np.AUCBandwidth.N == 0 {
+			continue
+		}
+		d := AUCDelta{Algorithm: op.Algorithm, Old: op.AUCBandwidth.Median, New: np.AUCBandwidth.Median}
+		switch {
+		case d.Old == 0 && d.New == 0:
+			d.Drop = 0
+		case d.Old == 0:
+			d.Drop = math.Inf(-1)
+		default:
+			d.Drop = (d.Old - d.New) / d.Old
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// writeProgressMarkdown renders the delivery-curve progressiveness
+// section when either artifact carries one.
+func writeProgressMarkdown(w io.Writer, oldA, newA *Artifact) {
+	if len(oldA.Progressiveness) == 0 && len(newA.Progressiveness) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\n### Progressiveness (delivery-curve AUC)\n\n")
+	fmt.Fprintf(w, "| algorithm | old auc(bw) | new auc(bw) | drop | old ttfr ms | new ttfr ms |\n")
+	fmt.Fprintf(w, "|---|---:|---:|---:|---:|---:|\n")
+	seen := map[string]bool{}
+	row := func(name string) {
+		if seen[name] {
+			return
+		}
+		seen[name] = true
+		op, np := oldA.Progress(name), newA.Progress(name)
+		cell := func(p *ProgressResult, f func(*ProgressResult) string) string {
+			if p == nil {
+				return "—"
+			}
+			return f(p)
+		}
+		bw := func(p *ProgressResult) string { return fmt.Sprintf("%.4f", p.AUCBandwidth.Median) }
+		ttf := func(p *ProgressResult) string { return fmt.Sprintf("%.2f", p.TTFirstMS.Median) }
+		drop := "—"
+		if op != nil && np != nil && op.AUCBandwidth.Median != 0 {
+			drop = fmt.Sprintf("%+.2f%%", (op.AUCBandwidth.Median-np.AUCBandwidth.Median)/op.AUCBandwidth.Median*100)
+		}
+		fmt.Fprintf(w, "| %s | %s | %s | %s | %s | %s |\n",
+			name, cell(op, bw), cell(np, bw), drop, cell(op, ttf), cell(np, ttf))
+	}
+	for i := range oldA.Progressiveness {
+		row(oldA.Progressiveness[i].Algorithm)
+	}
+	for i := range newA.Progressiveness {
+		row(newA.Progressiveness[i].Algorithm)
+	}
 }
 
 // SoakP99Delta compares the two artifacts' soak p99 medians and reports

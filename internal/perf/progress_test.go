@@ -1,0 +1,109 @@
+package perf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func progressArtifact(algos map[string]float64) *Artifact {
+	a := &Artifact{Schema: SchemaVersion}
+	for name, auc := range algos {
+		a.Progressiveness = append(a.Progressiveness, ProgressResult{
+			Algorithm:    name,
+			Results:      5,
+			AUCBandwidth: Point(auc),
+			AUCTime:      Point(auc - 0.1),
+			TTFirstMS:    Point(1.5),
+			TTLastMS:     Point(9),
+		})
+	}
+	return a
+}
+
+// AUCDeltas reports the drop per matched algorithm, skips unmatched
+// ones, and returns nothing when a side predates the section.
+func TestAUCDeltas(t *testing.T) {
+	oldA := progressArtifact(map[string]float64{"dsud": 0.80, "e-dsud": 0.90, "only-old": 0.5})
+	newA := progressArtifact(map[string]float64{"dsud": 0.76, "e-dsud": 0.90})
+	deltas := AUCDeltas(oldA, newA)
+	if len(deltas) != 2 {
+		t.Fatalf("%d deltas, want 2 (unmatched algorithm must be skipped): %+v", len(deltas), deltas)
+	}
+	byAlgo := map[string]AUCDelta{}
+	for _, d := range deltas {
+		byAlgo[d.Algorithm] = d
+	}
+	if d := byAlgo["dsud"]; d.Drop < 0.049 || d.Drop > 0.051 {
+		t.Errorf("dsud drop = %v, want ~0.05", d.Drop)
+	}
+	if d := byAlgo["e-dsud"]; d.Drop != 0 {
+		t.Errorf("e-dsud drop = %v, want 0", d.Drop)
+	}
+
+	if got := AUCDeltas(&Artifact{}, newA); len(got) != 0 {
+		t.Errorf("pre-progress old artifact produced deltas: %+v", got)
+	}
+	if got := AUCDeltas(oldA, &Artifact{}); len(got) != 0 {
+		t.Errorf("pre-progress new artifact produced deltas: %+v", got)
+	}
+}
+
+// NewProgressResult carries the per-iteration AUC and time-to-k
+// distributions; the count-based AUC must show zero spread for
+// identical samples.
+func TestNewProgressResult(t *testing.T) {
+	samples := []Sample{
+		{Skyline: 4, AUCBandwidth: 0.9, AUCTime: 0.7, TTFirst: time.Millisecond, TTLast: 9 * time.Millisecond},
+		{Skyline: 4, AUCBandwidth: 0.9, AUCTime: 0.75, TTFirst: 2 * time.Millisecond, TTLast: 8 * time.Millisecond},
+	}
+	p := NewProgressResult("e-dsud", samples)
+	if p.Algorithm != "e-dsud" || p.Results != 4 {
+		t.Fatalf("identity wrong: %+v", p)
+	}
+	if p.AUCBandwidth.N != 2 || p.AUCBandwidth.Median != 0.9 || p.AUCBandwidth.CV != 0 {
+		t.Errorf("bandwidth AUC dist wrong: %+v", p.AUCBandwidth)
+	}
+	if p.TTFirstMS.Median != 1.5 {
+		t.Errorf("ttf median = %v ms, want 1.5", p.TTFirstMS.Median)
+	}
+}
+
+// The markdown report gains the progressiveness table when a side
+// carries the section, and round-trips through the artifact JSON.
+func TestProgressMarkdownAndJSON(t *testing.T) {
+	oldA := progressArtifact(map[string]float64{"dsud": 0.8})
+	newA := progressArtifact(map[string]float64{"dsud": 0.78})
+	var buf bytes.Buffer
+	if err := WriteMarkdown(&buf, oldA, newA, nil); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Progressiveness", "auc(bw)", "| dsud |", "+2.50%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+
+	buf.Reset()
+	if err := newA.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadArtifact(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := back.Progress("dsud")
+	if p == nil || p.AUCBandwidth.Median != 0.78 {
+		t.Fatalf("progressiveness section lost in JSON round trip: %+v", p)
+	}
+	// A section-less artifact must stay section-less (omitempty).
+	buf.Reset()
+	if err := (&Artifact{Schema: SchemaVersion}).Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "progressiveness") {
+		t.Errorf("empty section serialized: %s", buf.String())
+	}
+}

@@ -16,6 +16,14 @@ type Sample struct {
 	// pair; Collect verifies they agree across iterations.
 	Skyline int
 	Rounds  int
+	// Delivery-curve progressiveness of the iteration (from the query's
+	// progress digest). AUCBandwidth is deterministic for a fixed seed;
+	// the time-axis fields vary like Wall and stay out of Collect's
+	// invariant check.
+	AUCBandwidth float64
+	AUCTime      float64
+	TTFirst      time.Duration
+	TTLast       time.Duration
 }
 
 // Collect runs warmup unmeasured iterations followed by n measured ones
@@ -75,4 +83,30 @@ func NewAlgoResult(algorithm string, samples []Sample) AlgoResult {
 		res.Metrics[name] = Summarize(xs)
 	}
 	return res
+}
+
+// NewProgressResult summarises measured samples into the artifact's
+// progressiveness entry. Panics on an empty slice (Collect never
+// returns one).
+func NewProgressResult(algorithm string, samples []Sample) ProgressResult {
+	aucBW := make([]float64, 0, len(samples))
+	aucT := make([]float64, 0, len(samples))
+	ttf := make([]float64, 0, len(samples))
+	ttl := make([]float64, 0, len(samples))
+	results := 0
+	for _, s := range samples {
+		aucBW = append(aucBW, s.AUCBandwidth)
+		aucT = append(aucT, s.AUCTime)
+		ttf = append(ttf, float64(s.TTFirst.Microseconds())/1e3)
+		ttl = append(ttl, float64(s.TTLast.Microseconds())/1e3)
+		results = s.Skyline
+	}
+	return ProgressResult{
+		Algorithm:    algorithm,
+		Results:      results,
+		AUCBandwidth: Summarize(aucBW),
+		AUCTime:      Summarize(aucT),
+		TTFirstMS:    Summarize(ttf),
+		TTLastMS:     Summarize(ttl),
+	}
 }

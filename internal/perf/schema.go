@@ -148,16 +148,47 @@ func (s *SoakResult) Percentile(key string) Dist {
 	return s.Latency[key]
 }
 
-// Artifact is the full versioned BENCH_dsud.json document. Throughput
-// and Soak are additive within schema v1: absent in older artifacts,
-// present since the multiplexed transport and the soak harness landed.
+// ProgressResult is one algorithm's delivery-curve progressiveness on
+// the bench workload — the artifact form of the paper's §6 Figs. 12–13
+// comparison. AUCBandwidth is count-based and hence deterministic for a
+// fixed seed (CV = 0); it is the metric -max-auc-regress gates.
+// AUCTime crosses machines like wall time does and is informational.
+type ProgressResult struct {
+	Algorithm string `json:"algorithm"`
+	// Results is the delivered-result count (iteration-invariant).
+	Results int `json:"results"`
+	// AUCBandwidth / AUCTime are the normalized progress AUCs (1.0 =
+	// every result delivered before any cost was paid).
+	AUCBandwidth Dist `json:"auc_bandwidth"`
+	AUCTime      Dist `json:"auc_time"`
+	// TTFirstMS / TTLastMS are time-to-first/last delivery per iteration.
+	TTFirstMS Dist `json:"ttf_ms"`
+	TTLastMS  Dist `json:"ttl_ms"`
+}
+
+// Artifact is the full versioned BENCH_dsud.json document. Throughput,
+// Soak and Progressiveness are additive within schema v1: absent in
+// older artifacts, present since the multiplexed transport, the soak
+// harness and the delivery-curve digests landed respectively.
 type Artifact struct {
-	Schema     int                `json:"schema_version"`
-	Env        Env                `json:"env"`
-	Config     RunConfig          `json:"config"`
-	Algorithms []AlgoResult       `json:"algorithms"`
-	Throughput []ThroughputResult `json:"throughput,omitempty"`
-	Soak       *SoakResult        `json:"soak,omitempty"`
+	Schema          int                `json:"schema_version"`
+	Env             Env                `json:"env"`
+	Config          RunConfig          `json:"config"`
+	Algorithms      []AlgoResult       `json:"algorithms"`
+	Throughput      []ThroughputResult `json:"throughput,omitempty"`
+	Soak            *SoakResult        `json:"soak,omitempty"`
+	Progressiveness []ProgressResult   `json:"progressiveness,omitempty"`
+}
+
+// Progress returns the named algorithm's progressiveness entry, or nil
+// when absent (pre-progress artifacts).
+func (a *Artifact) Progress(name string) *ProgressResult {
+	for i := range a.Progressiveness {
+		if a.Progressiveness[i].Algorithm == name {
+			return &a.Progressiveness[i]
+		}
+	}
+	return nil
 }
 
 // MaxThroughput returns the highest-concurrency throughput entry, or nil

@@ -435,7 +435,11 @@ func (e *Engine) handleEvaluate(req *transport.Request) (*transport.Response, er
 		e.obsPruned.Add(int64(pruned))
 		sp.end(int64(pruned), 0)
 	}
-	return &transport.Response{CrossProb: cross, Pruned: pruned}, nil
+	resp := &transport.Response{CrossProb: cross, Pruned: pruned}
+	if s != nil {
+		resp.SessionPruned = s.pruned
+	}
+	return resp, nil
 }
 
 // handleShipAll returns the whole partition (baseline algorithm).

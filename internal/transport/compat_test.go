@@ -88,11 +88,14 @@ func TestResponseFromLegacyPeer(t *testing.T) {
 	if got.TraceBlob != nil {
 		t.Fatalf("legacy response grew a blob: %v", got.TraceBlob)
 	}
+	if got.SessionPruned != 0 {
+		t.Fatalf("legacy response grew a session prune count: %d — the coordinator must fall back to delta accumulation", got.SessionPruned)
+	}
 }
 
 // A new site's blob-carrying response must decode at an old coordinator.
 func TestResponseToLegacyPeer(t *testing.T) {
-	resp := Response{Pruned: 5, TraceBlob: []byte{1, 2, 3}}
+	resp := Response{Pruned: 5, SessionPruned: 12, TraceBlob: []byte{1, 2, 3}}
 	var got legacyResponse
 	gobRoundTrip(t, resp, &got)
 	if got.Pruned != 5 {

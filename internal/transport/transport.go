@@ -192,6 +192,12 @@ type Response struct {
 	// skyline tuples discarded by the feedback.
 	CrossProb float64
 	Pruned    int
+	// SessionPruned is the session's cumulative Observation-2 prune
+	// count after this evaluation — the authoritative per-site figure
+	// behind each delivered result's provenance (a retried request
+	// replays its Pruned delta; the cumulative count cannot
+	// double-count). Zero from peers that predate it.
+	SessionPruned int
 
 	// Tuples carries the partition for KindShipAll and promotion
 	// candidates for KindCandidates.
