@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test race bench bench-json bench-baseline benchdiff soak verify examples figures clean
+.PHONY: all check build vet test race bench bench-json bench-baseline benchdiff soak record replay verify examples figures clean
 
 all: check
 
@@ -19,8 +19,10 @@ vet:
 test:
 	$(GO) test ./...
 
+# ./internal/obs/... covers the black-box recorder (internal/obs/transcript)
+# alongside the rest of the observability tree.
 race:
-	$(GO) test -race ./internal/codec ./internal/obs/... ./internal/transport ./internal/core ./internal/stream ./internal/site ./internal/audit ./internal/experiments
+	$(GO) test -race ./internal/codec ./internal/obs/... ./internal/obs/transcript ./internal/transport ./internal/core ./internal/stream ./internal/site ./internal/audit ./internal/experiments
 
 # Full benchmark sweep (several minutes). Writes bench_output.txt.
 bench:
@@ -53,6 +55,34 @@ soak:
 	  -duration 3s -iterations 3 -update-fraction 0.05 \
 	  -audit-fraction 0.05 -max-error-rate 0.01 -artifact BENCH_dsud.json
 
+# Record one query's complete coordinator<->site exchange into a
+# black-box transcript under $(RECORD_DIR). By default this self-hosts
+# two loopback site daemons; set RECORD_ADDRS=host:port,... to record
+# against a live cluster instead. See docs/OBSERVABILITY.md, section
+# "Record & replay".
+RECORD_DIR ?= transcripts
+RECORD_ADDRS ?=
+record:
+	@mkdir -p $(RECORD_DIR)
+ifeq ($(RECORD_ADDRS),)
+	$(GO) build -o bin/ ./cmd/dsud-gen ./cmd/dsud-site ./cmd/dsud-query ./cmd/dsud-replay
+	@set -e; \
+	tmp=$$(mktemp -d); \
+	bin/dsud-gen -n 2000 -d 3 -m 2 -seed 7 -out $$tmp; \
+	bin/dsud-site -data $$tmp/site-0.dsud -id 0 -addr 127.0.0.1:7811 & s0=$$!; \
+	bin/dsud-site -data $$tmp/site-1.dsud -id 1 -addr 127.0.0.1:7812 & s1=$$!; \
+	trap 'kill $$s0 $$s1 2>/dev/null; rm -rf $$tmp' EXIT; \
+	sleep 1; \
+	bin/dsud-query -addrs 127.0.0.1:7811,127.0.0.1:7812 -dims 3 -q 0.3 \
+	  -record $(RECORD_DIR) -quiet
+else
+	$(GO) run ./cmd/dsud-query -addrs $(RECORD_ADDRS) -dims 3 -q 0.3 -record $(RECORD_DIR)
+endif
+
+# Replay the newest recorded transcript offline (no sites needed).
+replay:
+	$(GO) run ./cmd/dsud-replay $$(ls -t $(RECORD_DIR)/*.dstr | head -1)
+
 # Cross-check every engine against every oracle.
 verify:
 	$(GO) run ./cmd/dsud-verify -n 2000 -values anticorrelated
@@ -76,4 +106,4 @@ figures:
 clean:
 	rm -f bench_output.txt test_output.txt experiments_output.txt
 	rm -f BENCH_dsud.json *.trace.json *.log
-	rm -rf bin profiles
+	rm -rf bin profiles transcripts

@@ -78,10 +78,11 @@ func run() int {
 		sloEvery   = flag.Duration("slo-interval", 2*time.Second, "SLO evaluation cadence during the run")
 		sloStrict  = flag.Bool("slo-strict", false, "exit 1 when any SLO is breached at the final evaluation")
 
-		artifact  = flag.String("artifact", "", "merge the soak section into this BENCH_dsud.json (created fresh when absent)")
-		debugAddr = flag.String("debug-addr", "", "serve /metrics, /vars, /slostatusz, /queryz and /debug/pprof/ here during the run")
-		flightDir = flag.String("flight-dir", "", "directory for flight-recorder dumps on sustained SLO breach")
-		quiet     = flag.Bool("quiet", false, "suppress per-iteration progress lines")
+		artifact     = flag.String("artifact", "", "merge the soak section into this BENCH_dsud.json (created fresh when absent)")
+		debugAddr    = flag.String("debug-addr", "", "serve /metrics, /vars, /slostatusz, /queryz and /debug/pprof/ here during the run")
+		queryzRetain = flag.Int("queryz-retain", 0, "delivery-curve digests retained for /queryz (0 = default of 64)")
+		flightDir    = flag.String("flight-dir", "", "directory for flight-recorder dumps on sustained SLO breach")
+		quiet        = flag.Bool("quiet", false, "suppress per-iteration progress lines")
 	)
 	flag.Parse()
 
@@ -147,8 +148,16 @@ func run() int {
 		fr.SetDumpDir(*flightDir)
 	}
 	cluster.SetFlightRecorder(fr)
-	plog := dsq.NewProgressLog(0)
+	plog := dsq.NewProgressLog(*queryzRetain)
 	cluster.SetProgressLog(plog)
+
+	// With a maintenance mix, the §5.4 update path gets its own latency
+	// window and dsud_update_* counters alongside the query windows.
+	var updWindow *obs.Window
+	if *updFrac > 0 {
+		updWindow = obs.NewWindow(obs.DefWindowWidth)
+		obs.ExposeWindow(reg, "dsud_update_latency_seconds", updWindow)
+	}
 
 	var objectives []slo.Objective
 	if *sloP99 > 0 {
@@ -213,6 +222,8 @@ func run() int {
 		BurstPeriod:    *burstP,
 		Seed:           *seed,
 		Window:         sched,
+		UpdateWindow:   updWindow,
+		UpdateMetrics:  reg,
 		Auditor:        auditor,
 		Requests:       requests,
 		Failures:       failures,

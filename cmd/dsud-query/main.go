@@ -41,13 +41,13 @@ import (
 
 func main() {
 	var (
-		addrs = flag.String("addrs", "", "comma-separated site addresses (required)")
-		dims  = flag.Int("dims", 0, "data dimensionality (required unless -cluster-status)")
-		q     = flag.Float64("q", 0.3, "probability threshold in (0,1]")
-		algo  = flag.String("algo", "edsud", "algorithm: baseline|dsud|edsud")
-		sub   = flag.String("subspace", "", "comma-separated dimension indices (empty = full space)")
-		quiet = flag.Bool("quiet", false, "suppress per-tuple output")
-		topk  = flag.Int("topk", 0, "return only the K most probable answers (0 = all)")
+		addrs   = flag.String("addrs", "", "comma-separated site addresses (required)")
+		dims    = flag.Int("dims", 0, "data dimensionality (required unless -cluster-status)")
+		q       = flag.Float64("q", 0.3, "probability threshold in (0,1]")
+		algo    = flag.String("algo", "edsud", "algorithm: baseline|dsud|edsud")
+		sub     = flag.String("subspace", "", "comma-separated dimension indices (empty = full space)")
+		quiet   = flag.Bool("quiet", false, "suppress per-tuple output")
+		topk    = flag.Int("topk", 0, "return only the K most probable answers (0 = all)")
 		trace   = flag.Bool("trace", false, "print every protocol step")
 		stats   = flag.Bool("stats", false, "print the per-phase timing table after the query")
 		explain = flag.Bool("explain", false, "render the per-query explain report after the query: per-site contribution, phase breakdown and the ASCII delivery timeline")
@@ -59,6 +59,8 @@ func main() {
 		auditMC       = flag.Int("audit-mc-samples", 0, "Monte-Carlo possible worlds per audited query (0 = exact checks only)")
 		flightDir     = flag.String("flight-dir", "", "directory for flight-recorder dumps (slow queries, audit violations, exit)")
 		flightSize    = flag.Int("flight-size", 0, "flight-recorder ring capacity in query records (0 = default)")
+		record        = flag.String("record", "", "directory for a black-box transcript of this query: every coordinator<->site message is captured into a replayable .dstr file (consume with dsud-replay)")
+		queryzRetain  = flag.Int("queryz-retain", 0, "delivery-curve digests retained for /queryz (0 = default of 64)")
 
 		debugAddr   = flag.String("debug-addr", "", "optional debug address serving /metrics, /vars, /healthz, /debug/flightz and /debug/pprof/")
 		traceExport = flag.String("trace-export", "", "write the merged cross-site timeline as Chrome trace-event JSON to this file (load in Perfetto or chrome://tracing)")
@@ -135,7 +137,11 @@ func main() {
 		fr.SetDumpDir(*flightDir)
 	}
 	reg := dsq.NewMetrics()
-	plog := dsq.NewProgressLog(0)
+	plog := dsq.NewProgressLog(*queryzRetain)
+	var tlog *dsq.TranscriptLog
+	if *record != "" {
+		tlog = dsq.NewTranscriptLog(0)
+	}
 
 	cluster, err := dsq.Connect(dsq.ClusterConfig{
 		Addrs:          strings.Split(*addrs, ","),
@@ -143,6 +149,8 @@ func main() {
 		Metrics:        reg,
 		FlightRecorder: fr,
 		ProgressLog:    plog,
+		TranscriptDir:  *record,
+		TranscriptLog:  tlog,
 	})
 	if err != nil {
 		fatalf("%v", err)
@@ -154,10 +162,14 @@ func main() {
 			fatalf("debug listen: %v", err)
 		}
 		fmt.Printf("debug endpoint on http://%s/metrics\n", lis.Addr())
-		go http.Serve(lis, obs.DebugMux(reg, map[string]http.Handler{
+		extras := map[string]http.Handler{
 			"/debug/flightz": fr.Handler(),
 			"/queryz":        plog.Handler(),
-		}))
+		}
+		if tlog != nil {
+			extras["/transcriptz"] = tlog.Handler()
+		}
+		go http.Serve(lis, obs.DebugMux(reg, extras))
 	}
 
 	opts := dsq.Options{Threshold: *q, Dims: subspace, Algorithm: algorithm, TopK: *topk}
@@ -173,12 +185,17 @@ func main() {
 		opts.Logger = logger
 		opts.SlowQuery = *slowQuery
 	}
-	if *traceExport != "" || *auditFraction > 0 || *explain {
+	if *traceExport != "" || *auditFraction > 0 || *explain || *record != "" {
 		// A caller-owned trace turns on sampling: every RPC carries the
 		// trace context and the sites' spans come back for the timeline.
 		// The auditor also needs it, for the query_id on its log records,
-		// and -explain for its phase breakdown and cross-links.
+		// -explain for its phase breakdown and cross-links, and -record
+		// for the query_id in the transcript header (the key that joins
+		// a .dstr file to /queryz and /debug/flightz).
 		opts.Trace = dsq.NewTrace()
+	}
+	if *record != "" {
+		opts.Record = true
 	}
 	if *trace {
 		opts.OnEvent = func(e dsq.Event) { fmt.Println(e) }
@@ -199,6 +216,17 @@ func main() {
 		bw.Tuples(), bw.TuplesUp, bw.TuplesDown, bw.Messages, bw.Bytes)
 	fmt.Printf("iterations: %d, broadcasts: %d, expunged: %d, locally pruned: %d\n",
 		report.Iterations, report.Broadcasts, report.Expunged, report.PrunedLocal)
+	if tlog != nil {
+		if entries := tlog.Snapshot(); len(entries) > 0 {
+			last := entries[len(entries)-1]
+			if last.Error != "" {
+				fmt.Fprintf(os.Stderr, "dsud-query: transcript not recorded: %s\n", last.Error)
+			} else {
+				fmt.Printf("transcript: %s (%d messages, %d bytes) — replay with: dsud-replay %s\n",
+					last.Path, last.Messages, last.Bytes, last.Path)
+			}
+		}
+	}
 	if *stats {
 		fmt.Println()
 		if err := qstats.Trace.WriteTable(os.Stdout); err != nil {

@@ -27,6 +27,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/codec"
 	"repro/internal/dataset"
 	"repro/internal/obs"
 	"repro/internal/obs/flight"
@@ -99,6 +100,40 @@ func main() {
 		srv.SetWorkerLimit(*conc)
 	}
 	srv.SetLegacyOnly(*legacyWire)
+	// Wire-level frame accounting: every v2 mux frame in or out bumps
+	// dsud_site_frames_total / dsud_site_frame_bytes_total broken down by
+	// direction and frame type. Counters are pre-registered per type so
+	// the per-frame tap is an array index and two atomic adds. (Frame
+	// payloads are not captured here — the gob streams are stateful per
+	// connection; transcript capture happens at the coordinator.)
+	type frameCtr struct{ frames, bytes *obs.Counter }
+	frameCtrs := func(dir string) [8]frameCtr {
+		var c [8]frameCtr
+		for t := 0; t < len(c); t++ {
+			name := codec.FrameType(t).String()
+			if t == 0 || t > 5 {
+				name = "other"
+			}
+			c[t] = frameCtr{
+				frames: reg.Counter("dsud_site_frames_total", "site", fmt.Sprint(*id), "dir", dir, "type", name),
+				bytes:  reg.Counter("dsud_site_frame_bytes_total", "site", fmt.Sprint(*id), "dir", dir, "type", name),
+			}
+		}
+		return c
+	}
+	inCtrs, outCtrs := frameCtrs("in"), frameCtrs("out")
+	srv.SetFrameTap(func(dir uint8, t codec.FrameType, n int) {
+		ctrs := &inCtrs
+		if dir == transport.TapOutbound {
+			ctrs = &outCtrs
+		}
+		i := int(t)
+		if i <= 0 || i > 5 {
+			i = 0
+		}
+		ctrs[i].frames.Inc()
+		ctrs[i].bytes.Add(int64(n))
+	})
 	// Surface mux worker-pool saturation in /statusz and the windowed
 	// request-latency quantiles (p50/p95/p99 over the last ~10-20s) in
 	// /metrics — the live feed dsud-top renders.

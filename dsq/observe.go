@@ -1,6 +1,7 @@
 package dsq
 
 import (
+	"context"
 	"io"
 	"log/slog"
 	"time"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/obs/flight"
 	"repro/internal/obs/progress"
 	"repro/internal/obs/slo"
+	"repro/internal/obs/transcript"
 	"repro/internal/transport"
 )
 
@@ -211,6 +213,46 @@ func ErrorRateSLO(name string, total, errors func() int64, max float64) SLOObjec
 func ExposeWindow(reg *Metrics, name string, w *Window, labels ...string) {
 	obs.ExposeWindow(reg, name, w, labels...)
 }
+
+// The protocol black-box recorder: wire-level transcript capture,
+// offline deterministic replay and transcript diffing.
+type (
+	// Transcript is one recorded query's complete coordinator↔site
+	// exchange plus its pinned outcome, read back from a .dstr file.
+	Transcript = transcript.Transcript
+	// TranscriptLog is the fixed-size ring of recent recording summaries
+	// (attach via ClusterConfig.TranscriptLog, serve Handler() at
+	// /transcriptz — JSON, or ?format=text for the table view).
+	TranscriptLog = transcript.Log
+	// TranscriptDiff is the outcome of comparing two transcripts: the
+	// human-readable differences and, when the recorded feedback
+	// sequences disagree, the first (site, round) of divergence.
+	TranscriptDiff = transcript.DiffResult
+	// ReplayResult is one offline replay's outcome: the replayed report
+	// and every disagreement with the recording.
+	ReplayResult = core.ReplayResult
+)
+
+// NewTranscriptLog returns a recording-summary ring retaining the most
+// recent size entries (size <= 0 selects the default of 32).
+func NewTranscriptLog(size int) *TranscriptLog { return transcript.NewLog(size) }
+
+// ReadTranscript loads a recorded transcript (.dstr) from disk.
+func ReadTranscript(path string) (*Transcript, error) { return transcript.ReadFile(path) }
+
+// Replay re-runs a recorded query offline through the real round engine
+// against stub sites answering verbatim from the recording — no
+// sockets — and checks the outcome against the transcript's pinned
+// summary and the delivery invariants. onResult, when non-nil, streams
+// the replayed deliveries.
+func Replay(ctx context.Context, t *Transcript, onResult func(Result)) (*ReplayResult, error) {
+	return core.Replay(ctx, t, onResult)
+}
+
+// CompareTranscripts diffs two recordings of the "same" query (message
+// counts, per-phase bytes, feedback sequences, pinned outcomes),
+// localizing any disagreement to the first divergent protocol round.
+func CompareTranscripts(a, b *Transcript) (*TranscriptDiff, error) { return transcript.Compare(a, b) }
 
 // The cluster telemetry plane: pushed per-site snapshots over wire v2
 // aggregated into a coordinator time-series store (start it with

@@ -15,6 +15,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/obs/flight"
 	"repro/internal/obs/progress"
+	"repro/internal/obs/transcript"
 	"repro/internal/transport"
 	"repro/internal/uncertain"
 )
@@ -62,6 +63,11 @@ type Cluster struct {
 	// telemetry plane; Health consults it for degraded marks. Like the
 	// other observability attachments, start it before serving queries.
 	telemetry *ClusterTelemetry
+
+	// transcripts, when set (SetTranscriptSink), samples queries for
+	// black-box recording: the full coordinator↔site exchange captured
+	// as a replayable transcript. Nil-safe at the sampling site.
+	transcripts *transcript.Sink
 }
 
 // SetLatencyWindows attaches rotating latency windows to the query path:

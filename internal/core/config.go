@@ -10,6 +10,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/obs/flight"
 	"repro/internal/obs/progress"
+	"repro/internal/obs/transcript"
 	"repro/internal/site"
 	"repro/internal/transport"
 	"repro/internal/uncertain"
@@ -65,6 +66,19 @@ type ClusterConfig struct {
 	// delivery-curve digest exactly like Cluster.SetProgressLog (mount
 	// its Handler at /queryz).
 	ProgressLog *progress.Log
+
+	// TranscriptDir, when set, enables the black-box recorder: sampled
+	// queries (TranscriptSample) and forced ones (Options.Record) have
+	// their complete coordinator↔site exchange written there as
+	// replayable .dstr files (cmd/dsud-replay consumes them).
+	TranscriptDir string
+	// TranscriptSample is the fraction of queries recorded without being
+	// forced (0 = on-demand only, 1 = every query).
+	TranscriptSample float64
+	// TranscriptLog, when set, retains a summary of each recording
+	// (mount its Handler at /transcriptz). A log with no TranscriptDir
+	// keeps summaries only and writes no files.
+	TranscriptLog *transcript.Log
 }
 
 // ErrConfig reports an invalid ClusterConfig.
@@ -133,6 +147,9 @@ func Open(cfg ClusterConfig) (*Cluster, error) {
 	cluster.Instrument(cfg.Metrics)
 	cluster.SetFlightRecorder(cfg.FlightRecorder)
 	cluster.SetProgressLog(cfg.ProgressLog)
+	if cfg.TranscriptDir != "" || cfg.TranscriptSample > 0 || cfg.TranscriptLog != nil {
+		cluster.SetTranscriptSink(transcript.NewSink(cfg.TranscriptDir, cfg.TranscriptSample, cfg.TranscriptLog))
+	}
 	return cluster, nil
 }
 

@@ -123,6 +123,12 @@ type Options struct {
 	// SynopsisGrid is the histogram resolution per dimension for SDSUD
 	// (default 8). Ignored by the other algorithms.
 	SynopsisGrid int
+
+	// Record forces black-box recording of this query regardless of the
+	// transcript sink's sampling fraction (dsud-query -record). It needs
+	// a sink attached (ClusterConfig.TranscriptDir / SetTranscriptSink);
+	// without one it is a no-op.
+	Record bool
 }
 
 // FeedbackPolicy selects which queued tuple the coordinator broadcasts

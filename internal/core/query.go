@@ -4,8 +4,10 @@ import (
 	"context"
 	"time"
 
+	"repro/internal/codec"
 	"repro/internal/obs"
 	"repro/internal/obs/progress"
+	"repro/internal/obs/transcript"
 	"repro/internal/prtree"
 	"repro/internal/synopsis"
 	"repro/internal/transport"
@@ -40,6 +42,21 @@ func Run(ctx context.Context, c *Cluster, opts Options) (*Report, error) {
 	v := c.newView(opts.Trace)
 	bytesBefore := c.meter.Snapshot().Bytes
 
+	// Black-box recording: when the transcript sink samples this query
+	// (or Options.Record forces it), stack the capture tap over the view
+	// so every RPC from here on lands in the transcript. Unrecorded
+	// queries never take this branch — the sampling decision is the
+	// whole cost of the feature on the unsampled path.
+	var (
+		recorder *transcript.Recorder
+		tHeader  *codec.TranscriptHeader
+	)
+	if c.transcripts.ShouldRecord(opts.Record) {
+		tHeader = transcriptHeader(&opts, sid, start, len(c.clients), c.dims)
+		recorder = transcript.NewRecorder(tHeader, start)
+		v.recordWith(recorder)
+	}
+
 	var (
 		rep   *Report
 		err   error
@@ -57,6 +74,11 @@ func Run(ctx context.Context, c *Cluster, opts Options) (*Report, error) {
 		elapsed := time.Since(start)
 		opts.logQuery(nil, err, elapsed)
 		c.recordFlight(opts, sid, nil, err, start, elapsed)
+		if recorder != nil {
+			// Seal what was captured with no summary frame: a truncated
+			// transcript still shows how far the exchange got.
+			c.transcripts.Finish(recorder, tHeader, nil, err)
+		}
 		return nil, err
 	}
 	c.countQuery(opts.Algorithm)
@@ -94,6 +116,9 @@ func Run(ctx context.Context, c *Cluster, opts Options) (*Report, error) {
 	}
 	opts.logQuery(rep, nil, rep.Elapsed)
 	c.recordFlight(opts, sid, rep, nil, start, rep.Elapsed)
+	if recorder != nil {
+		c.transcripts.Finish(recorder, tHeader, transcriptSummary(rep), nil)
+	}
 	return rep, nil
 }
 

@@ -34,6 +34,7 @@ type Maintainer struct {
 	replicated bool
 	sky        map[uncertain.TupleID]uncertain.SkylineMember
 	sites      map[uncertain.TupleID]int
+	instr      *maintInstr // optional; see Instrument / SetLatencyWindow
 }
 
 // maintQuery carries the maintainer's threshold and subspace on update
@@ -127,6 +128,13 @@ func (m *Maintainer) Skyline() []uncertain.SkylineMember {
 //     probability, so no other tuple's membership can change — the update
 //     is exact.
 func (m *Maintainer) Insert(ctx context.Context, home int, tu uncertain.Tuple) error {
+	fin := m.instr.begin(opInsert)
+	err := m.insert(ctx, home, tu)
+	fin(err)
+	return err
+}
+
+func (m *Maintainer) insert(ctx context.Context, home int, tu uncertain.Tuple) error {
 	if home < 0 || home >= m.cluster.Sites() {
 		return fmt.Errorf("core: site %d out of range", home)
 	}
@@ -152,11 +160,13 @@ func (m *Maintainer) Insert(ctx context.Context, home int, tu uncertain.Tuple) e
 		}
 	}
 
+	rescored := 0
 	for id, member := range m.sky {
 		if id == tu.ID {
 			continue
 		}
 		if tu.Dominates(member.Tuple, m.opts.Dims) {
+			rescored++
 			member.Prob *= 1 - tu.Prob
 			if member.Prob < m.opts.Threshold {
 				delete(m.sky, id)
@@ -167,6 +177,8 @@ func (m *Maintainer) Insert(ctx context.Context, home int, tu uncertain.Tuple) e
 			}
 		}
 	}
+	m.instr.addRescored(rescored)
+	m.instr.addAffected(len(added) + len(removed))
 	return m.syncReplicas(ctx, added, removed)
 }
 
@@ -181,6 +193,13 @@ func (m *Maintainer) Insert(ctx context.Context, home int, tu uncertain.Tuple) e
 //     formerly dominated tuples whose fresh local probability reaches q,
 //     and the coordinator evaluates those candidates exactly.
 func (m *Maintainer) Delete(ctx context.Context, home int, tu uncertain.Tuple) error {
+	fin := m.instr.begin(opDelete)
+	err := m.delete(ctx, home, tu)
+	fin(err)
+	return err
+}
+
+func (m *Maintainer) delete(ctx context.Context, home int, tu uncertain.Tuple) error {
 	if home < 0 || home >= m.cluster.Sites() {
 		return fmt.Errorf("core: site %d out of range", home)
 	}
@@ -198,8 +217,10 @@ func (m *Maintainer) Delete(ctx context.Context, home int, tu uncertain.Tuple) e
 	delete(m.sites, tu.ID)
 
 	if tu.Prob < 1 {
+		rescored := 0
 		for id, member := range m.sky {
 			if tu.Dominates(member.Tuple, m.opts.Dims) {
+				rescored++
 				member.Prob /= 1 - tu.Prob
 				if member.Prob > member.Tuple.Prob {
 					// Numerical guard: a probability can never exceed the
@@ -209,6 +230,7 @@ func (m *Maintainer) Delete(ctx context.Context, home int, tu uncertain.Tuple) e
 				m.sky[id] = member
 			}
 		}
+		m.instr.addRescored(rescored)
 	}
 
 	// Promotion round: collect per-site candidates dominated by tu.
@@ -236,6 +258,7 @@ func (m *Maintainer) Delete(ctx context.Context, home int, tu uncertain.Tuple) e
 			}
 		}
 	}
+	m.instr.addAffected(len(added) + len(removed))
 	return m.syncReplicas(ctx, added, removed)
 }
 

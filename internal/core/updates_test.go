@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/gen"
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/uncertain"
 )
 
@@ -272,6 +273,92 @@ func TestReplicatedMaintenanceMatchesOracle(t *testing.T) {
 	want := tc.union().Skyline(0.3, nil)
 	if !uncertain.MembersEqual(maint.Skyline(), want, 1e-9) {
 		t.Fatal("post-refresh replicated answer diverged")
+	}
+}
+
+// The update path's counters and latency window must tally every applied
+// operation, and the disabled (nil) path must keep working untouched.
+func TestMaintainerInstrumentation(t *testing.T) {
+	ctx := context.Background()
+	tc := newTrackedCluster(t, 200, 2, 3, 51)
+	maint, err := NewMaintainer(ctx, tc.cluster, Options{Threshold: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	maint.Instrument(reg)
+	win := obs.NewWindow(obs.DefWindowWidth)
+	maint.SetLatencyWindow(win)
+	if maint.LatencyWindow() != win {
+		t.Fatal("LatencyWindow must return the attached window")
+	}
+
+	r := rand.New(rand.NewSource(52))
+	inserts, deletes := 0, 0
+	for op := 0; op < 40; op++ {
+		home := r.Intn(3)
+		if len(tc.parts[home]) == 0 || r.Float64() < 0.5 {
+			scale := 1.0
+			if r.Intn(3) == 0 {
+				scale = 0.05 // dominant: forces re-scoring and evictions
+			}
+			tu := uncertain.Tuple{
+				ID:    tc.nextID,
+				Point: geom.Point{scale * r.Float64(), scale * r.Float64()},
+				Prob:  0.05 + 0.95*r.Float64(),
+			}
+			tc.nextID++
+			if err := maint.Insert(ctx, home, tu); err != nil {
+				t.Fatal(err)
+			}
+			tc.parts[home] = append(tc.parts[home], tu)
+			inserts++
+		} else {
+			idx := r.Intn(len(tc.parts[home]))
+			victim := tc.parts[home][idx]
+			tc.parts[home] = append(tc.parts[home][:idx], tc.parts[home][idx+1:]...)
+			if err := maint.Delete(ctx, home, victim); err != nil {
+				t.Fatal(err)
+			}
+			deletes++
+		}
+	}
+	// Registry.Counter returns the already-registered series.
+	if got := reg.Counter("dsud_update_applied_total", "op", "insert").Value(); got != int64(inserts) {
+		t.Errorf("applied{insert} = %d, want %d", got, inserts)
+	}
+	if got := reg.Counter("dsud_update_applied_total", "op", "delete").Value(); got != int64(deletes) {
+		t.Errorf("applied{delete} = %d, want %d", got, deletes)
+	}
+	if got := reg.Counter("dsud_update_errors_total", "op", "insert").Value() +
+		reg.Counter("dsud_update_errors_total", "op", "delete").Value(); got != 0 {
+		t.Errorf("errors = %d, want 0", got)
+	}
+	// 40 mixed updates against a 200-tuple cluster with occasional
+	// dominators must have touched the answer set.
+	if reg.Counter("dsud_update_rescored_total").Value() == 0 {
+		t.Error("rescored counter never moved")
+	}
+	if reg.Counter("dsud_update_affected_total").Value() == 0 {
+		t.Error("affected counter never moved")
+	}
+	if snap := win.Snapshot(); snap.Count != uint64(inserts+deletes) {
+		t.Errorf("latency window saw %d observations, want %d", snap.Count, inserts+deletes)
+	}
+
+	// A failed update lands in errors, not applied.
+	bad := uncertain.Tuple{ID: 999999, Point: geom.Point{0.5, 0.5}, Prob: 0.5}
+	if err := maint.Delete(ctx, 0, bad); err == nil {
+		t.Fatal("deleting a missing tuple must fail")
+	}
+	if got := reg.Counter("dsud_update_errors_total", "op", "delete").Value(); got != 1 {
+		t.Errorf("errors{delete} = %d, want 1", got)
+	}
+
+	// The instrumented run must not have perturbed correctness.
+	want := tc.union().Skyline(0.3, nil)
+	if !uncertain.MembersEqual(maint.Skyline(), want, 1e-6) {
+		t.Fatal("instrumented incremental answer diverged from oracle")
 	}
 }
 

@@ -84,6 +84,12 @@ type SoakOptions struct {
 	// query and observes its time-to-first-result.
 	Window      *obs.Window
 	FirstWindow *obs.Window
+	// UpdateWindow, when set, observes every incremental update's
+	// (insert/delete maintenance) end-to-end latency. UpdateMetrics,
+	// when set, registers the dsud_update_* counters on it. Both only
+	// matter with UpdateFraction > 0.
+	UpdateWindow  *obs.Window
+	UpdateMetrics *obs.Registry
 	// Auditor, when set, samples completed queries through the online
 	// invariant auditor (its Fraction decides how often).
 	Auditor *audit.Auditor
@@ -237,6 +243,10 @@ func Soak(ctx context.Context, cluster *core.Cluster, opts SoakOptions) (*perf.S
 		})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: soak maintainer: %w", err)
+		}
+		maint.Instrument(opts.UpdateMetrics)
+		if opts.UpdateWindow != nil {
+			maint.SetLatencyWindow(opts.UpdateWindow)
 		}
 	}
 	upd := &updateStream{

@@ -1,0 +1,171 @@
+package transcript
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"text/tabwriter"
+	"time"
+)
+
+// DefaultLogSize is the /transcriptz ring capacity when none is given.
+const DefaultLogSize = 32
+
+// Summary is one recent recording's ring entry: enough to find the
+// transcript file and to cross-reference the query in /queryz and
+// /debug/flightz by query_id.
+type Summary struct {
+	QueryID       uint64  `json:"query_id"`
+	Session       uint64  `json:"session"`
+	Algorithm     uint8   `json:"algorithm"`
+	Threshold     float64 `json:"threshold"`
+	StartUnixNano int64   `json:"start_unix_nano"`
+	ElapsedNS     int64   `json:"elapsed_ns"`
+	Results       int64   `json:"results"`
+	Messages      int64   `json:"messages"`
+	Bytes         int64   `json:"bytes"`
+	Path          string  `json:"path,omitempty"`
+	Error         string  `json:"error,omitempty"`
+}
+
+// Log is the ring of recent transcript summaries served at
+// /transcriptz. Recording is sampled/on-demand — never a hot path — so
+// a plain mutex-guarded ring suffices. A nil *Log is a usable disabled
+// log.
+type Log struct {
+	mu      sync.Mutex
+	entries []Summary
+	next    int
+	total   uint64
+}
+
+// NewLog returns a log retaining the most recent size summaries
+// (size < 1 selects DefaultLogSize).
+func NewLog(size int) *Log {
+	if size < 1 {
+		size = DefaultLogSize
+	}
+	return &Log{entries: make([]Summary, 0, size)}
+}
+
+// Size returns the ring capacity (0 for nil).
+func (l *Log) Size() int {
+	if l == nil {
+		return 0
+	}
+	return cap(l.entries)
+}
+
+// Total returns how many recordings have ever been summarized.
+func (l *Log) Total() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// Record stores a copy of s, overwriting the oldest entry once the ring
+// is full. Nil-safe.
+func (l *Log) Record(s *Summary) {
+	if l == nil || s == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.total++
+	if len(l.entries) < cap(l.entries) {
+		l.entries = append(l.entries, *s)
+		return
+	}
+	l.entries[l.next] = *s
+	l.next = (l.next + 1) % len(l.entries)
+}
+
+// Snapshot copies the retained summaries out, oldest first. Nil-safe.
+func (l *Log) Snapshot() []Summary {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Summary, 0, len(l.entries))
+	out = append(out, l.entries[l.next:]...)
+	out = append(out, l.entries[:l.next]...)
+	return out
+}
+
+// Dump is the JSON envelope /transcriptz serves.
+type Dump struct {
+	TakenUnixNano int64     `json:"taken_unix_nano"`
+	Capacity      int       `json:"capacity"`
+	Total         uint64    `json:"total"`
+	Transcripts   []Summary `json:"transcripts"`
+}
+
+// WriteJSON writes the retained summaries as one JSON document.
+// Nil-safe (writes an empty document).
+func (l *Log) WriteJSON(w io.Writer) error {
+	doc := Dump{
+		TakenUnixNano: time.Now().UnixNano(),
+		Capacity:      l.Size(),
+		Total:         l.Total(),
+		Transcripts:   l.Snapshot(),
+	}
+	if doc.Transcripts == nil {
+		doc.Transcripts = []Summary{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// WriteText renders the retained summaries as a fixed-width table,
+// newest last — the ?format=text view. Nil-safe.
+func (l *Log) WriteText(w io.Writer) error {
+	ss := l.Snapshot()
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "QUERY\tALGO\tQ\tRESULTS\tMSGS\tBYTES\tELAPSED\tFILE")
+	for i := range ss {
+		s := &ss[i]
+		qid := "-"
+		if s.QueryID != 0 {
+			qid = fmt.Sprintf("%016x", s.QueryID)
+		}
+		file := s.Path
+		if s.Error != "" {
+			file = "ERR " + s.Error
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%.2f\t%d\t%d\t%d\t%s\t%s\n",
+			qid, AlgorithmName(s.Algorithm), s.Threshold, s.Results, s.Messages, s.Bytes,
+			time.Duration(s.ElapsedNS).Round(10*time.Microsecond), file)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "retained %d/%d transcripts (%d recorded); query_ids index /queryz and /debug/flightz; replay files with dsud-replay\n",
+		len(ss), l.Size(), l.Total())
+	return err
+}
+
+// Handler serves the log — mount at /transcriptz. GET/HEAD only; JSON
+// by default, ?format=text for the table view.
+func (l *Log) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		if req.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			l.WriteText(w)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		l.WriteJSON(w)
+	})
+}

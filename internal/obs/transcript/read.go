@@ -1,0 +1,149 @@
+package transcript
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/codec"
+)
+
+// Transcript is one decoded recording: the query header, every captured
+// message in file order, and (when the query completed) the pinned
+// outcome summary.
+type Transcript struct {
+	Header   codec.TranscriptHeader
+	Messages []codec.TranscriptMessage
+	Summary  *codec.TranscriptSummary
+	// Skipped counts frames of unknown type the reader stepped over —
+	// annotations from a future recorder, preserved as forward compat.
+	Skipped int
+}
+
+// Read decodes a transcript stream. Unknown frame types are skipped
+// (counted in Skipped); a missing summary is legal (the query failed
+// mid-flight); a missing or duplicate header is not.
+func Read(r io.Reader) (*Transcript, error) {
+	br := bufio.NewReader(r)
+	var preamble [5]byte
+	if _, err := io.ReadFull(br, preamble[:]); err != nil {
+		return nil, fmt.Errorf("transcript: preamble: %w", err)
+	}
+	if _, err := codec.CheckTranscriptPreamble(preamble[:]); err != nil {
+		return nil, err
+	}
+	t := &Transcript{}
+	sawHeader := false
+	for {
+		fr, _, err := codec.ReadTranscriptFrame(br)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		switch fr.Type {
+		case codec.TranscriptHeaderFrame:
+			if sawHeader {
+				return nil, fmt.Errorf("transcript: duplicate header frame")
+			}
+			sawHeader = true
+			if t.Header, err = codec.DecodeTranscriptHeader(fr.Payload); err != nil {
+				return nil, err
+			}
+		case codec.TranscriptMessageFrame:
+			m, err := codec.DecodeTranscriptMessage(fr.Payload)
+			if err != nil {
+				return nil, err
+			}
+			t.Messages = append(t.Messages, m)
+		case codec.TranscriptSummaryFrame:
+			s, err := codec.DecodeTranscriptSummary(fr.Payload)
+			if err != nil {
+				return nil, err
+			}
+			t.Summary = &s
+		default:
+			t.Skipped++
+		}
+	}
+	if !sawHeader {
+		return nil, fmt.Errorf("transcript: missing header frame")
+	}
+	return t, nil
+}
+
+// ReadFile decodes the transcript at path.
+func ReadFile(path string) (*Transcript, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	t, err := Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return t, nil
+}
+
+// Exchange is one site's recorded RPC: the request/response pair that
+// shared an ordinal.
+type Exchange struct {
+	Ordinal  int64
+	Kind     int64
+	Phase    uint8
+	Request  codec.TranscriptMessage
+	Response codec.TranscriptMessage
+}
+
+// BySite pairs the transcript's messages into per-site exchange lists,
+// ordered by ordinal. Per-site order is the protocol's deterministic
+// call order; the global interleaving across sites in Messages is
+// scheduler noise and deliberately discarded here.
+func (t *Transcript) BySite() ([][]Exchange, error) {
+	n := int(t.Header.Sites)
+	for _, m := range t.Messages {
+		if int(m.Site) >= n {
+			n = int(m.Site) + 1
+		}
+	}
+	out := make([][]Exchange, n)
+	type key struct {
+		site, ord int64
+	}
+	open := make(map[key]*Exchange)
+	for i := range t.Messages {
+		m := t.Messages[i]
+		k := key{m.Site, m.Ordinal}
+		ex := open[k]
+		if ex == nil {
+			out[m.Site] = append(out[m.Site], Exchange{Ordinal: m.Ordinal, Kind: m.Kind, Phase: m.Phase})
+			ex = &out[m.Site][len(out[m.Site])-1]
+			open[k] = ex
+		}
+		switch m.Dir {
+		case codec.TranscriptDirRequest:
+			ex.Request = m
+		case codec.TranscriptDirResponse:
+			ex.Response = m
+		default:
+			return nil, fmt.Errorf("transcript: message direction %d", m.Dir)
+		}
+	}
+	for site := range out {
+		sort.Slice(out[site], func(i, j int) bool { return out[site][i].Ordinal < out[site][j].Ordinal })
+		for i, ex := range out[site] {
+			if int64(i) != ex.Ordinal {
+				return nil, fmt.Errorf("transcript: site %d ordinal gap at %d (have %d)", site, i, ex.Ordinal)
+			}
+			if ex.Request.Payload == nil || ex.Response.Payload == nil {
+				return nil, fmt.Errorf("transcript: site %d ordinal %d missing %s", site, ex.Ordinal,
+					map[bool]string{true: "request", false: "response"}[ex.Request.Payload == nil])
+			}
+		}
+	}
+	return out, nil
+}

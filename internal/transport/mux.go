@@ -378,6 +378,7 @@ func (s *Server) serveMux(conn net.Conn, br *bufio.Reader, w io.Writer) {
 	}
 	s.mu.Lock()
 	limit := s.workerLimit
+	tap := s.frameTap
 	s.mu.Unlock()
 	if limit < 1 {
 		limit = DefaultWorkerLimit
@@ -422,9 +423,12 @@ func (s *Server) serveMux(conn net.Conn, br *bufio.Reader, w io.Writer) {
 	defer pubCancel()
 
 	for {
-		fr, _, err := codec.ReadFrame(br)
+		fr, n, err := codec.ReadFrame(br)
 		if err != nil {
 			return // EOF, broken peer, corruption, or a drain deadline
+		}
+		if tap != nil {
+			tap(TapInbound, fr.Type, n)
 		}
 		switch fr.Type {
 		case codec.FrameCancel:
@@ -507,6 +511,9 @@ func (s *Server) serveMux(conn net.Conn, br *bufio.Reader, w io.Writer) {
 			if enc.Encode(&wresp) == nil {
 				mw.buf = codec.AppendFrame(mw.buf[:0], codec.FrameResponse, id, encBuf.Bytes())
 				mw.w.Write(mw.buf)
+				if tap != nil {
+					tap(TapOutbound, codec.FrameResponse, len(mw.buf))
+				}
 			}
 			mw.mu.Unlock()
 		}(fr.ID, wreq.Req, reqCtx, cancel)

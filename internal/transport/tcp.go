@@ -64,6 +64,10 @@ type Server struct {
 	telemetrySubs     atomic.Int64
 	telemetryPushes   atomic.Uint64
 	telemetryLastPush atomic.Int64
+
+	// frameTap, when set, observes every v2 frame the mux loops read or
+	// write (see FrameTap). mu-guarded; loaded once per connection.
+	frameTap FrameTap
 }
 
 // WorkerStats is a point-in-time view of the server's v2 worker-pool
@@ -124,6 +128,16 @@ func (s *Server) SetLegacyOnly(v bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.legacyOnly = v
+}
+
+// SetFrameTap installs (or, with nil, removes) a tap observing every v2
+// frame the server's mux loops read or write — the wire-level counter
+// feed for per-direction frame metrics. Call before Serve; connections
+// accepted earlier keep the tap they started with.
+func (s *Server) SetFrameTap(tap FrameTap) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.frameTap = tap
 }
 
 // NewServer returns a server for h. meter may be nil; when set, wire bytes
