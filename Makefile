@@ -22,7 +22,7 @@ test:
 # ./internal/obs/... covers the black-box recorder (internal/obs/transcript)
 # alongside the rest of the observability tree.
 race:
-	$(GO) test -race ./internal/codec ./internal/obs/... ./internal/obs/transcript ./internal/transport ./internal/core ./internal/stream ./internal/site ./internal/audit ./internal/experiments
+	$(GO) test -race ./internal/codec ./internal/obs/... ./internal/obs/transcript ./internal/transport ./internal/core ./internal/serve ./internal/stream ./internal/site ./internal/audit ./internal/experiments
 
 # Full benchmark sweep (several minutes). Writes bench_output.txt.
 bench:
@@ -42,10 +42,11 @@ bench-baseline:
 # Compare the latest artifact against the committed baseline with the
 # CI thresholds (tight on counts, loose on cross-machine wall time, a
 # loose floor on the mux-over-serial throughput speedup — locally the
-# margin at 8 clients is >2x, but shared CI runners are noisy — and the
-# progressiveness gate on the deterministic bandwidth AUC).
+# margin at 8 clients is >2x, but shared CI runners are noisy — the
+# materialized-serving-over-mux floor, and the progressiveness gate on
+# the deterministic bandwidth AUC).
 benchdiff: bench-json
-	$(GO) run ./cmd/dsud-benchdiff -time-threshold 10 -min-mux-speedup 1.5 -max-auc-regress 0.05 testdata/bench-baseline.json BENCH_dsud.json
+	$(GO) run ./cmd/dsud-benchdiff -time-threshold 10 -min-mux-speedup 1.5 -min-serve-speedup 5 -max-auc-regress 0.05 testdata/bench-baseline.json BENCH_dsud.json
 
 # Short open-loop soak against self-hosted loopback sites with the
 # online auditor sampling; merges the latency{p50,p95,p99} section into

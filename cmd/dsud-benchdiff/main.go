@@ -31,13 +31,14 @@ func main() {
 
 func run() int {
 	var (
-		threshold     = flag.Float64("threshold", 0.05, "relative significance floor for count metrics (0.05 = 5%)")
-		timeThreshold = flag.Float64("time-threshold", 0.25, "relative significance floor for wall-time metrics")
-		cvScale       = flag.Float64("cv-scale", 3, "noise scaling: limit = max(floor, cv-scale × max CV)")
-		quiet         = flag.Bool("quiet", false, "suppress the markdown table; exit status only")
-		minMuxSpeedup = flag.Float64("min-mux-speedup", 0, "fail unless the new artifact's highest-concurrency throughput shows at least this mux-over-serial speedup (0 = no gate)")
-		maxP99Regress = flag.Float64("max-p99-regress", 0, "fail when the soak p99 latency median regressed by more than this relative amount, e.g. 0.25 = 25% (0 = no gate; requires a soak section in both artifacts)")
-		maxAUCRegress = flag.Float64("max-auc-regress", 0, "fail when any algorithm's bandwidth-AUC median dropped by more than this relative amount, e.g. 0.05 = 5% (0 = no gate; requires a progressiveness section in both artifacts)")
+		threshold       = flag.Float64("threshold", 0.05, "relative significance floor for count metrics (0.05 = 5%)")
+		timeThreshold   = flag.Float64("time-threshold", 0.25, "relative significance floor for wall-time metrics")
+		cvScale         = flag.Float64("cv-scale", 3, "noise scaling: limit = max(floor, cv-scale × max CV)")
+		quiet           = flag.Bool("quiet", false, "suppress the markdown table; exit status only")
+		minMuxSpeedup   = flag.Float64("min-mux-speedup", 0, "fail unless the new artifact's highest-concurrency throughput shows at least this mux-over-serial speedup (0 = no gate)")
+		maxP99Regress   = flag.Float64("max-p99-regress", 0, "fail when the soak p99 latency median regressed by more than this relative amount, e.g. 0.25 = 25% (0 = no gate; requires a soak section in both artifacts)")
+		maxAUCRegress   = flag.Float64("max-auc-regress", 0, "fail when any algorithm's bandwidth-AUC median dropped by more than this relative amount, e.g. 0.05 = 5% (0 = no gate; requires a progressiveness section in both artifacts)")
+		minServeSpeedup = flag.Float64("min-serve-speedup", 0, "fail unless the new artifact's highest-concurrency throughput shows at least this materialized-over-mux speedup (0 = no gate)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: dsud-benchdiff [flags] old.json new.json\n")
@@ -94,6 +95,23 @@ func run() int {
 			if !*quiet {
 				fmt.Printf("\nmux throughput gate: %.2fx at %d client(s) ≥ %.2fx ✔\n",
 					tr.Speedup, tr.Concurrency, *minMuxSpeedup)
+			}
+		}
+	}
+	if *minServeSpeedup > 0 {
+		tr := newA.MaxThroughput()
+		switch {
+		case tr == nil || tr.ServeSpeedup == 0:
+			fmt.Fprintf(os.Stderr, "dsud-benchdiff: -min-serve-speedup: new artifact carries no materialized throughput (run dsud-bench with -concurrency on a build with the serving tier)\n")
+			return 2
+		case tr.ServeSpeedup < *minServeSpeedup:
+			fmt.Fprintf(os.Stderr, "dsud-benchdiff: materialized serving speedup %.1fx at %d client(s) is below the %.1fx gate\n",
+				tr.ServeSpeedup, tr.Concurrency, *minServeSpeedup)
+			status = 1
+		default:
+			if !*quiet {
+				fmt.Printf("\nmaterialized serving gate: %.1fx over mux at %d client(s) ≥ %.1fx ✔\n",
+					tr.ServeSpeedup, tr.Concurrency, *minServeSpeedup)
 			}
 		}
 	}

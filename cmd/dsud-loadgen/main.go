@@ -67,6 +67,7 @@ func run() int {
 		updFrac   = flag.Float64("update-fraction", 0, "share of offered traffic that is insert/delete maintenance, in [0,1)")
 		threshold = flag.Float64("threshold", experiments.DefaultThreshold, "skyline probability threshold")
 		algo      = flag.String("algo", "edsud", "query algorithm: dsud|edsud")
+		mode      = flag.String("mode", "protocol", "read path: protocol (one round per query) or materialized (warm a serving tier once, serve prefix reads; updates flow through it)")
 		seed      = flag.Int64("seed", 11, "update-stream seed")
 
 		auditFrac    = flag.Float64("audit-fraction", 0, "probability a completed query is re-checked against the centralized oracle (0 = off); any violation exits 3")
@@ -100,6 +101,10 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "dsud-loadgen: unknown algorithm %q (want dsud or edsud)\n", *algo)
 		return 2
 	}
+	if *mode != "protocol" && *mode != "materialized" {
+		fmt.Fprintf(os.Stderr, "dsud-loadgen: unknown mode %q (want protocol or materialized)\n", *mode)
+		return 2
+	}
 	if (*addrs == "") == !*selfHost {
 		fmt.Fprintf(os.Stderr, "dsud-loadgen: need exactly one of -addrs or -self-host\n")
 		flag.Usage()
@@ -128,6 +133,9 @@ func run() int {
 		return 1
 	}
 	defer cluster.Close()
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
 
 	// Instrumentation: the scheduled-arrival window (what a caller feels
 	// under load, queueing included), the service window (cluster-side
@@ -159,6 +167,22 @@ func run() int {
 		obs.ExposeWindow(reg, "dsud_update_latency_seconds", updWindow)
 	}
 
+	// -mode materialized warms a coordinator-side serving tier once and
+	// answers every query from its sorted prefix; the update stream (if
+	// any) flows through the same tier so reads stay exact.
+	var server *dsq.Server
+	if *mode == "materialized" {
+		server, err = cluster.Serve(ctx, dsq.ServeConfig{Floor: *threshold, Algorithm: algorithm, Metrics: reg})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dsud-loadgen: serve: %v\n", err)
+			return 1
+		}
+		if !*quiet {
+			st := server.Stats()
+			fmt.Printf("dsud-loadgen: materialized tier warm: %d entries at floor %g\n", st.Entries, st.Floor)
+		}
+	}
+
 	var objectives []slo.Objective
 	if *sloP99 > 0 {
 		objectives = append(objectives, slo.Latency("query_p99", sched, 0.99, *sloP99))
@@ -183,11 +207,15 @@ func run() int {
 	})
 
 	if *debugAddr != "" {
-		mux := obs.DebugMux(reg, map[string]http.Handler{
+		extras := map[string]http.Handler{
 			"/slostatusz":    mon.Handler(),
 			"/debug/flightz": fr.Handler(),
 			"/queryz":        plog.Handler(),
-		})
+		}
+		if server != nil {
+			extras["/servez"] = server.Handler()
+		}
+		mux := obs.DebugMux(reg, extras)
 		lis, err := net.Listen("tcp", *debugAddr)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dsud-loadgen: debug listen: %v\n", err)
@@ -202,8 +230,6 @@ func run() int {
 		auditor = dsq.NewAuditor(dsq.AuditConfig{Fraction: *auditFrac}, reg)
 	}
 
-	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer cancel()
 	if len(objectives) > 0 {
 		go mon.Run(ctx, *sloEvery)
 	}
@@ -228,6 +254,10 @@ func run() int {
 		Requests:       requests,
 		Failures:       failures,
 	}
+	if server != nil {
+		opts.Server = server
+		opts.Mode = dsq.ModeMaterialized
+	}
 	if *sloTTFR > 0 {
 		opts.FirstWindow = first
 	}
@@ -244,6 +274,11 @@ func run() int {
 	}
 
 	writeSummary(os.Stdout, res)
+	if server != nil {
+		st := server.Stats()
+		fmt.Printf("serving: %d hits, %d misses, %d refreshes, %d coalesced (%d entries, version %d)\n",
+			st.Hits, st.Misses, st.Refreshes, st.Coalesced, st.Entries, st.Version)
+	}
 	status := 0
 
 	if len(objectives) > 0 {

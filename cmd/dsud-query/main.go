@@ -47,6 +47,8 @@ func main() {
 		algo    = flag.String("algo", "edsud", "algorithm: baseline|dsud|edsud")
 		sub     = flag.String("subspace", "", "comma-separated dimension indices (empty = full space)")
 		quiet   = flag.Bool("quiet", false, "suppress per-tuple output")
+		mode    = flag.String("mode", "protocol", "answer mode: protocol|materialized|auto (non-protocol modes warm a materialized serving tier first; see docs/SERVING.md)")
+		floor   = flag.Float64("serve-floor", 0, "materialization floor threshold for -mode materialized|auto (0 = use -q)")
 		topk    = flag.Int("topk", 0, "return only the K most probable answers (0 = all)")
 		trace   = flag.Bool("trace", false, "print every protocol step")
 		stats   = flag.Bool("stats", false, "print the per-phase timing table after the query")
@@ -156,6 +158,37 @@ func main() {
 		fatalf("%v", err)
 	}
 	defer cluster.Close()
+
+	var queryMode dsq.Mode
+	switch *mode {
+	case "protocol":
+		queryMode = dsq.ModeProtocol
+	case "materialized":
+		queryMode = dsq.ModeMaterialized
+	case "auto":
+		queryMode = dsq.ModeAuto
+	default:
+		fatalf("unknown mode %q", *mode)
+	}
+	var server *dsq.Server
+	if queryMode != dsq.ModeProtocol {
+		// Warm the materialized tier with one protocol round at the floor
+		// threshold; the query below is then a sorted-prefix read.
+		f := *floor
+		if f == 0 {
+			f = *q
+		}
+		server, err = cluster.Serve(ctx, dsq.ServeConfig{
+			Floor:     f,
+			Dims:      subspace,
+			Algorithm: algorithm,
+			Metrics:   reg,
+		})
+		if err != nil {
+			fatalf("serve: %v", err)
+		}
+	}
+
 	if *debugAddr != "" {
 		lis, err := net.Listen("tcp", *debugAddr)
 		if err != nil {
@@ -169,10 +202,13 @@ func main() {
 		if tlog != nil {
 			extras["/transcriptz"] = tlog.Handler()
 		}
+		if server != nil {
+			extras["/servez"] = server.Handler()
+		}
 		go http.Serve(lis, obs.DebugMux(reg, extras))
 	}
 
-	opts := dsq.Options{Threshold: *q, Dims: subspace, Algorithm: algorithm, TopK: *topk}
+	opts := dsq.Options{Threshold: *q, Dims: subspace, Algorithm: algorithm, TopK: *topk, Mode: queryMode}
 	if *logLevel != "" {
 		level, err := dsq.ParseLogLevel(*logLevel)
 		if err != nil {
@@ -205,17 +241,31 @@ func main() {
 			fmt.Printf("skyline %s  P=%.4f  (site %d)\n", res.Tuple.Point, res.GlobalProb, res.Site)
 		}
 	}
-	report, qstats, err := cluster.QueryWithStats(ctx, opts)
+	var (
+		report *dsq.Report
+		qstats *dsq.QueryStats
+	)
+	if server != nil {
+		report, qstats, err = server.QueryWithStats(ctx, opts)
+	} else {
+		report, qstats, err = cluster.QueryWithStats(ctx, opts)
+	}
 	if err != nil {
 		finalSnapshot(fr, reg, *flightDir)
 		fatalf("query: %v", err)
 	}
 	bw := report.Bandwidth
-	fmt.Printf("\n%d skyline tuple(s) in %v via %v\n", len(report.Skyline), report.Elapsed.Round(1e6), algorithm)
+	fmt.Printf("\n%d skyline tuple(s) in %v via %v (source %s)\n",
+		len(report.Skyline), report.Elapsed.Round(1e6), algorithm, report.Source)
 	fmt.Printf("bandwidth: %d tuples (%d up, %d down), %d messages, %d wire bytes\n",
 		bw.Tuples(), bw.TuplesUp, bw.TuplesDown, bw.Messages, bw.Bytes)
 	fmt.Printf("iterations: %d, broadcasts: %d, expunged: %d, locally pruned: %d\n",
 		report.Iterations, report.Broadcasts, report.Expunged, report.PrunedLocal)
+	if server != nil {
+		st := server.Stats()
+		fmt.Printf("serving: %d materialized entries at floor %g, hits=%d misses=%d refreshes=%d coalesced=%d\n",
+			st.Entries, st.Floor, st.Hits, st.Misses, st.Refreshes, st.Coalesced)
+	}
 	if tlog != nil {
 		if entries := tlog.Snapshot(); len(entries) > 0 {
 			last := entries[len(entries)-1]

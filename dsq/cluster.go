@@ -6,11 +6,16 @@ import (
 	"repro/internal/core"
 )
 
-// Cluster construction and querying. Connect is the single constructor;
-// Cluster.Query and Cluster.QueryWithStats are the query entry points;
-// NewMaintainer keeps an answer current under updates. The remaining
-// functions in this file are deprecated wrappers kept for existing
-// callers.
+// Cluster construction, querying and serving. Connect is the single
+// constructor; Cluster.Query and Cluster.QueryWithStats run one
+// protocol round per call; Cluster.Serve materializes the answer once
+// and serves reads from it (docs/SERVING.md); NewMaintainer keeps an
+// answer current under updates.
+//
+// The deprecated pre-Connect constructors (NewLocalCluster,
+// NewRemoteCluster, NewRemoteClusterRetry) and the free Query /
+// QueryWithStats functions have been removed; see docs/SERVING.md
+// "Migrating from the deprecated API" for the one-line replacements.
 
 type (
 	// Cluster is a handle to a set of sites (in-process or remote). One
@@ -26,14 +31,77 @@ type (
 	ClusterConfig = core.ClusterConfig
 	// QueryStats aggregates one query's observability record: the
 	// per-phase timing trace and the bandwidth meter delta, alongside the
-	// algorithm that ran. Produced by Cluster.QueryWithStats.
+	// algorithm that ran and the Source of the answer. Produced by
+	// Cluster.QueryWithStats and Server.QueryWithStats.
 	QueryStats = core.QueryStats
 	// Maintainer keeps a query answer current under inserts and deletes.
 	Maintainer = core.Maintainer
+
+	// Server answers queries from a coordinator-side materialized global
+	// skyline: one protocol round builds a sorted P_g-sky index, updates
+	// keep it positioned, and a read with threshold q becomes an
+	// O(answer) sorted-prefix scan. Built by Cluster.Serve; see
+	// docs/SERVING.md.
+	Server = core.Server
+	// ServeConfig configures Cluster.Serve: the materialization floor
+	// threshold, subspace, refresh algorithm, staleness bound and
+	// observability attachments.
+	ServeConfig = core.ServeConfig
+	// ServeStats snapshots the serving tier's hit/miss/refresh/coalesce
+	// counters and store state (Server.Stats, the /servez document).
+	ServeStats = core.ServeStats
+	// Mode selects how a query's answer is produced (Options.Mode):
+	// a full protocol round, a materialized read, or automatic routing.
+	Mode = core.Mode
+	// Source records on a Report how its answer was produced.
+	Source = core.Source
 )
 
-// ErrConfig reports an invalid ClusterConfig passed to Connect.
-var ErrConfig = core.ErrConfig
+// Query modes (Options.Mode) and answer sources (Report.Source).
+const (
+	// ModeProtocol (the default) runs a full distributed protocol round.
+	ModeProtocol = core.ModeProtocol
+	// ModeMaterialized answers from a Server's materialized skyline only,
+	// failing with ErrUncovered when the materialization cannot cover the
+	// query.
+	ModeMaterialized = core.ModeMaterialized
+	// ModeAuto serves from the materialization when covered and fresh,
+	// and falls back to a protocol round otherwise.
+	ModeAuto = core.ModeAuto
+
+	// SourceProtocol: a full protocol round produced the answer.
+	SourceProtocol = core.SourceProtocol
+	// SourceMaterialized: a sorted-prefix read of the materialized
+	// skyline produced the answer; Report.Bandwidth is zero.
+	SourceMaterialized = core.SourceMaterialized
+	// SourceRefreshed: a materialized read that first waited on a
+	// (possibly coalesced) refresh round.
+	SourceRefreshed = core.SourceRefreshed
+)
+
+// Errors surfaced by the query entry points; match with errors.Is.
+var (
+	// ErrConfig reports an invalid ClusterConfig passed to Connect.
+	ErrConfig = core.ErrConfig
+	// ErrThreshold reports a query threshold outside (0,1].
+	ErrThreshold = core.ErrThreshold
+	// ErrSubspace reports an invalid Options.Dims subspace.
+	ErrSubspace = core.ErrSubspace
+	// ErrAlgorithm reports an unknown or unsupported Options.Algorithm.
+	ErrAlgorithm = core.ErrAlgorithm
+	// ErrResultLimit reports invalid MaxResults/TopK settings.
+	ErrResultLimit = core.ErrResultLimit
+	// ErrMode reports an unknown Options.Mode.
+	ErrMode = core.ErrMode
+	// ErrNilContext reports a nil ctx passed to a query entry point.
+	ErrNilContext = core.ErrNilContext
+	// ErrNoServer reports a ModeMaterialized/ModeAuto query issued
+	// against a bare Cluster — build a Server with Cluster.Serve.
+	ErrNoServer = core.ErrNoServer
+	// ErrUncovered reports a ModeMaterialized query outside the
+	// materialization's floor threshold or subspace.
+	ErrUncovered = core.ErrUncovered
+)
 
 // Connect validates cfg and builds the cluster: one in-process site
 // engine per cfg.Partitions entry, or one TCP connection per cfg.Addrs
@@ -59,48 +127,4 @@ func QueryPartitions(ctx context.Context, parts []DB, dims int, opts Options) (*
 	}
 	defer cluster.Close()
 	return cluster.Query(ctx, opts)
-}
-
-// NewLocalCluster runs one in-process site per partition. dims is the data
-// dimensionality. Partitions must have unique tuple IDs across all sites.
-//
-// Deprecated: use Connect(ClusterConfig{Partitions: parts, Dims: dims}).
-func NewLocalCluster(parts []DB, dims int) (*Cluster, error) {
-	return Connect(ClusterConfig{Partitions: parts, Dims: dims})
-}
-
-// NewRemoteCluster connects to TCP site daemons (see cmd/dsud-site).
-//
-// Deprecated: use Connect(ClusterConfig{Addrs: addrs, Dims: dims}).
-func NewRemoteCluster(addrs []string, dims int) (*Cluster, error) {
-	return Connect(ClusterConfig{Addrs: addrs, Dims: dims})
-}
-
-// NewRemoteClusterRetry connects to TCP site daemons with fault tolerance:
-// broken connections are redialled and in-flight requests are retried with
-// exactly-once execution at the sites (sequence-number dedup). attempts is
-// the per-request retry budget.
-//
-// Deprecated: use Connect(ClusterConfig{Addrs: addrs, Dims: dims,
-// RetryAttempts: attempts}).
-func NewRemoteClusterRetry(addrs []string, dims, attempts int) (*Cluster, error) {
-	return Connect(ClusterConfig{Addrs: addrs, Dims: dims, RetryAttempts: attempts})
-}
-
-// Query executes one distributed skyline query. It blocks until the answer
-// is complete; qualified tuples additionally stream through
-// opts.OnResult as they are found.
-//
-// Deprecated: use cluster.Query(ctx, opts).
-func Query(ctx context.Context, cluster *Cluster, opts Options) (*Report, error) {
-	return cluster.Query(ctx, opts)
-}
-
-// QueryWithStats is Query plus a populated QueryStats. If opts.Trace is
-// nil a private trace is attached for the duration of the call;
-// otherwise the caller's trace is used (and remains readable live).
-//
-// Deprecated: use cluster.QueryWithStats(ctx, opts).
-func QueryWithStats(ctx context.Context, cluster *Cluster, opts Options) (*Report, *QueryStats, error) {
-	return cluster.QueryWithStats(ctx, opts)
 }

@@ -70,17 +70,17 @@ func TestConnectAndQuery(t *testing.T) {
 		t.Fatalf("stats bandwidth %+v != report bandwidth %+v", stats.Bandwidth, rep.Bandwidth)
 	}
 
-	// Deprecated wrappers must keep working unchanged.
-	old, err := dsq.NewLocalCluster(parts, 2)
+	// A second independently connected cluster answers identically.
+	other, err := dsq.Connect(dsq.ClusterConfig{Partitions: parts, Dims: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer old.Close()
-	rep2, err := dsq.Query(context.Background(), old, dsq.Options{Threshold: 0.3})
+	defer other.Close()
+	rep2, err := other.Query(context.Background(), dsq.Options{Threshold: 0.3})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(rep2.Skyline) != len(want) {
-		t.Fatal("deprecated wrapper answer diverged from oracle")
+		t.Fatal("second cluster answer diverged from oracle")
 	}
 }

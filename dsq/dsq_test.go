@@ -46,14 +46,14 @@ func TestQueryPartitions(t *testing.T) {
 
 func TestQueryWithExplicitClusterAndCallback(t *testing.T) {
 	parts, _ := workload(t, 300, 2, 3)
-	cluster, err := dsq.NewLocalCluster(parts, 2)
+	cluster, err := dsq.Connect(dsq.ClusterConfig{Partitions: parts, Dims: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer cluster.Close()
 
 	var streamed int
-	report, err := dsq.Query(context.Background(), cluster, dsq.Options{
+	report, err := cluster.Query(context.Background(), dsq.Options{
 		Threshold: 0.3,
 		Algorithm: dsq.DSUD,
 		OnResult:  func(dsq.Result) { streamed++ },
@@ -82,7 +82,7 @@ func TestSkylineProbability(t *testing.T) {
 
 func TestMaintainerThroughFacade(t *testing.T) {
 	parts, _ := workload(t, 150, 2, 3)
-	cluster, err := dsq.NewLocalCluster(parts, 2)
+	cluster, err := dsq.Connect(dsq.ClusterConfig{Partitions: parts, Dims: 2})
 	if err != nil {
 		t.Fatal(err)
 	}

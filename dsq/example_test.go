@@ -82,19 +82,19 @@ func ExampleNewMaintainer() {
 }
 
 // The minimal end-to-end query: three sites, one uncertain tuple each.
-func ExampleQuery() {
+func ExampleCluster_Query() {
 	parts := []dsq.DB{
 		{{ID: 1, Point: dsq.Point{6.0, 6.0}, Prob: 0.7}},
 		{{ID: 2, Point: dsq.Point{6.5, 7.0}, Prob: 0.8}},
 		{{ID: 3, Point: dsq.Point{6.4, 7.5}, Prob: 0.9}},
 	}
-	cluster, err := dsq.NewLocalCluster(parts, 2)
+	cluster, err := dsq.Connect(dsq.ClusterConfig{Partitions: parts, Dims: 2})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer cluster.Close()
 
-	report, err := dsq.Query(context.Background(), cluster, dsq.Options{Threshold: 0.3})
+	report, err := cluster.Query(context.Background(), dsq.Options{Threshold: 0.3})
 	if err != nil {
 		log.Fatal(err)
 	}

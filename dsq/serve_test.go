@@ -1,0 +1,60 @@
+package dsq_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/dsq"
+)
+
+// TestServeFacade exercises the serving tier through the public dsq
+// surface: Connect → Serve → ModeAuto reads, with the re-exported mode
+// constants, Source values and typed errors.
+func TestServeFacade(t *testing.T) {
+	ctx := context.Background()
+	db, err := dsq.GenerateWorkload(dsq.WorkloadConfig{N: 500, Dims: 2, Values: dsq.Anticorrelated, Probs: dsq.UniformProb, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := dsq.PartitionWorkload(db, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster, err := dsq.Connect(dsq.ClusterConfig{Partitions: parts, Dims: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	// Serving modes against a bare cluster are a typed error.
+	if _, err := cluster.Query(ctx, dsq.Options{Threshold: 0.3, Mode: dsq.ModeAuto}); !errors.Is(err, dsq.ErrNoServer) {
+		t.Fatalf("bare cluster ModeAuto: got %v, want ErrNoServer", err)
+	}
+
+	server, err := cluster.Serve(ctx, dsq.ServeConfig{Floor: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want := dsq.CentralSkyline(db, 0.3, nil)
+	rep, err := server.Query(ctx, dsq.Options{Threshold: 0.3, Mode: dsq.ModeAuto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Source != dsq.SourceMaterialized {
+		t.Fatalf("source: got %v", rep.Source)
+	}
+	if len(rep.Skyline) != len(want) {
+		t.Fatalf("served answer diverged from oracle: %d vs %d", len(rep.Skyline), len(want))
+	}
+
+	if _, err := server.Query(ctx, dsq.Options{Threshold: 0.1, Mode: dsq.ModeMaterialized}); !errors.Is(err, dsq.ErrUncovered) {
+		t.Fatalf("below-floor query: got %v, want ErrUncovered", err)
+	}
+
+	st := server.Stats()
+	if st.Hits != 1 || st.Floor != 0.3 {
+		t.Fatalf("serve stats: %+v", st)
+	}
+}

@@ -10,13 +10,13 @@ import (
 
 func TestQueryWithStats(t *testing.T) {
 	parts, union := workload(t, 600, 3, 5)
-	cluster, err := dsq.NewLocalCluster(parts, 3)
+	cluster, err := dsq.Connect(dsq.ClusterConfig{Partitions: parts, Dims: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer cluster.Close()
 
-	rep, stats, err := dsq.QueryWithStats(context.Background(), cluster, dsq.Options{Threshold: 0.3})
+	rep, stats, err := cluster.QueryWithStats(context.Background(), dsq.Options{Threshold: 0.3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +56,7 @@ func TestQueryWithStats(t *testing.T) {
 	// A caller-provided trace is used rather than replaced, staying
 	// readable after the call.
 	own := dsq.NewTrace()
-	_, stats2, err := dsq.QueryWithStats(context.Background(), cluster, dsq.Options{
+	_, stats2, err := cluster.QueryWithStats(context.Background(), dsq.Options{
 		Threshold: 0.3, Algorithm: dsq.DSUD, Trace: own,
 	})
 	if err != nil {
@@ -72,7 +72,7 @@ func TestQueryWithStats(t *testing.T) {
 
 func TestMetricsThroughFacade(t *testing.T) {
 	parts, _ := workload(t, 300, 2, 3)
-	cluster, err := dsq.NewLocalCluster(parts, 2)
+	cluster, err := dsq.Connect(dsq.ClusterConfig{Partitions: parts, Dims: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +80,7 @@ func TestMetricsThroughFacade(t *testing.T) {
 
 	reg := dsq.NewMetrics()
 	cluster.Instrument(reg)
-	if _, err := dsq.Query(context.Background(), cluster, dsq.Options{Threshold: 0.3}); err != nil {
+	if _, err := cluster.Query(context.Background(), dsq.Options{Threshold: 0.3}); err != nil {
 		t.Fatal(err)
 	}
 

@@ -42,7 +42,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	cluster, err := dsq.NewLocalCluster(parts, 2)
+	cluster, err := dsq.Connect(dsq.ClusterConfig{Partitions: parts, Dims: 2})
 	if err != nil {
 		log.Fatal(err)
 	}

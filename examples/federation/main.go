@@ -56,7 +56,7 @@ func main() {
 		fmt.Printf("site %d serving %d tuples on %s\n", i, len(part), addrs[i])
 	}
 
-	cluster, err := dsq.NewRemoteClusterRetry(addrs, 2, 5)
+	cluster, err := dsq.Connect(dsq.ClusterConfig{Addrs: addrs, Dims: 2, RetryAttempts: 5})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -64,7 +64,7 @@ func main() {
 
 	fmt.Println("\nprotocol trace (first 14 steps):")
 	steps := 0
-	report, err := dsq.Query(context.Background(), cluster, dsq.Options{
+	report, err := cluster.Query(context.Background(), dsq.Options{
 		Threshold: 0.4,
 		Algorithm: dsq.EDSUD,
 		OnEvent: func(e dsq.Event) {

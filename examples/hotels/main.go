@@ -49,7 +49,7 @@ func main() {
 		}
 	}
 
-	cluster, err := dsq.NewLocalCluster(parts, 2)
+	cluster, err := dsq.Connect(dsq.ClusterConfig{Partitions: parts, Dims: 2})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -61,7 +61,7 @@ func main() {
 
 	var reports []*dsq.Report
 	for _, algo := range []dsq.Algorithm{dsq.Baseline, dsq.DSUD, dsq.EDSUD} {
-		report, err := dsq.Query(ctx, cluster, dsq.Options{Threshold: 0.3, Algorithm: algo})
+		report, err := cluster.Query(ctx, dsq.Options{Threshold: 0.3, Algorithm: algo})
 		if err != nil {
 			log.Fatal(err)
 		}

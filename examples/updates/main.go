@@ -39,7 +39,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	cluster, err := dsq.NewLocalCluster(parts, 3)
+	cluster, err := dsq.Connect(dsq.ClusterConfig{Partitions: parts, Dims: 3})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -177,12 +177,16 @@ type QueryStats struct {
 	// AUCs, per-site delivered counts). Nil when the stats crossed the
 	// wire from a peer that predates it — gob omits nil pointers.
 	Curve *progress.Digest `json:"curve,omitempty"`
+	// Source records how the answer was produced (protocol round,
+	// materialized read, or materialized read behind a refresh).
+	Source Source
 }
 
 // QueryWithStats is Query plus a populated QueryStats. If opts.Trace is
 // nil a private trace is attached for the duration of the call;
 // otherwise the caller's trace is used (and remains readable live).
 func (c *Cluster) QueryWithStats(ctx context.Context, opts Options) (*Report, *QueryStats, error) {
+	opts = opts.withDefaults()
 	if opts.Trace == nil {
 		opts.Trace = NewTrace()
 	}
@@ -190,14 +194,11 @@ func (c *Cluster) QueryWithStats(ctx context.Context, opts Options) (*Report, *Q
 	if err != nil {
 		return nil, nil, err
 	}
-	algo := opts.Algorithm
-	if algo == 0 {
-		algo = EDSUD
-	}
 	return rep, &QueryStats{
-		Algorithm: algo,
+		Algorithm: opts.Algorithm,
 		Trace:     opts.Trace.Summary(),
 		Bandwidth: rep.Bandwidth,
 		Curve:     rep.Curve,
+		Source:    rep.Source,
 	}, nil
 }

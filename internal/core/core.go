@@ -129,6 +129,78 @@ type Options struct {
 	// a sink attached (ClusterConfig.TranscriptDir / SetTranscriptSink);
 	// without one it is a no-op.
 	Record bool
+
+	// Mode selects how the answer is produced. The default, ModeProtocol,
+	// runs a full distributed protocol round and is the only mode
+	// Cluster.Query accepts; ModeMaterialized and ModeAuto route through
+	// the materialized serving tier and require a Server (Cluster.Serve).
+	// See docs/SERVING.md for the decision table.
+	Mode Mode
+}
+
+// Mode selects how a query's answer is produced.
+type Mode int
+
+// Query modes.
+const (
+	// ModeProtocol (the default) runs a full DSUD/e-DSUD protocol round:
+	// read cost scales with cluster chatter, the answer is always fresh.
+	ModeProtocol Mode = iota
+	// ModeMaterialized answers from the Server's materialized global
+	// skyline as a sorted-prefix read — O(answer) — refreshing first if
+	// the store is stale. Queries the materialization cannot cover (a
+	// threshold below the Server's floor, or a different subspace) fail
+	// with ErrUncovered rather than silently falling back.
+	ModeMaterialized
+	// ModeAuto serves from the materialized store when it covers the
+	// query and is fresh, joins (or triggers) a coalesced refresh when it
+	// is stale, and falls back to a full protocol round when the store
+	// cannot cover the query at all.
+	ModeAuto
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeProtocol:
+		return "protocol"
+	case ModeMaterialized:
+		return "materialized"
+	case ModeAuto:
+		return "auto"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Source records how a Report's answer was produced.
+type Source int
+
+// Answer sources.
+const (
+	// SourceProtocol: a full distributed protocol round ran for this
+	// query (the zero value — every pre-serving Report is protocol).
+	SourceProtocol Source = iota
+	// SourceMaterialized: a sorted-prefix read of the Server's
+	// materialized skyline; no protocol traffic, Bandwidth is zero.
+	SourceMaterialized
+	// SourceRefreshed: a materialized read that first waited on a
+	// (possibly shared) refresh round. The refresh round's bandwidth is
+	// not attributed to the query — coalesced queries would double-count
+	// it — so Bandwidth is zero here too.
+	SourceRefreshed
+)
+
+func (s Source) String() string {
+	switch s {
+	case SourceProtocol:
+		return "protocol"
+	case SourceMaterialized:
+		return "materialized"
+	case SourceRefreshed:
+		return "refreshed"
+	default:
+		return fmt.Sprintf("Source(%d)", int(s))
+	}
 }
 
 // FeedbackPolicy selects which queued tuple the coordinator broadcasts
@@ -166,40 +238,87 @@ func (p FeedbackPolicy) String() string {
 	}
 }
 
-func (o Options) validate(dims int) error {
+// Typed option errors. Validate wraps each with the offending value, so
+// callers branch with errors.Is and users still see the specifics.
+var (
+	// ErrThreshold reports a threshold q outside (0,1].
+	ErrThreshold = errors.New("core: invalid threshold")
+	// ErrSubspace reports a Dims subspace invalid for the data
+	// dimensionality (out-of-range axis, duplicate, or empty non-nil).
+	ErrSubspace = errors.New("core: invalid subspace")
+	// ErrAlgorithm reports an unknown Algorithm value, or an
+	// algorithm/option combination the engine rejects.
+	ErrAlgorithm = errors.New("core: invalid algorithm")
+	// ErrPolicy reports an unknown FeedbackPolicy value.
+	ErrPolicy = errors.New("core: invalid feedback policy")
+	// ErrResultLimit reports a negative MaxResults/TopK, or both set.
+	ErrResultLimit = errors.New("core: invalid result limit")
+	// ErrMode reports an unknown Options.Mode value.
+	ErrMode = errors.New("core: invalid mode")
+	// ErrNilContext reports a nil ctx passed to a query entry point.
+	ErrNilContext = errors.New("core: nil context")
+	// ErrNoServer reports a query whose Mode routes through the
+	// materialized serving tier (ModeMaterialized/ModeAuto) issued
+	// against a bare Cluster; build a Server with Cluster.Serve.
+	ErrNoServer = errors.New("core: mode requires a Server (Cluster.Serve)")
+)
+
+// Validate checks the options against the cluster's data dimensionality
+// and returns a typed error (ErrThreshold, ErrSubspace, ErrAlgorithm,
+// ErrPolicy, ErrResultLimit, ErrMode — match with errors.Is) on the
+// first violation. Query, QueryWithStats and Server.Query all call it;
+// callers constructing options programmatically can call it early to
+// fail before touching the cluster. dims <= 0 skips the subspace check.
+func (o Options) Validate(dims int) error {
 	if !(o.Threshold > 0 && o.Threshold <= 1) {
-		return fmt.Errorf("core: threshold %v outside (0,1]", o.Threshold)
+		return fmt.Errorf("%w: threshold %v outside (0,1]", ErrThreshold, o.Threshold)
 	}
-	if !geom.ValidDims(o.Dims, dims) {
-		return fmt.Errorf("core: invalid subspace %v for dimensionality %d", o.Dims, dims)
+	if dims > 0 && !geom.ValidDims(o.Dims, dims) {
+		return fmt.Errorf("%w: %v for dimensionality %d", ErrSubspace, o.Dims, dims)
 	}
 	switch o.Algorithm {
 	case 0, Baseline, DSUD, EDSUD:
 	case SDSUD:
 		if o.Dims != nil {
-			return errors.New("core: SDSUD supports full-space queries only (grid synopses have no subspace marginals)")
+			return fmt.Errorf("%w: SDSUD supports full-space queries only (grid synopses have no subspace marginals)", ErrAlgorithm)
 		}
 		if o.SynopsisGrid < 0 || o.SynopsisGrid > synopsis.MaxGrid {
-			return fmt.Errorf("core: synopsis grid %d outside [0, %d]", o.SynopsisGrid, synopsis.MaxGrid)
+			return fmt.Errorf("%w: synopsis grid %d outside [0, %d]", ErrAlgorithm, o.SynopsisGrid, synopsis.MaxGrid)
 		}
 	default:
-		return fmt.Errorf("core: unknown algorithm %d", int(o.Algorithm))
+		return fmt.Errorf("%w: unknown algorithm %d", ErrAlgorithm, int(o.Algorithm))
 	}
 	switch o.Policy {
 	case PolicyAlgorithm, PolicyMaxBound, PolicyMaxLocal, PolicyRoundRobin:
 	default:
-		return fmt.Errorf("core: unknown feedback policy %d", int(o.Policy))
+		return fmt.Errorf("%w: unknown feedback policy %d", ErrPolicy, int(o.Policy))
 	}
 	if o.MaxResults < 0 {
-		return fmt.Errorf("core: negative MaxResults %d", o.MaxResults)
+		return fmt.Errorf("%w: negative MaxResults %d", ErrResultLimit, o.MaxResults)
 	}
 	if o.TopK < 0 {
-		return fmt.Errorf("core: negative TopK %d", o.TopK)
+		return fmt.Errorf("%w: negative TopK %d", ErrResultLimit, o.TopK)
 	}
 	if o.TopK > 0 && o.MaxResults > 0 {
-		return errors.New("core: TopK and MaxResults are mutually exclusive")
+		return fmt.Errorf("%w: TopK and MaxResults are mutually exclusive", ErrResultLimit)
+	}
+	switch o.Mode {
+	case ModeProtocol, ModeMaterialized, ModeAuto:
+	default:
+		return fmt.Errorf("%w: unknown mode %d", ErrMode, int(o.Mode))
 	}
 	return nil
+}
+
+// withDefaults resolves the defaulted fields — the one place the
+// "zero Algorithm means e-DSUD" rule lives. Every entry point (Run,
+// QueryWithStats, NewMaintainer, Server) normalises through it, so the
+// resolved options a query executes with are identical everywhere.
+func (o Options) withDefaults() Options {
+	if o.Algorithm == 0 {
+		o.Algorithm = EDSUD
+	}
+	return o
 }
 
 // Result is one progressively reported skyline tuple, carrying the
@@ -295,6 +414,11 @@ type Report struct {
 	// it — gob omits nil pointers, so old and new coordinators
 	// interoperate.
 	Curve *progress.Digest `json:"curve,omitempty"`
+	// Source records how the answer was produced: a protocol round (the
+	// zero value), a materialized prefix read, or a materialized read
+	// behind a refresh round. Cache-served reports carry a zero
+	// Bandwidth — the serving tier moved no protocol traffic for them.
+	Source Source
 }
 
 // ErrNoSites reports a query against an empty cluster.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"time"
 
 	"repro/internal/codec"
@@ -18,14 +19,20 @@ import (
 // returns the full report. Qualified tuples are additionally delivered
 // through opts.OnResult as they are discovered (progressiveness).
 func Run(ctx context.Context, c *Cluster, opts Options) (*Report, error) {
+	if ctx == nil {
+		return nil, ErrNilContext
+	}
 	if c.Sites() == 0 {
 		return nil, ErrNoSites
 	}
-	if err := opts.validate(c.dims); err != nil {
+	opts = opts.withDefaults()
+	if err := opts.Validate(c.dims); err != nil {
 		return nil, err
 	}
-	if opts.Algorithm == 0 {
-		opts.Algorithm = EDSUD
+	if opts.Mode != ModeProtocol {
+		// The protocol path serves ModeProtocol only; the materialized
+		// modes need the serving tier's store and coalescing state.
+		return nil, fmt.Errorf("%w: mode %v", ErrNoServer, opts.Mode)
 	}
 	if opts.Logger == nil {
 		opts.Logger = c.logger // cluster-wide default (ClusterConfig.Logger)
@@ -97,6 +104,7 @@ func Run(ctx context.Context, c *Cluster, opts Options) (*Report, error) {
 		rep.Bandwidth.Bytes = c.meter.Snapshot().Bytes - bytesBefore
 	}
 	rep.Elapsed = time.Since(start)
+	rep.Source = SourceProtocol
 	d := &progress.Digest{
 		QueryID:   opts.Trace.ID(),
 		Algorithm: opts.Algorithm.String(),

@@ -35,6 +35,51 @@ type Maintainer struct {
 	sky        map[uncertain.TupleID]uncertain.SkylineMember
 	sites      map[uncertain.TupleID]int
 	instr      *maintInstr // optional; see Instrument / SetLatencyWindow
+	onChange   func(AnswerDelta)
+}
+
+// AnswerDelta describes one mutation of the maintained answer set, in
+// the vocabulary a materialized index needs: which members were added
+// or re-scored (with their home sites), and which were evicted.
+type AnswerDelta struct {
+	// Upserts holds answer members that were added or whose global
+	// probability changed; UpsertSites[i] is the home site of
+	// Upserts[i].
+	Upserts     []uncertain.SkylineMember
+	UpsertSites []int
+	// Removed lists tuples evicted from the answer.
+	Removed []uncertain.TupleID
+	// Full marks a wholesale replacement (Refresh): Upserts is the
+	// complete new answer and Removed the complete old membership.
+	Full bool
+}
+
+// SetOnChange registers fn to observe every answer mutation the
+// maintainer applies (Insert, Delete, Refresh), synchronously, after
+// the maintainer's own bookkeeping and replica sync. The serving tier
+// uses it to keep the materialized skyline index positioned and
+// versioned; nil unregisters. Like the maintainer itself, the callback
+// runs on the updater's goroutine — it must not call back into the
+// maintainer.
+func (m *Maintainer) SetOnChange(fn func(AnswerDelta)) { m.onChange = fn }
+
+// notify delivers a non-empty delta to the registered observer.
+func (m *Maintainer) notify(d AnswerDelta) {
+	if m.onChange == nil || (!d.Full && len(d.Upserts) == 0 && len(d.Removed) == 0) {
+		return
+	}
+	m.onChange(d)
+}
+
+// Answer returns the current answer sorted by descending probability,
+// with the aligned home-site index of each member.
+func (m *Maintainer) Answer() ([]uncertain.SkylineMember, []int) {
+	members := m.Skyline()
+	sites := make([]int, len(members))
+	for i, member := range members {
+		sites[i] = m.sites[member.Tuple.ID]
+	}
+	return members, sites
 }
 
 // maintQuery carries the maintainer's threshold and subspace on update
@@ -49,11 +94,9 @@ func (m *Maintainer) maintQuery() transport.Query {
 // that only the DSUD-family protocols establish.
 func NewMaintainer(ctx context.Context, c *Cluster, opts Options) (*Maintainer, error) {
 	if opts.Algorithm == Baseline {
-		return nil, fmt.Errorf("core: maintainer requires DSUD or EDSUD, not %v", opts.Algorithm)
+		return nil, fmt.Errorf("%w: maintainer requires DSUD or EDSUD, not %v", ErrAlgorithm, opts.Algorithm)
 	}
-	if opts.Algorithm == 0 {
-		opts.Algorithm = EDSUD
-	}
+	opts = opts.withDefaults()
 	rep, err := Run(ctx, c, opts)
 	if err != nil {
 		return nil, err
@@ -146,17 +189,20 @@ func (m *Maintainer) insert(ctx context.Context, home int, tu uncertain.Tuple) e
 	}
 	local := resp.Rep.LocalProb
 
+	var delta AnswerDelta
 	var added []uncertain.Tuple
-	var removed []uncertain.TupleID
 	if local >= m.opts.Threshold && !resp.Hopeless {
 		global, err := m.globalProb(ctx, home, tu, local)
 		if err != nil {
 			return err
 		}
 		if global >= m.opts.Threshold {
-			m.sky[tu.ID] = uncertain.SkylineMember{Tuple: tu.Clone(), Prob: global}
+			member := uncertain.SkylineMember{Tuple: tu.Clone(), Prob: global}
+			m.sky[tu.ID] = member
 			m.sites[tu.ID] = home
 			added = append(added, tu.Clone())
+			delta.Upserts = append(delta.Upserts, member)
+			delta.UpsertSites = append(delta.UpsertSites, home)
 		}
 	}
 
@@ -171,15 +217,21 @@ func (m *Maintainer) insert(ctx context.Context, home int, tu uncertain.Tuple) e
 			if member.Prob < m.opts.Threshold {
 				delete(m.sky, id)
 				delete(m.sites, id)
-				removed = append(removed, id)
+				delta.Removed = append(delta.Removed, id)
 			} else {
 				m.sky[id] = member
+				delta.Upserts = append(delta.Upserts, member)
+				delta.UpsertSites = append(delta.UpsertSites, m.sites[id])
 			}
 		}
 	}
 	m.instr.addRescored(rescored)
-	m.instr.addAffected(len(added) + len(removed))
-	return m.syncReplicas(ctx, added, removed)
+	m.instr.addAffected(len(added) + len(delta.Removed))
+	if err := m.syncReplicas(ctx, added, delta.Removed); err != nil {
+		return err
+	}
+	m.notify(delta)
+	return nil
 }
 
 // Delete removes tu (which must currently live at site home) and updates
@@ -208,10 +260,10 @@ func (m *Maintainer) delete(ctx context.Context, home int, tu uncertain.Tuple) e
 	}); err != nil {
 		return err
 	}
+	var delta AnswerDelta
 	var added []uncertain.Tuple
-	var removed []uncertain.TupleID
 	if _, was := m.sky[tu.ID]; was {
-		removed = append(removed, tu.ID)
+		delta.Removed = append(delta.Removed, tu.ID)
 	}
 	delete(m.sky, tu.ID)
 	delete(m.sites, tu.ID)
@@ -228,6 +280,8 @@ func (m *Maintainer) delete(ctx context.Context, home int, tu uncertain.Tuple) e
 					member.Prob = member.Tuple.Prob
 				}
 				m.sky[id] = member
+				delta.Upserts = append(delta.Upserts, member)
+				delta.UpsertSites = append(delta.UpsertSites, m.sites[id])
 			}
 		}
 		m.instr.addRescored(rescored)
@@ -252,14 +306,21 @@ func (m *Maintainer) delete(ctx context.Context, home int, tu uncertain.Tuple) e
 				return err
 			}
 			if global >= m.opts.Threshold {
-				m.sky[cand.Tuple.ID] = uncertain.SkylineMember{Tuple: cand.Tuple.Clone(), Prob: global}
+				member := uncertain.SkylineMember{Tuple: cand.Tuple.Clone(), Prob: global}
+				m.sky[cand.Tuple.ID] = member
 				m.sites[cand.Tuple.ID] = siteIdx
 				added = append(added, cand.Tuple.Clone())
+				delta.Upserts = append(delta.Upserts, member)
+				delta.UpsertSites = append(delta.UpsertSites, siteIdx)
 			}
 		}
 	}
-	m.instr.addAffected(len(added) + len(removed))
-	return m.syncReplicas(ctx, added, removed)
+	m.instr.addAffected(len(added) + len(delta.Removed))
+	if err := m.syncReplicas(ctx, added, delta.Removed); err != nil {
+		return err
+	}
+	m.notify(delta)
+	return nil
 }
 
 // Refresh is the naive maintenance strategy: re-run the entire distributed
@@ -283,7 +344,12 @@ func (m *Maintainer) Refresh(ctx context.Context) error {
 	}
 	// Resynchronise replicas wholesale: Refresh is also the recovery path
 	// after ApplyNaive updates bypassed the incremental bookkeeping.
-	return m.syncReplicas(ctx, added, oldIDs)
+	if err := m.syncReplicas(ctx, added, oldIDs); err != nil {
+		return err
+	}
+	members, siteIdx := m.Answer()
+	m.notify(AnswerDelta{Upserts: members, UpsertSites: siteIdx, Removed: oldIDs, Full: true})
+	return nil
 }
 
 // globalProb evaluates Lemma 1 for one tuple whose home-site local

@@ -90,6 +90,14 @@ type SoakOptions struct {
 	// matter with UpdateFraction > 0.
 	UpdateWindow  *obs.Window
 	UpdateMetrics *obs.Registry
+	// Server, when set, routes every query through the materialized
+	// serving tier (core.Server) instead of running protocol rounds on
+	// the cluster, and routes update traffic through Server.Insert /
+	// Server.Delete so the materialization stays exact under churn.
+	// Mode is the Options.Mode served queries carry (default ModeAuto
+	// when Server is set; ignored otherwise).
+	Server *core.Server
+	Mode   core.Mode
 	// Auditor, when set, samples completed queries through the online
 	// invariant auditor (its Fraction decides how often).
 	Auditor *audit.Auditor
@@ -135,6 +143,9 @@ func (o SoakOptions) withDefaults() SoakOptions {
 	}
 	if o.Seed == 0 {
 		o.Seed = 11
+	}
+	if o.Server != nil && o.Mode == core.ModeProtocol {
+		o.Mode = core.ModeAuto
 	}
 	return o
 }
@@ -235,8 +246,11 @@ func Soak(ctx context.Context, cluster *core.Cluster, opts SoakOptions) (*perf.S
 
 	// The update stream needs a Maintainer, whose constructor runs the
 	// initial global query — do it once, outside the measured window.
+	// When a Server is the target its own maintainer takes the updates
+	// instead: a second maintainer would diverge from the materialized
+	// answer the served queries read.
 	var maint *core.Maintainer
-	if opts.UpdateFraction > 0 {
+	if opts.UpdateFraction > 0 && opts.Server == nil {
 		var err error
 		maint, err = core.NewMaintainer(ctx, cluster, core.Options{
 			Threshold: opts.Threshold, Algorithm: opts.Algorithm,
@@ -249,8 +263,15 @@ func Soak(ctx context.Context, cluster *core.Cluster, opts SoakOptions) (*perf.S
 			maint.SetLatencyWindow(opts.UpdateWindow)
 		}
 	}
+	if opts.UpdateFraction > 0 && opts.Server != nil {
+		opts.Server.InstrumentUpdates(opts.UpdateMetrics)
+		if opts.UpdateWindow != nil {
+			opts.Server.SetUpdateLatencyWindow(opts.UpdateWindow)
+		}
+	}
 	upd := &updateStream{
 		maint: maint,
+		srv:   opts.Server,
 		rng:   rand.New(rand.NewSource(opts.Seed)),
 		dims:  cluster.Dims(),
 		sites: cluster.Sites(),
@@ -391,6 +412,9 @@ func soakIteration(ctx context.Context, cluster *core.Cluster, opts SoakOptions,
 			defer wg.Done()
 			for at := range queries {
 				qopts := core.Options{Threshold: opts.Threshold, Algorithm: opts.Algorithm}
+				if opts.Server != nil {
+					qopts.Mode = opts.Mode
+				}
 				if opts.FirstWindow != nil {
 					qopts.Trace = core.NewTrace()
 				}
@@ -399,7 +423,13 @@ func soakIteration(ctx context.Context, cluster *core.Cluster, opts SoakOptions,
 					quiesce.RLock()
 				}
 				qctx, cancel := context.WithDeadline(ctx, at.Add(opts.Deadline))
-				rep, err := cluster.Query(qctx, qopts)
+				var rep *core.Report
+				var err error
+				if opts.Server != nil {
+					rep, err = opts.Server.Query(qctx, qopts)
+				} else {
+					rep, err = cluster.Query(qctx, qopts)
+				}
 				cancel()
 				lat := time.Since(at)
 				tally.record(lat, err)
@@ -451,7 +481,7 @@ func soakIteration(ctx context.Context, cluster *core.Cluster, opts SoakOptions,
 			time.Sleep(d)
 		}
 		updAcc += opts.UpdateFraction
-		if updAcc >= 1 && upd.maint != nil {
+		if updAcc >= 1 && upd.active() {
 			updAcc--
 			updates <- sched
 		} else {
@@ -474,12 +504,32 @@ func soakIteration(ctx context.Context, cluster *core.Cluster, opts SoakOptions,
 // methods run on the single updater goroutine.
 type updateStream struct {
 	maint   *core.Maintainer
+	srv     *core.Server // routes updates through the serving tier instead
 	rng     *rand.Rand
 	dims    int
 	sites   int
 	nextID  uint64
 	live    []insertedTuple
 	deleted int
+}
+
+// active reports whether the stream has an update target at all.
+func (u *updateStream) active() bool { return u.maint != nil || u.srv != nil }
+
+// insert and remove route one update to whichever maintenance target
+// the soak drives.
+func (u *updateStream) insert(ctx context.Context, home int, tu uncertain.Tuple) error {
+	if u.srv != nil {
+		return u.srv.Insert(ctx, home, tu)
+	}
+	return u.maint.Insert(ctx, home, tu)
+}
+
+func (u *updateStream) remove(ctx context.Context, home int, tu uncertain.Tuple) error {
+	if u.srv != nil {
+		return u.srv.Delete(ctx, home, tu)
+	}
+	return u.maint.Delete(ctx, home, tu)
 }
 
 type insertedTuple struct {
@@ -500,7 +550,7 @@ func (u *updateStream) step(ctx context.Context) error {
 		victim := u.live[0]
 		u.live = u.live[1:]
 		u.deleted++
-		return u.maint.Delete(ctx, victim.home, victim.tu)
+		return u.remove(ctx, victim.home, victim.tu)
 	}
 	pt := make(geom.Point, u.dims)
 	for i := range pt {
@@ -513,7 +563,7 @@ func (u *updateStream) step(ctx context.Context) error {
 	}
 	u.nextID++
 	home := u.rng.Intn(u.sites)
-	if err := u.maint.Insert(ctx, home, tu); err != nil {
+	if err := u.insert(ctx, home, tu); err != nil {
 		return err
 	}
 	u.live = append(u.live, insertedTuple{home: home, tu: tu})

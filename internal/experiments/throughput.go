@@ -17,10 +17,12 @@ import (
 
 // Concurrent-query throughput: the same query batch pushed through one
 // shared cluster at increasing client concurrency, once over the
-// multiplexed v2 wire protocol and once over the serial v1 protocol.
+// multiplexed v2 wire protocol, once over the serial v1 protocol, and
+// once from a warm coordinator-side materialized serving tier.
 // Loopback TCP has no meaningful round-trip or service time, so each
 // site handler is wrapped in transport.DelayedHandler — the delay is
-// what the v1 connection head-of-line blocks on and the mux overlaps.
+// what the v1 connection head-of-line blocks on, the mux overlaps, and
+// the serving tier avoids altogether after its single warmup round.
 
 // ThroughputOptions tunes the throughput measurement.
 type ThroughputOptions struct {
@@ -119,6 +121,10 @@ func Throughput(ctx context.Context, opts ThroughputOptions) ([]perf.ThroughputR
 		if err != nil {
 			return nil, fmt.Errorf("experiments: throughput serial @%d: %w", clients, err)
 		}
+		matQPS, err := materializedBatch(ctx, addrs, clients, batch)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: throughput materialized @%d: %w", clients, err)
+		}
 		results = append(results, perf.ThroughputResult{
 			Concurrency:     clients,
 			Queries:         batch,
@@ -126,9 +132,57 @@ func Throughput(ctx context.Context, opts ThroughputOptions) ([]perf.ThroughputR
 			MuxQPS:          muxQPS,
 			SerialQPS:       serialQPS,
 			Speedup:         muxQPS / serialQPS,
+			MaterializedQPS: matQPS,
+			ServeSpeedup:    matQPS / muxQPS,
 		})
 	}
 	return results, nil
+}
+
+// materializedBatch drains the same batch through a warm coordinator-side
+// serving tier (one protocol round at Serve time, then sorted-prefix
+// reads). The gap between this rate and the mux rate is what the serving
+// tier buys: reads stop paying the per-query site round-trips entirely.
+func materializedBatch(ctx context.Context, addrs []string, clients, batch int) (float64, error) {
+	cluster, err := core.Open(core.ClusterConfig{Addrs: addrs, Dims: DefaultDims})
+	if err != nil {
+		return 0, err
+	}
+	defer cluster.Close()
+	server, err := cluster.Serve(ctx, core.ServeConfig{Floor: DefaultThreshold, Algorithm: core.EDSUD})
+	if err != nil {
+		return 0, err
+	}
+	opts := core.Options{Threshold: DefaultThreshold, Algorithm: core.EDSUD, Mode: core.ModeMaterialized}
+	if _, err := server.Query(ctx, opts); err != nil {
+		return 0, err
+	}
+
+	var remaining atomic.Int64
+	remaining.Store(int64(batch))
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for remaining.Add(-1) >= 0 {
+				if _, err := server.Query(ctx, opts); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	return float64(batch) / wall.Seconds(), nil
 }
 
 // throughputBatch drains a batch of identical queries through one shared

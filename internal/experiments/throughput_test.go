@@ -37,4 +37,15 @@ func TestThroughputMuxAdvantage(t *testing.T) {
 		t.Fatalf("mux speedup at %d clients = %.2fx; the multiplexed transport should beat the serial wire",
 			res[1].Concurrency, s)
 	}
+	// The materialized tier answers from memory — no per-query site
+	// round-trips at all — so even a loose floor sits far above the mux.
+	for _, r := range res {
+		if r.MaterializedQPS <= 0 || r.ServeSpeedup <= 0 {
+			t.Fatalf("missing materialized measurement: %+v", r)
+		}
+	}
+	if s := res[1].ServeSpeedup; s < 2 {
+		t.Fatalf("materialized speedup at %d clients = %.2fx; prefix reads should beat protocol rounds",
+			res[1].Concurrency, s)
+	}
 }

@@ -344,22 +344,35 @@ func writeThroughputMarkdown(w io.Writer, oldA, newA *Artifact) {
 			}
 		}
 	}
-	fmt.Fprintf(w, "\n### Concurrent-query throughput (mux vs serial transport)\n\n")
-	fmt.Fprintf(w, "| clients | old mux q/s | new mux q/s | old speedup | new speedup |\n")
-	fmt.Fprintf(w, "|---:|---:|---:|---:|---:|\n")
+	fmt.Fprintf(w, "\n### Concurrent-query throughput (mux vs serial transport, materialized serving)\n\n")
+	fmt.Fprintf(w, "| clients | old mux q/s | new mux q/s | old speedup | new speedup | old serve q/s | new serve q/s | old serve× | new serve× |\n")
+	fmt.Fprintf(w, "|---:|---:|---:|---:|---:|---:|---:|---:|---:|\n")
 	for _, c := range levels {
 		o, n := at(oldA, c), at(newA, c)
-		cell := func(t *ThroughputResult, qps bool) string {
+		cell := func(t *ThroughputResult, f func(*ThroughputResult) string) string {
 			if t == nil {
 				return "—"
 			}
-			if qps {
-				return fmt.Sprintf("%.1f", t.MuxQPS)
-			}
-			return fmt.Sprintf("%.2fx", t.Speedup)
+			return f(t)
 		}
-		fmt.Fprintf(w, "| %d | %s | %s | %s | %s |\n",
-			c, cell(o, true), cell(n, true), cell(o, false), cell(n, false))
+		mux := func(t *ThroughputResult) string { return fmt.Sprintf("%.1f", t.MuxQPS) }
+		spd := func(t *ThroughputResult) string { return fmt.Sprintf("%.2fx", t.Speedup) }
+		// Serve columns render "—" for artifacts predating the serving tier.
+		srv := func(t *ThroughputResult) string {
+			if t.MaterializedQPS == 0 {
+				return "—"
+			}
+			return fmt.Sprintf("%.1f", t.MaterializedQPS)
+		}
+		srvX := func(t *ThroughputResult) string {
+			if t.ServeSpeedup == 0 {
+				return "—"
+			}
+			return fmt.Sprintf("%.1fx", t.ServeSpeedup)
+		}
+		fmt.Fprintf(w, "| %d | %s | %s | %s | %s | %s | %s | %s | %s |\n",
+			c, cell(o, mux), cell(n, mux), cell(o, spd), cell(n, spd),
+			cell(o, srv), cell(n, srv), cell(o, srvX), cell(n, srvX))
 	}
 }
 

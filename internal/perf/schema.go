@@ -87,6 +87,12 @@ type ThroughputResult struct {
 	MuxQPS          float64 `json:"mux_qps"`
 	SerialQPS       float64 `json:"serial_qps"`
 	Speedup         float64 `json:"speedup"`
+	// MaterializedQPS is the same batch served from a warm coordinator-side
+	// materialized tier (Cluster.Serve) instead of a protocol round per
+	// query; ServeSpeedup = MaterializedQPS / MuxQPS. Both are additive
+	// within schema v1: zero in artifacts predating the serving tier.
+	MaterializedQPS float64 `json:"materialized_qps,omitempty"`
+	ServeSpeedup    float64 `json:"serve_speedup,omitempty"`
 }
 
 // Soak latency percentile keys (SoakResult.Latency). Each maps to a Dist

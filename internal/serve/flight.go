@@ -1,0 +1,45 @@
+package serve
+
+import "sync"
+
+// Group coalesces concurrent calls that would do duplicate work — a
+// minimal singleflight. Callers that arrive while a call for the same
+// key is in flight block until it returns and share its error instead
+// of running their own. The serving tier keys refresh rounds on the
+// materialization floor, so every compatible query stuck behind a stale
+// store shares one protocol round.
+type Group struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	err  error
+}
+
+// Do runs fn for key, unless a call for key is already in flight, in
+// which case it waits for that call and returns its error. shared
+// reports whether the result came from another caller's execution.
+func (g *Group) Do(key string, fn func() error) (err error, shared bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flightCall)
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		<-c.done
+		return c.err, true
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.err = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.err, false
+}

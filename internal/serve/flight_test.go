@@ -1,0 +1,87 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestGroupCoalesces pins the singleflight contract under the race
+// detector: callers that arrive while a call for the key is in flight
+// block, share the executor's error, and never run their own fn.
+func TestGroupCoalesces(t *testing.T) {
+	var g Group
+	var calls atomic.Int64
+	var sharedCount atomic.Int64
+	wantErr := errors.New("round failed")
+
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		err, shared := g.Do("k", func() error {
+			close(started)
+			<-release
+			calls.Add(1)
+			return wantErr
+		})
+		if shared || !errors.Is(err, wantErr) {
+			t.Errorf("executor: err=%v shared=%v", err, shared)
+		}
+	}()
+	<-started // the flight is now provably open
+
+	const joiners = 16
+	var entered atomic.Int64
+	for i := 0; i < joiners; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			entered.Add(1)
+			err, shared := g.Do("k", func() error {
+				calls.Add(1)
+				return nil
+			})
+			if shared {
+				sharedCount.Add(1)
+				if !errors.Is(err, wantErr) {
+					t.Errorf("joiner got %v, want the executor's error", err)
+				}
+			}
+		}()
+	}
+	// Hold the flight open until every joiner goroutine is at (or past)
+	// its Do call, then give the scheduler a beat to park them on it.
+	for entered.Load() < joiners {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(5 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	// Contract invariant: every caller either shared the executor's run
+	// or ran its own fn — no lost and no duplicated flights.
+	if got := sharedCount.Load() + calls.Load(); got != joiners+1 {
+		t.Fatalf("shared (%d) + executed (%d) = %d, want %d callers accounted for",
+			sharedCount.Load(), calls.Load(), got, joiners+1)
+	}
+	if sharedCount.Load() == 0 {
+		t.Fatal("no caller coalesced with a provably in-flight call")
+	}
+
+	// After completion the key is free again: a fresh call executes.
+	err, shared := g.Do("k", func() error { return nil })
+	if err != nil || shared {
+		t.Fatalf("post-flight call: err=%v shared=%v", err, shared)
+	}
+
+	// Distinct keys never coalesce.
+	_, shared = g.Do("other", func() error { return nil })
+	if shared {
+		t.Fatal("distinct key reported shared")
+	}
+}

@@ -1,0 +1,177 @@
+// Package serve holds the coordinator-side materialized global skyline:
+// every answer tuple with its exact global skyline probability P_g-sky
+// (eq. 4/5), kept sorted by descending probability so a query with
+// threshold q is a sorted-prefix read — O(answer), no protocol round.
+//
+// The store is a passive index: core.Server populates it from one
+// initial protocol round, keeps it positioned through Maintainer answer
+// deltas (Apply), and replaces it wholesale after refresh rounds
+// (Replace). Every mutation bumps a version counter; readers take a
+// consistent snapshot under an RLock. Freshness is the Server's policy
+// call — the store only tracks the wall-clock of the last wholesale
+// refresh and an explicit invalidation mark.
+package serve
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/uncertain"
+)
+
+// Entry is one materialized answer member: the tuple with its exact
+// global skyline probability, plus the home site recorded so served
+// results carry the same provenance a protocol round reports.
+type Entry struct {
+	Member uncertain.SkylineMember
+	Site   int
+}
+
+// less orders entries like uncertain.SortMembers: descending
+// probability, ties broken by ascending tuple ID — the protocol's
+// deterministic report order.
+func less(a, b Entry) bool {
+	if a.Member.Prob != b.Member.Prob {
+		return a.Member.Prob > b.Member.Prob
+	}
+	return a.Member.Tuple.ID < b.Member.Tuple.ID
+}
+
+// Store is the materialized skyline index. Safe for concurrent use:
+// many Prefix readers proceed in parallel; Apply/Replace writers are
+// serialised.
+type Store struct {
+	mu        sync.RWMutex
+	entries   []Entry // sorted by less
+	version   uint64
+	floor     float64 // materialization threshold q0
+	refreshed time.Time
+	invalid   bool
+}
+
+// New returns an empty store materialized at threshold floor: the store
+// can answer any query whose threshold is >= floor (Covers).
+func New(floor float64) *Store {
+	return &Store{floor: floor}
+}
+
+// Floor returns the materialization threshold q0.
+func (s *Store) Floor() float64 { return s.floor }
+
+// Covers reports whether a query with threshold q is answerable from
+// the materialization: the store holds every tuple with P_g-sky >=
+// floor, so any q >= floor is a prefix of it.
+func (s *Store) Covers(q float64) bool { return q >= s.floor }
+
+// Version returns the current version counter. Every Replace and every
+// non-empty Apply bumps it; a reader that saw version v observed every
+// mutation up to v.
+func (s *Store) Version() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.version
+}
+
+// Len returns the number of materialized entries.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.entries)
+}
+
+// LastRefresh returns the wall-clock of the last wholesale Replace.
+// Incremental Apply calls deliberately do not reset it: they keep the
+// index exact for changes that flowed through the maintainer, while
+// the refresh clock bounds drift from changes that did not.
+func (s *Store) LastRefresh() time.Time {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.refreshed
+}
+
+// Invalidate marks the materialization stale regardless of age; the
+// next freshness check fails until a Replace. Use it when sites were
+// updated out-of-band (bypassing the serving tier's maintainer).
+func (s *Store) Invalidate() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.invalid = true
+	s.version++
+}
+
+// Fresh reports whether the materialization may be served under the
+// given staleness bound: not explicitly invalidated, and — when
+// maxStale > 0 — refreshed within the last maxStale. maxStale == 0
+// trusts incremental maintenance indefinitely.
+func (s *Store) Fresh(now time.Time, maxStale time.Duration) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.invalid {
+		return false
+	}
+	if maxStale <= 0 {
+		return true
+	}
+	return now.Sub(s.refreshed) <= maxStale
+}
+
+// Replace installs a complete new answer (one protocol/refresh round's
+// output), re-sorts it, clears any invalidation, stamps the refresh
+// clock and bumps the version.
+func (s *Store) Replace(entries []Entry, now time.Time) {
+	sorted := make([]Entry, len(entries))
+	copy(sorted, entries)
+	sort.Slice(sorted, func(i, j int) bool { return less(sorted[i], sorted[j]) })
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.entries = sorted
+	s.refreshed = now
+	s.invalid = false
+	s.version++
+}
+
+// Apply folds one incremental answer delta into the index: removed
+// tuples leave, upserted tuples are re-scored and repositioned at their
+// sorted rank. The version bumps once per call with any effect.
+func (s *Store) Apply(upserts []Entry, removed []uncertain.TupleID) {
+	if len(upserts) == 0 && len(removed) == 0 {
+		return
+	}
+	drop := make(map[uncertain.TupleID]bool, len(upserts)+len(removed))
+	for _, id := range removed {
+		drop[id] = true
+	}
+	for _, e := range upserts {
+		drop[e.Member.Tuple.ID] = true // old position leaves before re-insert
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	next := s.entries[:0:0]
+	for _, e := range s.entries {
+		if !drop[e.Member.Tuple.ID] {
+			next = append(next, e)
+		}
+	}
+	for _, e := range upserts {
+		at := sort.Search(len(next), func(i int) bool { return less(e, next[i]) })
+		next = append(next, Entry{})
+		copy(next[at+1:], next[at:])
+		next[at] = e
+	}
+	s.entries = next
+	s.version++
+}
+
+// Prefix returns a copy of every entry with probability >= q, in report
+// order, together with the version the read observed. q below the
+// materialization floor returns a prefix that may be incomplete —
+// callers gate on Covers first.
+func (s *Store) Prefix(q float64) ([]Entry, uint64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	cut := sort.Search(len(s.entries), func(i int) bool { return s.entries[i].Member.Prob < q })
+	out := make([]Entry, cut)
+	copy(out, s.entries[:cut])
+	return out, s.version
+}
